@@ -1,0 +1,96 @@
+//! Criterion benches for the performance-model layer: prediction cost,
+//! plan enumeration, sensitivity-curve construction and model fitting.
+//!
+//! These back the paper's claim that the model-driven policy is cheap:
+//! curves are "computed in parallel or even prior to the scheduling, and
+//! then cached for reuse" (§5.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rubick_model::fit::{fit_perf_params, DataPoint, FitOptions};
+use rubick_model::prelude::*;
+use std::hint::black_box;
+
+fn bench_iter_time(c: &mut Criterion) {
+    let spec = ModelSpec::gpt2_xl();
+    let params = PerfParams::default();
+    let env = ClusterEnv::a800();
+    let placement = Placement::spread(16, 8, 192, 3200.0);
+    let plan = ExecutionPlan::three_d(2, 4, 2, 8);
+    c.bench_function("model/iter_time_3d", |b| {
+        b.iter(|| {
+            black_box(params.iter_time(
+                black_box(&spec),
+                black_box(&plan),
+                16,
+                black_box(&placement),
+                &env,
+            ))
+        })
+    });
+}
+
+fn bench_enumerate(c: &mut Criterion) {
+    let shape = NodeShape::a800();
+    let env = ClusterEnv::a800();
+    let mut group = c.benchmark_group("model/enumerate_plans");
+    for gpus in [4u32, 16, 64] {
+        let spec = ModelSpec::llama2_7b();
+        group.bench_with_input(BenchmarkId::from_parameter(gpus), &gpus, |b, &g| {
+            b.iter(|| black_box(enumerate_plans(&spec, g, 32, &shape, &env).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_curve(c: &mut Criterion) {
+    let model = ThroughputModel::new(
+        ModelSpec::gpt2_xl(),
+        PerfParams::default(),
+        ClusterEnv::a800(),
+        NodeShape::a800(),
+    );
+    let mut group = c.benchmark_group("model/sensitivity_curve");
+    group.sample_size(20);
+    for max in [8u32, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(max), &max, |b, &m| {
+            b.iter(|| black_box(SensitivityCurve::for_gpus(&model, 16, m)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let spec = ModelSpec::roberta_large();
+    let env = ClusterEnv::a800();
+    let truth = PerfParams::default();
+    let shape = NodeShape::a800();
+    let points: Vec<DataPoint> = [
+        (ExecutionPlan::dp(1), 1u32),
+        (ExecutionPlan::dp(4), 4),
+        (ExecutionPlan::dp(8).with_ga(2), 8),
+        (ExecutionPlan::zero_dp(8), 8),
+        (ExecutionPlan::zero_offload(1), 1),
+        (ExecutionPlan::zero_offload(2), 2),
+        (ExecutionPlan::zero_offload(4).with_gc(), 4),
+    ]
+    .into_iter()
+    .map(|(plan, g)| {
+        let placement = Placement::packed(g, &shape);
+        let t = truth.iter_time(&spec, &plan, 64, &placement, &env);
+        DataPoint::new(plan, placement, 64, t)
+    })
+    .collect();
+    let mut group = c.benchmark_group("model/fit_7_points");
+    group.sample_size(10);
+    group.bench_function("nelder_mead_12_restarts", |b| {
+        b.iter(|| {
+            black_box(
+                fit_perf_params(&spec, &env, &points, &FitOptions::default()).unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_iter_time, bench_enumerate, bench_curve, bench_fit);
+criterion_main!(benches);

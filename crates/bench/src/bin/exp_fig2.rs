@@ -1,0 +1,93 @@
+//! **Figure 2** — per-plan multi-resource consumption for GPT-2 at the
+//! minimum feasible GPU count with global batch 16, normalized to the
+//! highest value in each resource column.
+//!
+//! ```sh
+//! cargo run --release -p rubick-bench --bin exp_fig2
+//! ```
+
+use rubick_bench::std_oracle;
+use rubick_model::{ExecutionPlan, MemoryEstimator, ModelSpec, Placement};
+
+fn main() {
+    let oracle = std_oracle();
+    let spec = ModelSpec::gpt2_xl();
+    let batch = spec.default_batch; // 16, as in the figure
+    let estimator = MemoryEstimator::new(oracle.shape().gpu_mem_gb);
+
+    // The figure's plan set, each at its minimum feasible GPU count.
+    let plans: Vec<(&str, ExecutionPlan)> = vec![
+        ("DP", ExecutionPlan::dp(1)),
+        ("DP+GA", ExecutionPlan::dp(1).with_ga(4)),
+        ("DP+GC", ExecutionPlan::dp(1).with_gc()),
+        ("ZeRO-DP", ExecutionPlan::zero_dp(2)),
+        ("ZeRO-Offload", ExecutionPlan::zero_offload(1)),
+        ("TP", ExecutionPlan::three_d(1, 2, 1, 1)),
+        ("TP+DP", ExecutionPlan::three_d(2, 2, 1, 1)),
+    ];
+
+    struct Row {
+        name: &'static str,
+        gpus: f64,
+        cpus: f64,
+        host_mem: f64,
+        net_gbps: f64,
+        pcie_gbps: f64,
+        gpu_mem: f64,
+    }
+    let mut rows = Vec::new();
+    for (name, plan) in plans {
+        let placement = Placement::packed(plan.gpus(), oracle.shape());
+        let Ok(m) = oracle.measure(&spec, &plan, batch, &placement) else {
+            println!("{name:<14} infeasible at this GPU count");
+            continue;
+        };
+        let d = estimator.demand(&spec, &plan, batch);
+        rows.push(Row {
+            name,
+            gpus: d.gpus as f64,
+            cpus: d.cpus as f64,
+            host_mem: d.host_mem_gb,
+            net_gbps: d.net_bytes_per_iter / m.iter_time / 1e9,
+            pcie_gbps: d.pcie_bytes_per_iter / m.iter_time / 1e9,
+            gpu_mem: d.gpu_mem_gb,
+        });
+    }
+
+    let max = |f: fn(&Row) -> f64| rows.iter().map(f).fold(1e-12, f64::max);
+    let (mg, mc, mm, mn, mp, mv) = (
+        max(|r| r.gpus),
+        max(|r| r.cpus),
+        max(|r| r.host_mem),
+        max(|r| r.net_gbps),
+        max(|r| r.pcie_gbps),
+        max(|r| r.gpu_mem),
+    );
+
+    println!("Figure 2: GPT-2 multi-resource consumption by plan (batch {batch})");
+    println!(
+        "normalization maxima: {mg:.0} GPUs, {mc:.0} CPUs, {mm:.1} GiB host, \
+         {mn:.2} GB/s net, {mp:.2} GB/s PCIe, {mv:.1} GiB/GPU\n"
+    );
+    println!(
+        "{:<14} | {:>5} | {:>5} | {:>8} | {:>8} | {:>8} | {:>8}",
+        "plan", "GPU", "CPU", "host-mem", "network", "PCIe", "GPU-mem"
+    );
+    println!("{}", "-".repeat(72));
+    for r in &rows {
+        println!(
+            "{:<14} | {:>4.0}% | {:>4.0}% | {:>7.0}% | {:>7.0}% | {:>7.0}% | {:>7.0}%",
+            r.name,
+            100.0 * r.gpus / mg,
+            100.0 * r.cpus / mc,
+            100.0 * r.host_mem / mm,
+            100.0 * r.net_gbps / mn,
+            100.0 * r.pcie_gbps / mp,
+            100.0 * r.gpu_mem / mv,
+        );
+    }
+    println!(
+        "\nShape check vs. the paper: ZeRO-Offload maxes CPUs/host-memory/PCIe;\n\
+         TP maxes network bandwidth while using fewer CPUs and host memory."
+    );
+}

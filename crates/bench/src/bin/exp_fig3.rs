@@ -1,0 +1,135 @@
+//! **Figure 3** — throughput of execution plans under staged resource
+//! limits, for RoBERTa (Fig. 3a) and T5 (Fig. 3b).
+//!
+//! The stages mirror the figure: one hour at 4 servers × 8 GPUs, one at
+//! 4 × 4 GPUs, then a single 4-GPU server, a single GPU, and finally a
+//! single GPU with host memory capped at 10 GiB (which must kill
+//! ZeRO-Offload).
+//!
+//! ```sh
+//! cargo run --release -p rubick-bench --bin exp_fig3
+//! ```
+
+use rubick_bench::std_oracle;
+use rubick_model::{enumerate_plans, ExecutionPlan, ModelSpec, Placement, PlanKind};
+use rubick_testbed::TestbedOracle;
+
+/// Best throughput within one plan family on a placement (a figure line).
+fn family_best(
+    oracle: &TestbedOracle,
+    spec: &ModelSpec,
+    batch: u32,
+    placement: &Placement,
+    family: &dyn Fn(&ExecutionPlan) -> bool,
+) -> Option<(ExecutionPlan, f64)> {
+    let mut best: Option<(ExecutionPlan, f64)> = None;
+    for plan in enumerate_plans(
+        spec,
+        placement.total_gpus(),
+        batch,
+        oracle.shape(),
+        oracle.env(),
+    ) {
+        if !family(&plan) {
+            continue;
+        }
+        if let Some(t) = oracle.throughput(spec, &plan, batch, placement) {
+            if best.as_ref().map(|(_, b)| t > *b).unwrap_or(true) {
+                best = Some((plan, t));
+            }
+        }
+    }
+    best
+}
+
+fn run_model(oracle: &TestbedOracle, spec: &ModelSpec) {
+    let batch = spec.default_batch;
+    let stages: Vec<(&str, Placement)> = vec![
+        ("4x8 GPUs", Placement::spread(32, 8, 384, 6400.0)),
+        ("4x4 GPUs", Placement::spread(16, 4, 192, 3200.0)),
+        ("1x4 GPUs", Placement::single_node(4, 48, 800.0)),
+        ("1 GPU", Placement::single_node(1, 12, 200.0)),
+        ("1 GPU/10GiB", Placement::single_node(1, 12, 10.0)),
+    ];
+    type Family = (&'static str, Box<dyn Fn(&ExecutionPlan) -> bool>);
+    let families: Vec<Family> = vec![
+        (
+            "DP+GA",
+            Box::new(|p: &ExecutionPlan| p.kind() == PlanKind::DataParallel && !p.gc),
+        ),
+        (
+            "ZeRO-DP",
+            Box::new(|p: &ExecutionPlan| p.kind() == PlanKind::ZeroDp),
+        ),
+        (
+            "ZeRO-Offload",
+            Box::new(|p: &ExecutionPlan| p.kind() == PlanKind::ZeroOffload),
+        ),
+        (
+            "TP+DP",
+            Box::new(|p: &ExecutionPlan| p.kind() == PlanKind::TensorParallel && !p.gc),
+        ),
+        (
+            "TP+DP+GC",
+            Box::new(|p: &ExecutionPlan| p.kind() == PlanKind::TensorParallel && p.gc),
+        ),
+        (
+            "Megatron 3D",
+            Box::new(|p: &ExecutionPlan| {
+                matches!(p.kind(), PlanKind::ThreeD | PlanKind::Pipeline)
+            }),
+        ),
+    ];
+
+    println!("\n=== {spec} (global batch {batch}) ===");
+    print!("{:<14}", "plan family");
+    for (label, _) in &stages {
+        print!(" | {label:>12}");
+    }
+    println!();
+    println!("{}", "-".repeat(14 + stages.len() * 15));
+    for (name, family) in &families {
+        print!("{name:<14}");
+        for (_, placement) in &stages {
+            match family_best(oracle, spec, batch, placement, family.as_ref()) {
+                Some((_, t)) => print!(" | {t:>12.1}"),
+                None => print!(" | {:>12}", "x"),
+            }
+        }
+        println!();
+    }
+    // Which family wins each stage?
+    print!("{:<14}", "BEST");
+    for (_, placement) in &stages {
+        let mut best: Option<(&str, f64)> = None;
+        for (name, family) in &families {
+            if let Some((_, t)) = family_best(oracle, spec, batch, placement, family.as_ref()) {
+                if best.map(|(_, b)| t > b).unwrap_or(true) {
+                    best = Some((name, t));
+                }
+            }
+        }
+        match best {
+            Some((name, _)) => print!(" | {name:>12}"),
+            None => print!(" | {:>12}", "none"),
+        }
+    }
+    println!();
+}
+
+fn main() {
+    let oracle = std_oracle();
+    println!("Figure 3: throughput (samples/s) of plan families vs. staged resource limits");
+    println!("('x' = infeasible at that stage)");
+    run_model(&oracle, &ModelSpec::roberta_large()); // Fig. 3a
+    run_model(&oracle, &ModelSpec::t5_1b()); // Fig. 3b
+    println!(
+        "\nShape checks vs. the paper: the best family changes across stages;\n\
+         model-parallel plans win for T5 while GPUs are distributed but not\n\
+         for the smaller RoBERTa; ZeRO-Offload is (nearly) always the worst\n\
+         choice for RoBERTa and dies when host memory is capped at 10 GiB.\n\
+         (Divergence: on 80 GiB A800s our memory model lets T5-1.2B run\n\
+         without offload on 1 GPU, so offload is not the sole survivor\n\
+         there as in Fig. 3b — see EXPERIMENTS.md.)"
+    );
+}

@@ -1,0 +1,61 @@
+//! **Figure 6** — the GPU resource sensitivity curve of GPT-2: per GPU
+//! count, the throughput of the best plan of each kind, and the monotone
+//! envelope the scheduler actually uses (flat across invalid GPU counts).
+//!
+//! ```sh
+//! cargo run --release -p rubick-bench --bin exp_fig6
+//! ```
+
+use rubick_bench::std_oracle;
+use rubick_model::{enumerate_plans, ModelSpec, Placement, PlanKind, SensitivityCurve};
+use rubick_testbed::profile_and_fit;
+
+fn main() {
+    let oracle = std_oracle();
+    let spec = ModelSpec::gpt2_xl();
+    let batch = spec.default_batch;
+    let (model, _) = profile_and_fit(&oracle, &spec, batch).expect("profiling");
+    let max_gpus = 16u32;
+    let curve = SensitivityCurve::for_gpus(&model, batch, max_gpus);
+
+    let kinds = [
+        PlanKind::DataParallel,
+        PlanKind::ZeroDp,
+        PlanKind::ZeroOffload,
+        PlanKind::TensorParallel,
+        PlanKind::ThreeD,
+    ];
+
+    println!("Figure 6: GPU sensitivity curve of {spec} (predicted samples/s)\n");
+    print!("{:>4}", "GPUs");
+    for k in &kinds {
+        print!(" | {:>12}", k.to_string());
+    }
+    println!(" | {:>12} | {:<18}", "envelope", "best plan");
+    println!("{}", "-".repeat(4 + kinds.len() * 15 + 35));
+    for g in 1..=max_gpus {
+        print!("{g:>4}");
+        let placement = Placement::packed(g, &model.shape);
+        for kind in &kinds {
+            let best = enumerate_plans(&spec, g, batch, &model.shape, &model.env)
+                .into_iter()
+                .filter(|p| p.kind() == *kind)
+                .filter_map(|p| model.throughput(&p, batch, &placement).ok())
+                .fold(f64::NAN, f64::max);
+            if best.is_nan() {
+                print!(" | {:>12}", "-");
+            } else {
+                print!(" | {best:>12.1}");
+            }
+        }
+        let label = curve
+            .best_plan_at(g)
+            .map(|(p, _)| p.label())
+            .unwrap_or_else(|| "-".into());
+        println!(" | {:>12.1} | {:<18}", curve.value(g), label);
+    }
+    println!(
+        "\nShape checks: the envelope is non-decreasing and flat where no plan\n\
+         improves; the best-plan column switches kinds as GPUs change."
+    );
+}

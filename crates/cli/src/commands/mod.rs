@@ -1,0 +1,112 @@
+//! CLI subcommands.
+
+pub mod compare;
+pub mod plans;
+pub mod profile;
+pub mod run;
+pub mod trace;
+
+use crate::args::Args;
+use rubick_core::{
+    rubick_e, rubick_n, rubick_r, AntManScheduler, EqualShareScheduler, ModelRegistry,
+    RubickScheduler, SiaScheduler, SynergyScheduler,
+};
+use rubick_model::ModelSpec;
+use rubick_sim::{JobSpec, Scheduler, Tenant};
+use rubick_testbed::TestbedOracle;
+use rubick_trace::{best_plan_trace, generate_base, multi_tenant_trace, TraceConfig};
+use std::sync::Arc;
+
+/// Boxed error type shared by all commands.
+pub type CliError = Box<dyn std::error::Error>;
+
+/// The oracle seed flag shared by every command.
+pub fn oracle_from(args: &Args) -> Result<TestbedOracle, CliError> {
+    Ok(TestbedOracle::new(args.parse_or("seed", 2025u64)?))
+}
+
+/// Resolves a zoo model name with a helpful error message.
+pub fn model_from(args: &Args) -> Result<ModelSpec, CliError> {
+    let name = args
+        .get("model")
+        .ok_or("--model is required (see `rubick help`)")?;
+    ModelSpec::by_name(name).ok_or_else(|| {
+        let names: Vec<String> = ModelSpec::zoo().into_iter().map(|m| m.name).collect();
+        format!("unknown model '{name}'; available: {}", names.join(", ")).into()
+    })
+}
+
+/// Builds the trace configuration from common flags.
+pub fn trace_config_from(args: &Args) -> Result<TraceConfig, CliError> {
+    let base_jobs: usize = args.parse_or("jobs", 406usize)?;
+    if base_jobs == 0 {
+        return Err("--jobs must be at least 1".into());
+    }
+    let load_factor: f64 = args.parse_or("load", 1.0f64)?;
+    if !(load_factor > 0.0 && load_factor.is_finite()) {
+        return Err("--load must be a positive number".into());
+    }
+    Ok(TraceConfig {
+        seed: args.parse_or("seed", 2025u64)?,
+        base_jobs,
+        load_factor,
+        ..TraceConfig::default()
+    })
+}
+
+/// Builds the workload selected by `--trace`, applying `--large-frac`.
+pub fn workload_from(
+    args: &Args,
+    oracle: &TestbedOracle,
+) -> Result<(Vec<JobSpec>, Vec<Tenant>), CliError> {
+    let config = trace_config_from(args)?;
+    let trace_kind = args.str_or("trace", "base");
+    let (mut jobs, tenants) = match trace_kind.as_str() {
+        "base" => (generate_base(&config, oracle), vec![]),
+        "bp" => (best_plan_trace(&config, oracle), vec![]),
+        "mt" => multi_tenant_trace(&config, oracle),
+        other => return Err(format!("unknown trace '{other}' (base|bp|mt)").into()),
+    };
+    if let Some(frac) = args.get("large-frac") {
+        let frac: f64 = frac
+            .parse()
+            .map_err(|_| format!("invalid --large-frac '{frac}'"))?;
+        if !(0.0..=1.0).contains(&frac) {
+            return Err("--large-frac must be between 0 and 1".into());
+        }
+        jobs = rubick_trace::with_large_model_fraction(&config, oracle, frac);
+    }
+    Ok((jobs, tenants))
+}
+
+/// Instantiates a scheduler by name (profiling the model zoo as needed).
+pub fn scheduler_by_name(
+    name: &str,
+    registry: &Arc<ModelRegistry>,
+) -> Result<Box<dyn Scheduler>, CliError> {
+    Ok(match name {
+        "rubick" => Box::new(RubickScheduler::new(Arc::clone(registry))),
+        "rubick-e" => Box::new(rubick_e(Arc::clone(registry))),
+        "rubick-r" => Box::new(rubick_r(Arc::clone(registry))),
+        "rubick-n" => Box::new(rubick_n(Arc::clone(registry))),
+        "sia" => Box::new(SiaScheduler::new(Arc::clone(registry))),
+        "synergy" => Box::new(SynergyScheduler::new(Arc::clone(registry))),
+        "antman" => Box::new(AntManScheduler::new()),
+        "equal" => Box::new(EqualShareScheduler::new(Arc::clone(registry))),
+        other => {
+            return Err(format!(
+                "unknown scheduler '{other}' \
+                 (rubick|rubick-e|rubick-r|rubick-n|sia|synergy|antman|equal)"
+            )
+            .into())
+        }
+    })
+}
+
+/// Profiles the full zoo once (shared by run/compare).
+pub fn build_registry(oracle: &TestbedOracle) -> Result<Arc<ModelRegistry>, CliError> {
+    Ok(Arc::new(ModelRegistry::from_oracle(
+        oracle,
+        &ModelSpec::zoo(),
+    )?))
+}

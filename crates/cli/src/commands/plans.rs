@@ -1,0 +1,72 @@
+//! `rubick plans` — the feasible execution plans for a model on a GPU
+//! count, with measured throughput and resource demands.
+
+use super::{model_from, CliError};
+use crate::args::Args;
+use rubick_model::{enumerate_plans, ClusterEnv, MemoryEstimator, Placement};
+use rubick_testbed::TestbedOracle;
+
+/// Executes the `plans` subcommand.
+pub fn execute(args: &Args) -> Result<(), CliError> {
+    args.allow(&["model", "gpus", "batch", "env", "seed", "csv"])?;
+    let spec = model_from(args)?;
+    let gpus: u32 = args.parse_or("gpus", 8u32)?;
+    let batch: u32 = args.parse_or("batch", spec.default_batch)?;
+    let seed: u64 = args.parse_or("seed", 2025u64)?;
+    let env = match args.str_or("env", "a800").as_str() {
+        "a800" => ClusterEnv::a800(),
+        "commodity" => ClusterEnv::commodity(),
+        other => return Err(format!("unknown env '{other}' (a800|commodity)").into()),
+    };
+    let oracle = TestbedOracle::with_env(seed, env, rubick_model::NodeShape::a800());
+    let estimator = MemoryEstimator::new(oracle.shape().gpu_mem_gb);
+    let placement = Placement::packed(gpus, oracle.shape());
+
+    let mut rows: Vec<(String, f64, f64, f64, u32)> = Vec::new();
+    for plan in enumerate_plans(&spec, gpus, batch, oracle.shape(), oracle.env()) {
+        let Some(tput) = oracle.throughput(&spec, &plan, batch, &placement) else {
+            continue;
+        };
+        let demand = estimator.demand(&spec, &plan, batch);
+        rows.push((
+            plan.label(),
+            tput,
+            demand.gpu_mem_gb,
+            demand.host_mem_gb,
+            demand.cpus,
+        ));
+    }
+    if rows.is_empty() {
+        return Err(format!(
+            "no feasible plan for {} on {gpus} GPUs with batch {batch}",
+            spec.name
+        )
+        .into());
+    }
+    rows.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+    if args.flag("csv") {
+        println!("plan,samples_per_s,gpu_mem_gb,host_mem_gb,cpus");
+        for (label, tput, gpu_mem, host_mem, cpus) in &rows {
+            println!("{label},{tput:.2},{gpu_mem:.1},{host_mem:.1},{cpus}");
+        }
+        return Ok(());
+    }
+    println!(
+        "{} on {gpus} GPUs, batch {batch} ({} feasible plans, best first)\n",
+        spec, rows.len()
+    );
+    println!(
+        "{:<28} | {:>11} | {:>10} | {:>10} | {:>5}",
+        "plan", "samples/s", "GPU-mem/GB", "host-mem", "CPUs"
+    );
+    println!("{}", "-".repeat(76));
+    let best = rows[0].1;
+    for (label, tput, gpu_mem, host_mem, cpus) in &rows {
+        println!(
+            "{label:<28} | {tput:>11.2} | {gpu_mem:>10.1} | {host_mem:>10.1} | {cpus:>5}  ({:>3.0}%)",
+            100.0 * tput / best
+        );
+    }
+    Ok(())
+}

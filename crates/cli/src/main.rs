@@ -1,0 +1,90 @@
+//! `rubick` — command-line interface for the Rubick reproduction.
+//!
+//! ```text
+//! rubick run     --scheduler rubick --trace base --jobs 406 --load 1.0
+//! rubick plans   --model gpt2-1.5b --gpus 8
+//! rubick profile --model llama2-7b
+//! rubick trace   --jobs 50 --seed 7 --csv
+//! rubick compare --jobs 120
+//! ```
+//!
+//! Everything runs against the deterministic simulated testbed — no GPUs
+//! required. See `rubick help` for all commands and flags.
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+/// Top-level usage text.
+fn usage() -> &'static str {
+    "rubick — reconfigurable DL cluster scheduling (paper reproduction)
+
+USAGE:
+    rubick <COMMAND> [FLAGS]
+
+COMMANDS:
+    run       Run a workload trace through one scheduler and report JCT stats
+    compare   Run the same trace through every scheduler side by side
+    plans     List feasible execution plans for a model on a GPU count
+    profile   Profile a model type and show the fitted performance model
+    trace     Generate a synthetic trace and print a summary (or CSV)
+    help      Show this message
+
+COMMON FLAGS:
+    --seed <u64>         Oracle/trace seed (default 2025)
+    --csv                Machine-readable output where supported
+
+RUN / COMPARE FLAGS:
+    --scheduler <name>   rubick|rubick-e|rubick-r|rubick-n|sia|synergy|antman|equal
+    --trace <name>       base|bp|mt (default base)
+    --jobs <usize>       Jobs at load 1.0 (default 406)
+    --load <f64>         Load factor (default 1.0)
+    --large-frac <f64>   Override the large-model fraction of the mix
+    --verbose            (run) print the full decision log
+
+PLANS FLAGS:
+    --model <name>       Zoo model name (vit-86m, roberta-355m, bert-336m,
+                         t5-1.2b, gpt2-1.5b, llama2-7b, llama-30b)
+    --gpus <u32>         GPU count (default 8)
+    --batch <u32>        Global batch size (default: model default)
+    --env <name>         a800|commodity (default a800)
+
+PROFILE FLAGS:
+    --model <name>       Zoo model name
+
+TRACE FLAGS:
+    --jobs/--load/--seed as above
+"
+}
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_deref() {
+        Some("run") => commands::run::execute(&args),
+        Some("compare") => commands::compare::execute(&args),
+        Some("plans") => commands::plans::execute(&args),
+        Some("profile") => commands::profile::execute(&args),
+        Some("trace") => commands::trace::execute(&args),
+        Some("help") | None => {
+            println!("{}", usage());
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("\nrun `rubick help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! End-to-end tests for the `rubick` binary (run via
+//! `CARGO_BIN_EXE_rubick`, so they exercise the real executable).
+
+use std::process::{Command, Output};
+
+fn rubick(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_rubick"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn help_lists_all_commands() {
+    let out = rubick(&["help"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    for cmd in ["run", "compare", "plans", "profile", "trace"] {
+        assert!(text.contains(cmd), "help must mention {cmd}");
+    }
+}
+
+#[test]
+fn no_args_prints_usage_successfully() {
+    let out = rubick(&[]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("USAGE"));
+}
+
+#[test]
+fn unknown_command_fails_with_hint() {
+    let out = rubick(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown command"));
+}
+
+#[test]
+fn unknown_flag_fails_with_name() {
+    let out = rubick(&["plans", "--model", "gpt2-1.5b", "--gups", "8"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--gups"));
+}
+
+#[test]
+fn plans_lists_feasible_plans_best_first() {
+    let out = rubick(&["plans", "--model", "gpt2-1.5b", "--gpus", "4"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("feasible plans"));
+    assert!(text.contains("ZeRO-DP4") || text.contains("DP4"));
+    assert!(text.contains("(100%)"), "best plan marked 100%");
+}
+
+#[test]
+fn plans_csv_is_machine_readable() {
+    let out = rubick(&["plans", "--model", "roberta-355m", "--gpus", "2", "--csv"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    let mut lines = text.lines();
+    assert_eq!(
+        lines.next(),
+        Some("plan,samples_per_s,gpu_mem_gb,host_mem_gb,cpus")
+    );
+    let first = lines.next().expect("at least one plan");
+    assert_eq!(first.split(',').count(), 5);
+}
+
+#[test]
+fn plans_rejects_unknown_model_listing_options() {
+    let out = rubick(&["plans", "--model", "alexnet"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown model"));
+    assert!(err.contains("gpt2-1.5b"), "should list valid names: {err}");
+}
+
+#[test]
+fn plans_reports_infeasible_combinations() {
+    // LLaMA-30B cannot run on 2 GPUs in any configuration.
+    let out = rubick(&["plans", "--model", "llama-30b", "--gpus", "2"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("no feasible plan"));
+}
+
+#[test]
+fn trace_csv_has_one_row_per_job() {
+    let out = rubick(&["trace", "--jobs", "20", "--seed", "5", "--csv"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines[0].starts_with("id,submit_s,model"));
+    assert!(lines.len() >= 15, "expected ~20 jobs, got {}", lines.len() - 1);
+}
+
+#[test]
+fn run_small_trace_reports_stats() {
+    let out = rubick(&["run", "--jobs", "15", "--scheduler", "synergy", "--csv"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("scheduler,synergy"));
+    assert!(text.contains("unfinished,0"));
+    assert!(text.contains("avg_jct_s,"));
+}
+
+#[test]
+fn run_rejects_unknown_scheduler() {
+    let out = rubick(&["run", "--scheduler", "fifo9000", "--jobs", "5"]);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("unknown scheduler"));
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = rubick(&["run", "--jobs", "12", "--seed", "9", "--csv"]);
+    let b = rubick(&["run", "--jobs", "12", "--seed", "9", "--csv"]);
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(stdout(&a), stdout(&b));
+}

@@ -1,0 +1,247 @@
+//! AntMan (OSDI'20): multi-tenant scheduling with *resource* guarantees.
+//!
+//! AntMan introduced the guaranteed/best-effort job split Rubick builds on,
+//! but its contract is about resources, not performance: a guaranteed job
+//! gets exactly the resources it requested (when its tenant's quota
+//! allows), and best-effort jobs opportunistically fill the leftovers and
+//! are preempted whenever a guaranteed job needs the space. No execution
+//! plan is ever touched.
+
+use super::free_after_keeps;
+use crate::common::pack_gang;
+use rubick_model::Resources;
+use rubick_sim::cluster::Cluster;
+use rubick_sim::job::{JobClass, JobStatus};
+use rubick_sim::scheduler::{Assignment, JobSnapshot, Scheduler};
+use rubick_sim::tenant::Tenant;
+use std::collections::BTreeMap;
+
+/// The AntMan baseline scheduler.
+#[derive(Debug, Default)]
+pub struct AntManScheduler;
+
+impl AntManScheduler {
+    /// Creates an AntMan scheduler.
+    pub fn new() -> Self {
+        AntManScheduler
+    }
+}
+
+impl Scheduler for AntManScheduler {
+    fn name(&self) -> &str {
+        "antman"
+    }
+
+    fn schedule(
+        &mut self,
+        _now: f64,
+        jobs: &[JobSnapshot],
+        cluster: &Cluster,
+        tenants: &[Tenant],
+    ) -> Vec<Assignment> {
+        // Quota usage per tenant counts guaranteed jobs' *requested*
+        // resources (AntMan guarantees the request, not a minimum demand).
+        let mut quota_used: BTreeMap<&rubick_sim::tenant::TenantId, Resources> = BTreeMap::new();
+
+        // Pass 1: keep running guaranteed jobs; admit queued guaranteed
+        // jobs FIFO within quota.
+        let mut out: Vec<Assignment> = Vec::new();
+        for job in jobs {
+            if job.spec.class != JobClass::Guaranteed {
+                continue;
+            }
+            if let JobStatus::Running { allocation, plan, .. } = &job.status {
+                *quota_used
+                    .entry(&job.spec.tenant)
+                    .or_insert_with(Resources::zero) += job.spec.requested;
+                out.push(Assignment {
+                    job: job.id(),
+                    allocation: allocation.clone(),
+                    plan: *plan,
+                });
+            }
+        }
+        let mut free = free_after_keeps(cluster, &out);
+        // Tentatively keep running best-effort jobs; they may be evicted
+        // below if a guaranteed job needs the space.
+        let mut be_running: Vec<Assignment> = jobs
+            .iter()
+            .filter(|j| j.spec.class == JobClass::BestEffort)
+            .filter_map(|j| match &j.status {
+                JobStatus::Running { allocation, plan, .. } => Some(Assignment {
+                    job: j.id(),
+                    allocation: allocation.clone(),
+                    plan: *plan,
+                }),
+                _ => None,
+            })
+            .collect();
+        for a in &be_running {
+            for (node, res) in &a.allocation.per_node {
+                free[*node] -= *res;
+            }
+        }
+
+        let mut queued_guaranteed: Vec<&JobSnapshot> = jobs
+            .iter()
+            .filter(|j| j.status.is_queued() && j.spec.class == JobClass::Guaranteed)
+            .collect();
+        queued_guaranteed.sort_by(|a, b| {
+            a.queued_since
+                .total_cmp(&b.queued_since)
+                .then(a.id().cmp(&b.id()))
+        });
+        for job in queued_guaranteed {
+            let within_quota = match tenants.iter().find(|t| t.id == job.spec.tenant) {
+                Some(t) => {
+                    let used = quota_used
+                        .get(&job.spec.tenant)
+                        .copied()
+                        .unwrap_or_else(Resources::zero);
+                    t.quota.dominates(&(used + job.spec.requested))
+                }
+                None => true,
+            };
+            if !within_quota {
+                continue;
+            }
+            // Try to fit; evict best-effort jobs (largest first) if needed.
+            loop {
+                if let Some(alloc) = pack_gang(&free, job.spec.requested) {
+                    for (node, res) in &alloc.per_node {
+                        free[*node] -= *res;
+                    }
+                    *quota_used
+                        .entry(&job.spec.tenant)
+                        .or_insert_with(Resources::zero) += job.spec.requested;
+                    out.push(Assignment {
+                        job: job.id(),
+                        allocation: alloc,
+                        plan: job.spec.initial_plan,
+                    });
+                    break;
+                }
+                // Evict the best-effort job holding the most GPUs.
+                let Some(idx) = be_running
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, a)| a.allocation.gpus())
+                    .map(|(i, _)| i)
+                else {
+                    break;
+                };
+                let evicted = be_running.swap_remove(idx);
+                for (node, res) in &evicted.allocation.per_node {
+                    free[*node] += *res;
+                }
+            }
+        }
+
+        // Pass 2: opportunistically admit queued best-effort jobs.
+        let mut queued_be: Vec<&JobSnapshot> = jobs
+            .iter()
+            .filter(|j| j.status.is_queued() && j.spec.class == JobClass::BestEffort)
+            .collect();
+        queued_be.sort_by(|a, b| {
+            a.queued_since
+                .total_cmp(&b.queued_since)
+                .then(a.id().cmp(&b.id()))
+        });
+        for job in queued_be {
+            if let Some(alloc) = pack_gang(&free, job.spec.requested) {
+                for (node, res) in &alloc.per_node {
+                    free[*node] -= *res;
+                }
+                be_running.push(Assignment {
+                    job: job.id(),
+                    allocation: alloc,
+                    plan: job.spec.initial_plan,
+                });
+            }
+        }
+        out.extend(be_running);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rubick_model::{ExecutionPlan, ModelSpec, NodeShape};
+    use rubick_sim::engine::{Engine, EngineConfig};
+    use rubick_sim::job::JobSpec;
+    use rubick_sim::tenant::TenantId;
+    use rubick_testbed::TestbedOracle;
+
+    fn job(id: u64, class: JobClass, tenant: &str, submit: f64) -> JobSpec {
+        JobSpec {
+            id,
+            model: ModelSpec::roberta_large(),
+            global_batch: 64,
+            submit_time: submit,
+            target_batches: 400,
+            requested: Resources::new(4, 16, 100.0),
+            initial_plan: ExecutionPlan::dp(4),
+            class,
+            tenant: TenantId::new(tenant),
+        }
+    }
+
+    #[test]
+    fn guaranteed_jobs_evict_best_effort() {
+        let oracle = TestbedOracle::new(8);
+        // One node: a best-effort job fills it, then a guaranteed job
+        // arrives and must evict it.
+        let jobs = vec![
+            JobSpec {
+                requested: Resources::new(8, 32, 200.0),
+                initial_plan: ExecutionPlan::dp(8),
+                target_batches: 5000, // long enough to still be running
+                ..job(1, JobClass::BestEffort, "tenant-b", 0.0)
+            },
+            JobSpec {
+                requested: Resources::new(8, 32, 200.0),
+                initial_plan: ExecutionPlan::dp(8),
+                ..job(2, JobClass::Guaranteed, "tenant-a", 60.0)
+            },
+        ];
+        let mut engine = Engine::new(
+            &oracle,
+            Box::new(AntManScheduler::new()),
+            Cluster::new(1, NodeShape::a800()),
+            Tenant::paper_mt_pair(),
+            EngineConfig::default(),
+        );
+        let report = engine.run(jobs);
+        assert_eq!(report.jobs.len(), 2, "unfinished: {:?}", report.unfinished);
+        let g = report.jobs.iter().find(|r| r.id == 2).unwrap();
+        let be = report.jobs.iter().find(|r| r.id == 1).unwrap();
+        // The guaranteed job starts promptly after submission...
+        assert!(g.first_start.unwrap() - 60.0 < 5.0);
+        // ...and the best-effort job was interrupted (restarted later).
+        assert!(be.reconfig_count >= 1);
+    }
+
+    #[test]
+    fn quota_limits_admission() {
+        let oracle = TestbedOracle::new(8);
+        let tenants = vec![Tenant::new("tenant-a", Resources::new(4, 48, 800.0))];
+        // Two guaranteed 4-GPU jobs, quota fits only one at a time.
+        let jobs = vec![
+            job(1, JobClass::Guaranteed, "tenant-a", 0.0),
+            job(2, JobClass::Guaranteed, "tenant-a", 0.0),
+        ];
+        let mut engine = Engine::new(
+            &oracle,
+            Box::new(AntManScheduler::new()),
+            Cluster::new(2, NodeShape::a800()),
+            tenants,
+            EngineConfig::default(),
+        );
+        let report = engine.run(jobs);
+        assert_eq!(report.jobs.len(), 2);
+        let starts: Vec<f64> = report.jobs.iter().map(|r| r.first_start.unwrap()).collect();
+        let gap = (starts[0] - starts[1]).abs();
+        assert!(gap > 60.0, "second job must wait for quota, gap {gap}");
+    }
+}

@@ -1,0 +1,67 @@
+//! Baseline schedulers the paper compares against (§7.3).
+//!
+//! * [`SiaScheduler`] — goodput-optimized GPU scaling along the DP
+//!   dimension only (SOSP'23). Per the paper's footnote, Sia's artifact
+//!   supports pure-DP jobs; model-parallel jobs fall back to a fixed plan
+//!   with scaling disabled. We equate goodput with throughput (our jobs
+//!   have fixed mini-batch targets, matching how the paper translated the
+//!   trace for non-Sia schedulers).
+//! * [`SynergyScheduler`] — workload-aware CPU/memory allocation at fixed
+//!   GPU counts and fixed plans (OSDI'22).
+//! * [`AntManScheduler`] — multi-tenant guaranteed/best-effort scheduling
+//!   with *resource* guarantees instead of Rubick's *performance*
+//!   guarantees (OSDI'20).
+//! * [`EqualShareScheduler`] — the "simple scheduler" of the Fig. 8
+//!   micro-benchmark: equal GPU split, but with Rubick-style plan
+//!   reconfiguration enabled.
+
+mod antman;
+mod equal;
+mod sia;
+mod synergy;
+
+pub use antman::AntManScheduler;
+pub use equal::EqualShareScheduler;
+pub use sia::SiaScheduler;
+pub use synergy::SynergyScheduler;
+
+use rubick_sim::cluster::Cluster;
+use rubick_sim::scheduler::{Assignment, JobSnapshot};
+use rubick_model::Resources;
+
+/// Free resources per node after subtracting the running jobs' allocations
+/// that the policy wants to keep.
+pub(crate) fn free_after_keeps(
+    cluster: &Cluster,
+    keeps: &[Assignment],
+) -> Vec<Resources> {
+    let mut free: Vec<Resources> = cluster
+        .nodes()
+        .iter()
+        .map(|n| n.shape.capacity())
+        .collect();
+    for a in keeps {
+        for (node, res) in &a.allocation.per_node {
+            free[*node] -= *res;
+        }
+    }
+    free
+}
+
+/// Reproduces the current assignment of every running job verbatim
+/// (FIFO-style baselines never touch running jobs).
+pub(crate) fn keep_running(jobs: &[JobSnapshot]) -> Vec<Assignment> {
+    jobs.iter()
+        .filter_map(|j| {
+            if let rubick_sim::job::JobStatus::Running { allocation, plan, .. } = &j.status {
+                Some(Assignment {
+                    job: j.id(),
+                    allocation: allocation.clone(),
+                    plan: *plan,
+                })
+            } else {
+                None
+            }
+        })
+        .collect()
+}

@@ -1,0 +1,166 @@
+//! Minimum resource demand search (the SLA half of Algorithm 1).
+//!
+//! For every guaranteed job, Rubick searches for the fewest resources —
+//! possibly paired with a better execution plan — that still achieve the
+//! performance of the user's requested configuration. That demand, not the
+//! raw request, is what counts against the tenant quota and what the SLA
+//! pass must satisfy: Rubick can "deliver the same or better performance
+//! with even fewer resources" (§5.1).
+
+use crate::common::{job_baseline, job_gpu_curve, PlanSearch};
+use crate::registry::ModelRegistry;
+use rubick_model::{MemoryEstimator, Resources};
+use rubick_sim::job::JobClass;
+use rubick_sim::scheduler::JobSnapshot;
+
+/// Computes a job's minimum resource demand.
+///
+/// * Best-effort jobs have a minimum of `0⃗` (they can always be preempted).
+/// * When resource reallocation is disabled (Rubick-E/N) the minimum is the
+///   user request itself.
+/// * Otherwise: walk the job's GPU sensitivity curve up to the requested
+///   GPU count and take the smallest amount whose best-plan throughput
+///   reaches the baseline; CPUs and host memory are then sized to the best
+///   plan's demand, each capped at the request ("the minimum demand should
+///   not exceed the original in each dimension").
+/// * If no amount reaches the baseline (or the model is unknown), fall back
+///   to the original request and plan.
+pub fn min_res(
+    registry: &ModelRegistry,
+    snap: &JobSnapshot,
+    search: &PlanSearch,
+    resource_realloc: bool,
+) -> Resources {
+    if snap.spec.class == JobClass::BestEffort {
+        return Resources::zero();
+    }
+    if !resource_realloc {
+        return snap.spec.requested;
+    }
+    let requested = snap.spec.requested;
+    if registry.model(&snap.spec.model.name).is_none() {
+        return requested;
+    }
+    let Some(baseline) = job_baseline(registry, snap) else {
+        return requested;
+    };
+    let Some(curve) = job_gpu_curve(
+        registry,
+        search,
+        &snap.spec.model.name,
+        snap.spec.global_batch,
+        requested.gpus.max(1),
+    ) else {
+        return requested;
+    };
+    // When even the best plan at the requested amount misses the baseline
+    // (fitted-model pessimism), keep the requested GPU count but still
+    // bound CPUs/memory by the best plan's demand below. A 15% margin on
+    // the target absorbs fitted-model optimism so the SLA holds on the
+    // real cluster, not just in the prediction.
+    let g_min = curve
+        .min_amount_reaching(baseline * 1.15)
+        .unwrap_or_else(|| requested.gpus.max(1))
+        .clamp(1, requested.gpus.max(1));
+    let Some((plan, _)) = curve.best_plan_at(g_min) else {
+        return requested;
+    };
+    let estimator = MemoryEstimator::new(registry.shape().gpu_mem_gb);
+    let demand = estimator.demand(&snap.spec.model, &plan, snap.spec.global_batch);
+    Resources::new(
+        g_min,
+        demand.cpus.min(requested.cpus).max(1),
+        demand.host_mem_gb.min(requested.mem_gb),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rubick_model::{ExecutionPlan, ModelSpec};
+    use rubick_sim::job::{JobSpec, JobStatus};
+    use rubick_sim::tenant::TenantId;
+    use rubick_testbed::TestbedOracle;
+    use std::sync::Arc;
+
+    fn snap(class: JobClass, requested: Resources, plan: ExecutionPlan) -> JobSnapshot {
+        let model = ModelSpec::gpt2_xl();
+        JobSnapshot {
+            spec: Arc::new(JobSpec {
+                id: 1,
+                global_batch: 16,
+                submit_time: 0.0,
+                target_batches: 1000,
+                requested,
+                initial_plan: plan,
+                class,
+                tenant: TenantId::default(),
+                model,
+            }),
+            status: JobStatus::Queued,
+            remaining_batches: 1000.0,
+            queued_since: 0.0,
+            runtime: 0.0,
+            reconfig_count: 0,
+            baseline_throughput: None,
+        }
+    }
+
+    fn registry() -> ModelRegistry {
+        let oracle = TestbedOracle::new(2);
+        ModelRegistry::from_oracle(&oracle, &[ModelSpec::gpt2_xl()]).unwrap()
+    }
+
+    #[test]
+    fn best_effort_min_is_zero() {
+        let reg = registry();
+        let s = snap(
+            JobClass::BestEffort,
+            Resources::new(8, 16, 100.0),
+            ExecutionPlan::dp(8),
+        );
+        assert!(min_res(&reg, &s, &PlanSearch::Full, true).is_zero());
+    }
+
+    #[test]
+    fn min_never_exceeds_request() {
+        let reg = registry();
+        let req = Resources::new(8, 16, 100.0);
+        let s = snap(JobClass::Guaranteed, req, ExecutionPlan::dp(8));
+        let m = min_res(&reg, &s, &PlanSearch::Full, true);
+        assert!(req.dominates(&m), "minRes {m} exceeds request {req}");
+        assert!(m.gpus >= 1);
+    }
+
+    #[test]
+    fn weak_user_plan_allows_fewer_gpus() {
+        // A user running plain DP8 on GPT-2 wastes optimizer time; Rubick's
+        // best plans should match that baseline with fewer GPUs.
+        let reg = registry();
+        let req = Resources::new(8, 16, 100.0);
+        let s = snap(
+            JobClass::Guaranteed,
+            req,
+            ExecutionPlan::dp(8), // deliberately not the best 8-GPU plan
+        );
+        let m = min_res(&reg, &s, &PlanSearch::Full, true);
+        assert!(m.gpus <= 8);
+    }
+
+    #[test]
+    fn disabled_realloc_returns_request() {
+        let reg = registry();
+        let req = Resources::new(8, 16, 100.0);
+        let s = snap(JobClass::Guaranteed, req, ExecutionPlan::dp(8));
+        assert_eq!(min_res(&reg, &s, &PlanSearch::Full, false), req);
+    }
+
+    #[test]
+    fn unknown_model_falls_back_to_request() {
+        let oracle = TestbedOracle::new(2);
+        let reg = ModelRegistry::from_oracle(&oracle, &[ModelSpec::vit_base()]).unwrap();
+        let req = Resources::new(4, 8, 50.0);
+        let s = snap(JobClass::Guaranteed, req, ExecutionPlan::dp(4));
+        assert_eq!(min_res(&reg, &s, &PlanSearch::Full, true), req);
+    }
+}

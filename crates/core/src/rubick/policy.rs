@@ -1,0 +1,1129 @@
+//! The per-round scheduling logic (lines 1–24 of Algorithm 1).
+
+use super::RubickScheduler;
+use crate::common::{job_baseline, job_gpu_curve, PlanSearch};
+use rubick_model::{
+    ExecutionPlan, MemoryEstimator, Placement, Resources, SensitivityCurve,
+};
+use rubick_sim::cluster::{Allocation, Cluster};
+use rubick_sim::job::{JobClass, JobId, JobStatus};
+use rubick_sim::scheduler::{Assignment, JobSnapshot};
+use rubick_sim::tenant::Tenant;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// CPU transfer unit `Δr` (GPUs move one at a time).
+const CPU_DELTA: u32 = 4;
+/// Slope below this is treated as "no benefit from more of this resource".
+const EPS_SLOPE: f64 = 1e-9;
+/// Hysteresis on the shrink decision: a transfer needs the victim's loss
+/// slope to be *clearly* below the grower's gain slope, otherwise pairs of
+/// jobs with near-equal slopes flap resources back and forth, paying a
+/// checkpoint-resume penalty on every swing.
+const SHRINK_HYSTERESIS: f64 = 0.45;
+
+/// Per-round immutable context: snapshots, curves, baselines, minima.
+struct Ctx<'a> {
+    sched: &'a RubickScheduler,
+    snaps: BTreeMap<JobId, &'a JobSnapshot>,
+    searches: BTreeMap<JobId, PlanSearch>,
+    minima: BTreeMap<JobId, Resources>,
+    baselines: BTreeMap<JobId, f64>,
+    curves: BTreeMap<JobId, Arc<SensitivityCurve>>,
+    frozen: BTreeSet<JobId>,
+    estimator: MemoryEstimator,
+    total_gpus: u32,
+}
+
+/// Mutable round state: free capacity and tentative assignments.
+#[derive(Clone)]
+struct State {
+    free: Vec<Resources>,
+    alloc: BTreeMap<JobId, Allocation>,
+    changed: BTreeSet<JobId>,
+}
+
+impl<'a> Ctx<'a> {
+    fn snap(&self, id: JobId) -> &JobSnapshot {
+        self.snaps[&id]
+    }
+
+    /// Slope normalization constant: the geometric mean of the job's SLA
+    /// baseline (throughput of the user-requested configuration) and its
+    /// best achievable throughput on this cluster (curve peak). Baseline
+    /// normalization alone lets jobs with weak submitted plans dominate the
+    /// slope order (low average JCT but heavy churn and starved tails);
+    /// peak normalization alone is scale-free but sacrifices average JCT.
+    /// The geometric mean interpolates between the two.
+    fn norm(&self, id: JobId) -> f64 {
+        let baseline = self.baselines.get(&id).copied().unwrap_or(1.0).max(1e-9);
+        let peak = self
+            .curves
+            .get(&id)
+            .map(|c| c.value(self.total_gpus))
+            .filter(|v| *v > 0.0)
+            .unwrap_or(baseline);
+        (baseline * peak).sqrt().max(1e-9)
+    }
+
+    /// Jump-aware normalized gain: sensitivity curves are lumpy (a 30B
+    /// model produces zero throughput until ~12 GPUs), so the marginal
+    /// value of the *next useful amount* is what matters when growing —
+    /// `(value(g') − value(g)) / (g' − g)` for the smallest improving `g'`.
+    fn jump_gain(&self, id: JobId, gpus: u32) -> f64 {
+        let Some(curve) = self.curves.get(&id) else {
+            return 0.0;
+        };
+        let here = curve.value(gpus);
+        let next = (gpus + 1..=self.total_gpus).find(|&g| curve.value(g) > here + 1e-12);
+        match next {
+            Some(g) => (curve.value(g) - here) / (g - gpus) as f64 / self.norm(id),
+            None => 0.0,
+        }
+    }
+
+    /// Normalized marginal loss of one fewer GPU at `gpus` (envelope step).
+    fn loss_slope(&self, id: JobId, gpus: u32) -> f64 {
+        self.curves
+            .get(&id)
+            .map(|c| c.loss_slope(gpus) / self.norm(id))
+            .unwrap_or(f64::INFINITY)
+    }
+
+    /// The useful GPU cap: the smallest amount achieving (within 0.5 %) the
+    /// best throughput the curve reaches on this cluster.
+    fn g_star(&self, id: JobId) -> u32 {
+        let Some(curve) = self.curves.get(&id) else {
+            return self.snap(id).spec.requested.gpus;
+        };
+        let peak = curve.value(self.total_gpus);
+        if peak <= 0.0 {
+            return 0;
+        }
+        curve
+            .min_amount_reaching(peak * 0.995)
+            .unwrap_or(self.total_gpus)
+    }
+
+    /// Whether shrinking `victim` from `gpus` to `gpus − 1` is permitted:
+    /// stay above its minimum, and either remain runnable or (best-effort
+    /// only) be preempted to zero.
+    fn can_shrink(&self, victim: JobId, gpus: u32) -> bool {
+        if gpus == 0 {
+            return false;
+        }
+        let min_gpus = self.minima.get(&victim).map(|m| m.gpus).unwrap_or(0);
+        if gpus <= min_gpus {
+            return false;
+        }
+        let new_gpus = gpus - 1;
+        if new_gpus == 0 {
+            return self.snap(victim).spec.class == JobClass::BestEffort;
+        }
+        self.curves
+            .get(&victim)
+            .map(|c| c.value(new_gpus) > 0.0)
+            .unwrap_or(false)
+    }
+
+    /// CPU marginal gain for a job under its current plan (direct model
+    /// evaluation; CPUs only matter for offloaded optimizers).
+    fn cpu_gain(&self, id: JobId, plan: &ExecutionPlan, placement: &Placement) -> f64 {
+        let snap = self.snap(id);
+        let Some(model) = self.sched.registry.model(&snap.spec.model.name) else {
+            return 0.0;
+        };
+        let mut more = placement.clone();
+        more.cpus += CPU_DELTA;
+        let cur = model
+            .params
+            .throughput(&model.spec, plan, snap.spec.global_batch, placement, &model.env);
+        let next = model
+            .params
+            .throughput(&model.spec, plan, snap.spec.global_batch, &more, &model.env);
+        ((next - cur) / CPU_DELTA as f64 / self.norm(id)).max(0.0)
+    }
+
+    fn cpu_loss(&self, id: JobId, plan: &ExecutionPlan, placement: &Placement) -> f64 {
+        if placement.cpus <= CPU_DELTA {
+            return f64::INFINITY;
+        }
+        let snap = self.snap(id);
+        let Some(model) = self.sched.registry.model(&snap.spec.model.name) else {
+            return f64::INFINITY;
+        };
+        let mut fewer = placement.clone();
+        fewer.cpus -= CPU_DELTA;
+        let cur = model
+            .params
+            .throughput(&model.spec, plan, snap.spec.global_batch, placement, &model.env);
+        let prev = model
+            .params
+            .throughput(&model.spec, plan, snap.spec.global_batch, &fewer, &model.env);
+        ((cur - prev) / CPU_DELTA as f64 / self.norm(id)).max(0.0)
+    }
+}
+
+/// Entry point called from [`Scheduler::schedule`](rubick_sim::Scheduler).
+pub(super) fn run_round(
+    sched: &RubickScheduler,
+    now: f64,
+    jobs: &[JobSnapshot],
+    cluster: &Cluster,
+    tenants: &[Tenant],
+) -> Vec<Assignment> {
+    let cfg = &sched.config;
+    let total_gpus = cluster.total_capacity().gpus;
+
+    // ---- lazy profiling (phase ① of Fig. 4) -----------------------------
+    // Unknown model types are profiled on first sight; their jobs stay in
+    // the queue until the simulated profiling window elapses.
+    let filtered: Option<Vec<JobSnapshot>> = sched.lazy.as_ref().map(|lazy| {
+        let mut ready = lazy.ready_at.lock();
+        for snap in jobs {
+            let name = &snap.spec.model.name;
+            if sched.registry.model(name).is_none() && !ready.contains_key(name) {
+                let wall = sched
+                    .registry
+                    .profile_on_demand(&lazy.oracle, &snap.spec.model)
+                    .unwrap_or(0.0);
+                ready.insert(name.clone(), now + wall);
+            }
+        }
+        jobs.iter()
+            .filter(|s| {
+                ready
+                    .get(&s.spec.model.name)
+                    .map(|&t| now >= t)
+                    .unwrap_or(true)
+            })
+            .cloned()
+            .collect()
+    });
+    let jobs: &[JobSnapshot] = filtered.as_deref().unwrap_or(jobs);
+
+    // ---- continuous model fitting (§4.3) --------------------------------
+    // Feed live throughput observations into the per-model online fitters;
+    // mispredicted models are refit and their cached curves invalidated
+    // before this round's decisions are made.
+    for snap in jobs {
+        if let JobStatus::Running {
+            allocation,
+            plan,
+            throughput,
+            ..
+        } = &snap.status
+        {
+            if *throughput > 0.0 {
+                let iter_time = snap.spec.global_batch as f64 / throughput;
+                sched.registry.observe(
+                    &snap.spec.model.name,
+                    plan,
+                    &allocation.to_placement(),
+                    snap.spec.global_batch,
+                    iter_time,
+                );
+            }
+        }
+    }
+
+    // ---- build round context ------------------------------------------
+    let mut ctx = Ctx {
+        sched,
+        snaps: BTreeMap::new(),
+        searches: BTreeMap::new(),
+        minima: BTreeMap::new(),
+        baselines: BTreeMap::new(),
+        curves: BTreeMap::new(),
+        frozen: BTreeSet::new(),
+        estimator: MemoryEstimator::new(cluster.shape().gpu_mem_gb),
+        total_gpus,
+    };
+    for snap in jobs {
+        let id = snap.id();
+        ctx.snaps.insert(id, snap);
+        let search = if cfg.plan_reconfig {
+            PlanSearch::Full
+        } else if cfg.resource_realloc {
+            PlanSearch::DpScale(snap.spec.initial_plan)
+        } else {
+            PlanSearch::Fixed(snap.spec.initial_plan)
+        };
+        if let Some(curve) = job_gpu_curve(
+            &sched.registry,
+            &search,
+            &snap.spec.model.name,
+            snap.spec.global_batch,
+            total_gpus,
+        ) {
+            ctx.curves.insert(id, curve);
+        }
+        if let Some(b) = job_baseline(&sched.registry, snap) {
+            ctx.baselines.insert(id, b);
+        }
+        ctx.minima.insert(
+            id,
+            super::minres::min_res(&sched.registry, snap, &search, cfg.resource_realloc),
+        );
+        if snap.status.is_running() && !snap.reconfig_allowed(cfg.reconfig_threshold) {
+            ctx.frozen.insert(id);
+        }
+        ctx.searches.insert(id, search);
+    }
+
+    // ---- initial state: current allocations applied --------------------
+    let mut state = State {
+        free: cluster.nodes().iter().map(|n| n.shape.capacity()).collect(),
+        alloc: BTreeMap::new(),
+        changed: BTreeSet::new(),
+    };
+    for snap in jobs {
+        if let JobStatus::Running { allocation, .. } = &snap.status {
+            for (node, res) in &allocation.per_node {
+                state.free[*node] -= *res;
+            }
+            state.alloc.insert(snap.id(), allocation.clone());
+        }
+    }
+
+    // ---- pass 1: privileged guaranteed jobs within quota ---------------
+    let mut queued_guaranteed: Vec<JobId> = jobs
+        .iter()
+        .filter(|s| s.status.is_queued() && s.spec.class == JobClass::Guaranteed)
+        .map(|s| s.id())
+        .collect();
+    queued_guaranteed.sort_by(|a, b| {
+        ctx.snap(*a)
+            .queued_since
+            .total_cmp(&ctx.snap(*b).queued_since)
+            .then(a.cmp(b))
+    });
+    for id in queued_guaranteed {
+        if quota_allows(&ctx, &state, tenants, id) {
+            schedule_job(&ctx, &mut state, id);
+        }
+    }
+
+    // ---- pass 1b: starving best-effort jobs get priority ---------------
+    let mut starving: Vec<JobId> = jobs
+        .iter()
+        .filter(|s| {
+            s.status.is_queued()
+                && s.spec.class == JobClass::BestEffort
+                && now - s.queued_since > cfg.starvation_timeout
+        })
+        .map(|s| s.id())
+        .collect();
+    starving.sort_by(|a, b| {
+        ctx.snap(*a)
+            .queued_since
+            .total_cmp(&ctx.snap(*b).queued_since)
+            .then(a.cmp(b))
+    });
+    for id in starving {
+        schedule_job(&ctx, &mut state, id);
+    }
+
+    // ---- pass 2: best-effort + running, sorted by slope ----------------
+    let mut rest: Vec<JobId> = jobs
+        .iter()
+        .filter(|s| {
+            // Queued jobs already admitted by the privileged/starvation
+            // passes hold an allocation in `state` and are done this round.
+            (s.status.is_queued()
+                && s.spec.class == JobClass::BestEffort
+                && !state.alloc.contains_key(&s.id()))
+                || s.status.is_running()
+        })
+        .map(|s| s.id())
+        .collect();
+    // Sort by jump-aware slope with queue aging: a job's priority rises as
+    // it waits, smoothly generalizing the hard starvation promotion so
+    // large lumpy-curve jobs (low slope-per-GPU) still get scheduled.
+    let priority = |ctx: &Ctx<'_>, state: &State, id: &JobId| -> f64 {
+        let gpus = state.alloc.get(id).map(|x| x.gpus()).unwrap_or(0);
+        let slope = ctx.jump_gain(*id, gpus);
+        let snap = ctx.snap(*id);
+        let age = if snap.status.is_queued() {
+            (now - snap.queued_since).max(0.0) / cfg.starvation_timeout.max(1.0)
+        } else {
+            0.0
+        };
+        slope * (1.0 + age)
+    };
+    rest.sort_by(|a, b| {
+        let pa = priority(&ctx, &state, a);
+        let pb = priority(&ctx, &state, b);
+        pb.total_cmp(&pa).then(a.cmp(b))
+    });
+    for id in rest {
+        schedule_job(&ctx, &mut state, id);
+    }
+
+    // ---- emit assignments ----------------------------------------------
+    emit(&ctx, state)
+}
+
+/// Remaining-quota check for a guaranteed job: the sum of minimum demands
+/// of this tenant's already-assigned guaranteed jobs plus this job's must
+/// fit the quota. Unknown tenants are unconstrained.
+fn quota_allows(ctx: &Ctx<'_>, state: &State, tenants: &[Tenant], id: JobId) -> bool {
+    let snap = ctx.snap(id);
+    let Some(tenant) = tenants.iter().find(|t| t.id == snap.spec.tenant) else {
+        return true;
+    };
+    let mut used = Resources::zero();
+    for (other, alloc) in &state.alloc {
+        if *other == id || alloc.is_empty() {
+            continue;
+        }
+        let o = ctx.snap(*other);
+        if o.spec.class == JobClass::Guaranteed && o.spec.tenant == snap.spec.tenant {
+            used += ctx.minima.get(other).copied().unwrap_or(Resources::zero());
+        }
+    }
+    let want = ctx.minima.get(&id).copied().unwrap_or(snap.spec.requested);
+    tenant.quota.dominates(&(used + want))
+}
+
+/// `ScheduleJob` of Algorithm 1: grow `id` using free resources and, where
+/// justified by slopes, resources reclaimed from the least sensitive jobs.
+fn schedule_job(ctx: &Ctx<'_>, state: &mut State, id: JobId) -> bool {
+    // The reconfiguration-penalty gate (§5.2) deters churn, but it must not
+    // hard-block a clear win: a gated job may still absorb *free* capacity
+    // (no victims disturbed) when the predicted saving clears a stricter
+    // amortization bar — see the commit guard below.
+    let frozen = ctx.frozen.contains(&id);
+    let snap = ctx.snap(id);
+    let Some(model) = ctx.sched.registry.model(&snap.spec.model.name) else {
+        return false;
+    };
+    let search = &ctx.searches[&id];
+    let backup = state.clone();
+
+    let cur_alloc = state
+        .alloc
+        .get(&id)
+        .cloned()
+        .unwrap_or_else(Allocation::empty);
+    let minimum = ctx.minima.get(&id).copied().unwrap_or(Resources::zero());
+    // Admission is capped at the user's request (or the smallest runnable
+    // amount if the request itself is invalid): a job may not hoard the
+    // whole idle cluster the moment it arrives. Growth beyond the request
+    // happens in later rounds through the guarded running-job path, once
+    // competing demand is visible. Stealing is further restricted: jobs
+    // whose penalty gate is active may only absorb free capacity.
+    let cap_gpus = if !ctx.sched.config.resource_realloc {
+        snap.spec.requested.gpus
+    } else if snap.status.is_running() {
+        ctx.g_star(id)
+    } else {
+        let first_useful = ctx
+            .curves
+            .get(&id)
+            .and_then(|c| c.min_amount_reaching(1e-12))
+            .unwrap_or(snap.spec.requested.gpus);
+        ctx.g_star(id)
+            .min(snap.spec.requested.gpus.max(first_useful))
+    };
+    let steal_cap_gpus = if frozen { cur_alloc.gpus() } else { cap_gpus };
+    if cap_gpus == 0 {
+        return false;
+    }
+    let cap_cpus = if ctx.sched.config.resource_realloc {
+        (10 * cap_gpus + 4).max(minimum.cpus)
+    } else {
+        snap.spec.requested.cpus
+    };
+    let cap_mem = ctx
+        .estimator
+        .host_mem_gb(&snap.spec.model, &ExecutionPlan::zero_offload(cap_gpus.max(1)))
+        .max(snap.spec.requested.mem_gb);
+
+    let mut tentative = cur_alloc.clone();
+
+    // Node order: nodes the job already occupies first (consolidation),
+    // then descending free GPUs.
+    let mut order: Vec<usize> = (0..state.free.len()).collect();
+    order.sort_by_key(|&n| {
+        let mine = tentative
+            .per_node
+            .iter()
+            .find(|(i, _)| *i == n)
+            .map(|(_, r)| r.gpus)
+            .unwrap_or(0);
+        (std::cmp::Reverse(mine), std::cmp::Reverse(state.free[n].gpus), n)
+    });
+
+    for n in order {
+        let total = tentative.total();
+        if total.gpus >= cap_gpus && total.cpus >= cap_cpus.min(total.gpus * 2 + 1) {
+            break;
+        }
+        // Grab free resources (capped at what the job can use).
+        let take = Resources::new(
+            cap_gpus.saturating_sub(total.gpus).min(state.free[n].gpus),
+            cap_cpus.saturating_sub(total.cpus).min(state.free[n].cpus),
+            (cap_mem - total.mem_gb).clamp(0.0, state.free[n].mem_gb),
+        );
+        if take.any_positive() {
+            state.free[n] -= take;
+            tentative.merge(&Allocation::on_node(n, take));
+        }
+        // Reclaim GPUs from the least sensitive job on this node.
+        loop {
+            let gpus_now = tentative.gpus();
+            if gpus_now >= steal_cap_gpus {
+                break;
+            }
+            let below_min = gpus_now < minimum.gpus;
+            let my_gain = ctx.jump_gain(id, gpus_now);
+            if !below_min && my_gain <= EPS_SLOPE {
+                break;
+            }
+            let Some(victim) = lowest_slope_victim(ctx, state, n, id) else {
+                break;
+            };
+            let victim_gpus = state.alloc[&victim].gpus();
+            let victim_loss = ctx.loss_slope(victim, victim_gpus);
+            if below_min || victim_loss < my_gain * SHRINK_HYSTERESIS {
+                transfer_gpu(state, victim, n, &mut tentative);
+            } else {
+                break;
+            }
+        }
+        // Reclaim CPUs similarly (relevant for offload-bound jobs).
+        if ctx.sched.config.resource_realloc {
+            reclaim_cpus(ctx, state, n, id, &mut tentative, cap_cpus, &model);
+        }
+    }
+
+    // ---- accept or roll back -------------------------------------------
+    let total = tentative.total();
+    if tentative.is_empty() || !total.dominates(&minimum) {
+        *state = backup;
+        return false;
+    }
+    let placement = tentative.to_placement();
+    let Some((plan, mut tput)) = search.best_plan(&model, snap.spec.global_batch, &placement)
+    else {
+        *state = backup;
+        return false;
+    };
+
+    // If some grabbed GPUs are useless (invalid plan sizes), return them.
+    let mut plan = plan;
+    if let Some(curve) = ctx.curves.get(&id) {
+        let envelope = curve.value(total.gpus);
+        if envelope > tput * 1.005 {
+            if let Some(target) = curve.min_amount_reaching(envelope) {
+                shrink_alloc_to(&mut state.free, &mut tentative, target);
+                let placement = tentative.to_placement();
+                if let Some((p2, t2)) =
+                    search.best_plan(&model, snap.spec.global_batch, &placement)
+                {
+                    plan = p2;
+                    tput = t2;
+                }
+            }
+        }
+    }
+
+    // AllocMem: trim CPUs and memory to the chosen plan's demand.
+    let demand = ctx
+        .estimator
+        .demand(&snap.spec.model, &plan, snap.spec.global_batch);
+    trim_to_demand(state, &mut tentative, &demand);
+
+    // Churn guard for running jobs: only reconfigure for a real gain.
+    if let JobStatus::Running {
+        allocation: old_alloc,
+        plan: old_plan,
+        ..
+    } = &snap.status
+    {
+        if *old_alloc == tentative && *old_plan == plan {
+            // Nothing changed; keep as-is but preserve any shrinks made to
+            // other jobs (they were justified by slope comparisons).
+            state.alloc.insert(id, tentative);
+            return true;
+        }
+        let old_tput = model
+            .throughput(old_plan, snap.spec.global_batch, &old_alloc.to_placement())
+            .unwrap_or(0.0);
+        if tput < old_tput * (1.0 + ctx.sched.config.min_gain) {
+            *state = backup;
+            return true;
+        }
+        // Amortization: the upgrade must save more wall-clock over the
+        // job's remaining work than the checkpoint-resume it costs (plus
+        // one victim restart's worth of slack). Jobs whose penalty gate is
+        // active face a stricter bar — only clear wins restart them.
+        let samples_left = snap.remaining_batches * snap.spec.global_batch as f64;
+        if old_tput > 0.0 && tput > 0.0 {
+            let saved = samples_left / old_tput - samples_left / tput;
+            let bar = if frozen { 5.0 } else { 2.0 };
+            if saved < bar * snap.spec.checkpoint_resume_secs() {
+                *state = backup;
+                return true;
+            }
+        }
+    }
+
+    state.alloc.insert(id, tentative);
+    state.changed.insert(id);
+    true
+}
+
+/// `GetLowestSlopeOverMinJob`: the job on node `n` (other than `id`, not
+/// frozen, shrinkable) with the lowest normalized GPU loss slope.
+fn lowest_slope_victim(ctx: &Ctx<'_>, state: &State, n: usize, id: JobId) -> Option<JobId> {
+    // Note: the reconfiguration-penalty gate deliberately does NOT protect
+    // victims here. The gate (§5.2) limits how often a job reconfigures
+    // *for its own benefit*; being shrunk by a higher-slope job or
+    // preempted for an SLA is a scheduler decision the victim cannot veto
+    // (best-effort jobs "can be preempted by the system", §5.1). Churn is
+    // bounded instead by the slope comparison itself: a transfer only
+    // happens when it increases total normalized throughput.
+    let mut best: Option<(JobId, f64)> = None;
+    for (cand, alloc) in &state.alloc {
+        if *cand == id {
+            continue;
+        }
+        let on_node = alloc
+            .per_node
+            .iter()
+            .find(|(i, _)| *i == n)
+            .map(|(_, r)| r.gpus)
+            .unwrap_or(0);
+        if on_node == 0 {
+            continue;
+        }
+        let gpus = alloc.gpus();
+        if !ctx.can_shrink(*cand, gpus) {
+            continue;
+        }
+        // A victim about to finish will release everything shortly; a
+        // restart would cost more GPU-time than the transfer recovers.
+        let c_snap = ctx.snap(*cand);
+        if let JobStatus::Running { throughput, .. } = &c_snap.status {
+            let remaining_secs =
+                c_snap.remaining_batches * c_snap.spec.global_batch as f64 / throughput.max(1e-9);
+            if remaining_secs < 3.0 * c_snap.spec.checkpoint_resume_secs() {
+                continue;
+            }
+        }
+        let loss = ctx.loss_slope(*cand, gpus);
+        if best.as_ref().map(|(_, b)| loss < *b).unwrap_or(true) {
+            best = Some((*cand, loss));
+        }
+    }
+    best.map(|(id, _)| id)
+}
+
+/// Moves one GPU (with a proportional CPU share) from `victim`'s grant on
+/// node `n` into `tentative`.
+fn transfer_gpu(state: &mut State, victim: JobId, n: usize, tentative: &mut Allocation) {
+    let alloc = state.alloc.get_mut(&victim).expect("victim allocated");
+    let entry = alloc
+        .per_node
+        .iter_mut()
+        .find(|(i, _)| *i == n)
+        .expect("victim on node");
+    let cpus_per_gpu = (entry.1.cpus / entry.1.gpus.max(1)).min(entry.1.cpus);
+    entry.1.gpus -= 1;
+    entry.1.cpus -= cpus_per_gpu;
+    let moved = Resources::new(1, cpus_per_gpu, 0.0);
+    alloc.per_node.retain(|(_, r)| r.any_positive());
+    if alloc.is_empty() {
+        state.alloc.remove(&victim);
+    }
+    state.changed.insert(victim);
+    tentative.merge(&Allocation::on_node(n, moved));
+}
+
+/// CPU reclamation on node `n` for job `id` under its current tentative
+/// plan, driven by direct model slope comparisons.
+fn reclaim_cpus(
+    ctx: &Ctx<'_>,
+    state: &mut State,
+    n: usize,
+    id: JobId,
+    tentative: &mut Allocation,
+    cap_cpus: u32,
+    model: &rubick_model::ThroughputModel,
+) {
+    let snap = ctx.snap(id);
+    // Only bother when the job has GPUs on this node already.
+    if !tentative.per_node.iter().any(|(i, r)| *i == n && r.gpus > 0) {
+        return;
+    }
+    for _ in 0..8 {
+        let total = tentative.total();
+        if total.cpus >= cap_cpus {
+            break;
+        }
+        let placement = tentative.to_placement();
+        let Some((plan, _)) = ctx.searches[&id].best_plan(model, snap.spec.global_batch, &placement)
+        else {
+            break;
+        };
+        let my_gain = ctx.cpu_gain(id, &plan, &placement);
+        if my_gain <= EPS_SLOPE {
+            break;
+        }
+        // Lowest CPU-loss victim on the node.
+        let mut best: Option<(JobId, f64)> = None;
+        for (cand, alloc) in &state.alloc {
+            if *cand == id || ctx.frozen.contains(cand) {
+                continue;
+            }
+            let on_node = alloc
+                .per_node
+                .iter()
+                .find(|(i, _)| *i == n)
+                .map(|(_, r)| r.cpus)
+                .unwrap_or(0);
+            let min_cpus = ctx.minima.get(cand).map(|m| m.cpus).unwrap_or(0);
+            if on_node < CPU_DELTA || alloc.total().cpus < min_cpus + CPU_DELTA {
+                continue;
+            }
+            let c_snap = ctx.snap(*cand);
+            let Some(plan) = c_snap.plan().copied() else {
+                continue;
+            };
+            let loss = ctx.cpu_loss(*cand, &plan, &alloc.to_placement());
+            if best.as_ref().map(|(_, b)| loss < *b).unwrap_or(true) {
+                best = Some((*cand, loss));
+            }
+        }
+        let Some((victim, loss)) = best else { break };
+        if loss >= my_gain * SHRINK_HYSTERESIS {
+            break;
+        }
+        let alloc = state.alloc.get_mut(&victim).expect("victim allocated");
+        let entry = alloc
+            .per_node
+            .iter_mut()
+            .find(|(i, _)| *i == n)
+            .expect("victim on node");
+        entry.1.cpus -= CPU_DELTA;
+        state.changed.insert(victim);
+        tentative.merge(&Allocation::on_node(n, Resources::new(0, CPU_DELTA, 0.0)));
+    }
+}
+
+/// Returns GPUs above `target` to the free pool, smallest per-node grants
+/// first (consolidation).
+fn shrink_alloc_to(free: &mut [Resources], tentative: &mut Allocation, target: u32) {
+    while tentative.gpus() > target {
+        // Drop from the node entry with the fewest GPUs.
+        let Some(idx) = tentative
+            .per_node
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, r))| r.gpus > 0)
+            .min_by_key(|(_, (_, r))| r.gpus)
+            .map(|(i, _)| i)
+        else {
+            break;
+        };
+        let node = tentative.per_node[idx].0;
+        tentative.per_node[idx].1.gpus -= 1;
+        free[node] += Resources::new(1, 0, 0.0);
+        tentative.per_node.retain(|(_, r)| r.any_positive());
+    }
+}
+
+/// `AllocMem` (lines 19–23): size the job's CPU and host-memory grant to
+/// the chosen plan's demand, returning the excess to the free pool.
+fn trim_to_demand(
+    state: &mut State,
+    tentative: &mut Allocation,
+    demand: &rubick_model::ResourceDemand,
+) {
+    let total = tentative.total();
+    let mut excess_cpus = total.cpus.saturating_sub(demand.cpus.max(1));
+    let mut excess_mem = (total.mem_gb - demand.host_mem_gb.max(1.0)).max(0.0);
+    for (node, res) in tentative.per_node.iter_mut() {
+        if excess_cpus > 0 {
+            let back = excess_cpus.min(res.cpus.saturating_sub(res.gpus)); // keep ≥1 cpu/gpu
+            res.cpus -= back;
+            state.free[*node] += Resources::new(0, back, 0.0);
+            excess_cpus -= back;
+        }
+        if excess_mem > 0.0 {
+            let back = excess_mem.min(res.mem_gb);
+            res.mem_gb -= back;
+            state.free[*node] += Resources::new(0, 0, back);
+            excess_mem -= back;
+        }
+    }
+    tentative.per_node.retain(|(_, r)| r.any_positive());
+}
+
+/// Builds the final assignment list: recompute plans for changed jobs,
+/// reproduce current configs verbatim for untouched ones.
+fn emit(ctx: &Ctx<'_>, mut state: State) -> Vec<Assignment> {
+    let mut out = Vec::new();
+    let ids: Vec<JobId> = state.alloc.keys().copied().collect();
+    for id in ids {
+        let alloc = state.alloc[&id].clone();
+        if alloc.is_empty() {
+            continue;
+        }
+        let snap = ctx.snap(id);
+        if !state.changed.contains(&id) {
+            if let JobStatus::Running { allocation, plan, .. } = &snap.status {
+                out.push(Assignment {
+                    job: id,
+                    allocation: allocation.clone(),
+                    plan: *plan,
+                });
+                continue;
+            }
+        }
+        let Some(model) = ctx.sched.registry.model(&snap.spec.model.name) else {
+            continue;
+        };
+        let mut alloc = alloc;
+        let placement = alloc.to_placement();
+        let best = ctx.searches[&id]
+            .best_plan(&model, snap.spec.global_batch, &placement)
+            .or_else(|| {
+                // The exact GPU count has no valid plan (common under
+                // DP-rescaling, whose valid counts are sparse): trim the
+                // allocation down to the largest runnable amount instead of
+                // preempting the job outright.
+                let curve = ctx.curves.get(&id)?;
+                let (plan, _) = curve.best_plan_at(alloc.gpus())?;
+                shrink_alloc_to(&mut state.free, &mut alloc, plan.gpus());
+                ctx.searches[&id].best_plan(
+                    &model,
+                    snap.spec.global_batch,
+                    &alloc.to_placement(),
+                )
+            });
+        let Some((plan, _)) = best else {
+            // Genuinely no feasible plan: preempt to queue.
+            continue;
+        };
+        // Keep the current plan when it performs within the churn guard on
+        // unchanged resources (avoids checkpoint thrash on plan ties).
+        let plan = match &snap.status {
+            JobStatus::Running {
+                allocation: old_alloc,
+                plan: old_plan,
+                ..
+            } if *old_alloc == alloc => {
+                let new = model
+                    .throughput(&plan, snap.spec.global_batch, &placement)
+                    .unwrap_or(0.0);
+                let old = model
+                    .throughput(old_plan, snap.spec.global_batch, &placement)
+                    .unwrap_or(0.0);
+                if new > old * (1.0 + ctx.sched.config.min_gain)
+                    && snap.reconfig_allowed(ctx.sched.config.reconfig_threshold)
+                {
+                    plan
+                } else {
+                    *old_plan
+                }
+            }
+            _ => plan,
+        };
+        // Memory trim for changed victims.
+        let demand = ctx
+            .estimator
+            .demand(&snap.spec.model, &plan, snap.spec.global_batch);
+        trim_to_demand(&mut state, &mut alloc, &demand);
+        if alloc.is_empty() {
+            continue;
+        }
+        out.push(Assignment {
+            job: id,
+            allocation: alloc,
+            plan,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::ModelRegistry;
+    use crate::rubick::RubickScheduler;
+    use rubick_model::{ExecutionPlan, ModelSpec, NodeShape, Resources};
+    use rubick_sim::cluster::Cluster;
+    use rubick_sim::engine::{Engine, EngineConfig};
+    use rubick_sim::job::{JobClass, JobSpec};
+    use rubick_sim::tenant::{Tenant, TenantId};
+    use rubick_sim::SimReport;
+    use rubick_testbed::TestbedOracle;
+    use std::sync::Arc;
+
+    fn registry(oracle: &TestbedOracle, specs: &[ModelSpec]) -> Arc<ModelRegistry> {
+        Arc::new(ModelRegistry::from_oracle(oracle, specs).unwrap())
+    }
+
+    fn job(id: u64, model: ModelSpec, gpus: u32, plan: ExecutionPlan, batches: u64) -> JobSpec {
+        JobSpec {
+            id,
+            global_batch: model.default_batch,
+            submit_time: 0.0,
+            target_batches: batches,
+            requested: Resources::new(gpus, gpus * 6, gpus as f64 * 100.0),
+            initial_plan: plan,
+            class: JobClass::Guaranteed,
+            tenant: TenantId::default(),
+            model,
+        }
+    }
+
+    fn run(
+        oracle: &TestbedOracle,
+        registry: Arc<ModelRegistry>,
+        nodes: usize,
+        tenants: Vec<Tenant>,
+        jobs: Vec<JobSpec>,
+    ) -> SimReport {
+        let mut engine = Engine::new(
+            oracle,
+            Box::new(RubickScheduler::new(registry)),
+            Cluster::new(nodes, NodeShape::a800()),
+            tenants,
+            EngineConfig::default(),
+        );
+        engine.run(jobs)
+    }
+
+    #[test]
+    fn single_job_expands_beyond_request_on_idle_cluster() {
+        let oracle = TestbedOracle::new(21);
+        let reg = registry(&oracle, &[ModelSpec::roberta_large()]);
+        let j = job(1, ModelSpec::roberta_large(), 2, ExecutionPlan::dp(2), 3000);
+        let report = run(&oracle, reg, 1, vec![], vec![j]);
+        assert_eq!(report.jobs.len(), 1, "unfinished: {:?}", report.unfinished);
+        let r = &report.jobs[0];
+        assert!(
+            r.avg_throughput > r.baseline_throughput.unwrap() * 1.2,
+            "rubick should expand an idle cluster: {} vs {}",
+            r.avg_throughput,
+            r.baseline_throughput.unwrap()
+        );
+    }
+
+    #[test]
+    fn guaranteed_jobs_meet_sla_under_contention() {
+        let oracle = TestbedOracle::new(22);
+        let reg = registry(
+            &oracle,
+            &[ModelSpec::roberta_large(), ModelSpec::bert_large()],
+        );
+        let jobs: Vec<JobSpec> = (0..4)
+            .map(|i| {
+                let model = if i % 2 == 0 {
+                    ModelSpec::roberta_large()
+                } else {
+                    ModelSpec::bert_large()
+                };
+                job(i, model, 4, ExecutionPlan::dp(4), 1500)
+            })
+            .collect();
+        let report = run(&oracle, reg, 2, vec![], jobs);
+        assert_eq!(report.jobs.len(), 4, "unfinished: {:?}", report.unfinished);
+        assert!(
+            report.sla_attainment() >= 0.75,
+            "sla attainment {}",
+            report.sla_attainment()
+        );
+    }
+
+    #[test]
+    fn llama7b_runs_on_single_gpu_cluster_via_offload() {
+        // Fig. 7's end state: with only one GPU available, Rubick must pick
+        // ZeRO-Offload (the only feasible plan) instead of failing.
+        let oracle = TestbedOracle::new(23);
+        let reg = registry(&oracle, &[ModelSpec::llama2_7b()]);
+        let mut j = job(1, ModelSpec::llama2_7b(), 1, ExecutionPlan::zero_offload(1), 50);
+        j.requested = Resources::new(1, 32, 400.0);
+        let mut engine = Engine::new(
+            &oracle,
+            Box::new(RubickScheduler::new(reg)),
+            Cluster::new(1, NodeShape {
+                gpus: 1,
+                cpus: 32,
+                mem_gb: 400.0,
+                gpu_mem_gb: 80.0,
+            }),
+            vec![],
+            EngineConfig::default(),
+        );
+        let report = engine.run(vec![j]);
+        assert_eq!(report.jobs.len(), 1, "unfinished: {:?}", report.unfinished);
+    }
+
+    #[test]
+    fn best_effort_yields_to_guaranteed() {
+        let oracle = TestbedOracle::new(24);
+        let reg = registry(&oracle, &[ModelSpec::roberta_large()]);
+        let mut be = job(1, ModelSpec::roberta_large(), 8, ExecutionPlan::dp(8), 60_000);
+        be.class = JobClass::BestEffort;
+        be.tenant = TenantId::new("tenant-b");
+        let mut g = job(2, ModelSpec::roberta_large(), 8, ExecutionPlan::dp(8), 1000);
+        g.submit_time = 120.0;
+        g.tenant = TenantId::new("tenant-a");
+        let report = run(
+            &oracle,
+            reg,
+            1,
+            Tenant::paper_mt_pair(),
+            vec![be, g],
+        );
+        assert_eq!(report.jobs.len(), 2, "unfinished: {:?}", report.unfinished);
+        let g_rec = report.jobs.iter().find(|r| r.id == 2).unwrap();
+        // The guaranteed job gets resources soon after submission (the
+        // best-effort job is shrunk or preempted to make room).
+        assert!(
+            g_rec.first_start.unwrap() < 300.0,
+            "guaranteed start: {:?}",
+            g_rec.first_start
+        );
+    }
+
+    #[test]
+    fn skewed_allocation_beats_equal_share_total() {
+        // Fig. 8's mechanism: RoBERTa benefits little from a 2nd GPU
+        // compared to T5; Rubick should skew GPUs toward T5.
+        let oracle = TestbedOracle::new(25);
+        let reg = registry(&oracle, &[ModelSpec::roberta_large(), ModelSpec::t5_1b()]);
+        let roberta = job(1, ModelSpec::roberta_large(), 4, ExecutionPlan::dp(4), 2000);
+        let t5 = job(2, ModelSpec::t5_1b(), 4, ExecutionPlan::zero_dp(4), 600);
+        let mut engine = Engine::new(
+            &oracle,
+            Box::new(RubickScheduler::new(reg)),
+            Cluster::new(1, NodeShape {
+                gpus: 4,
+                cpus: 48,
+                mem_gb: 800.0,
+                gpu_mem_gb: 80.0,
+            }),
+            vec![],
+            EngineConfig::default(),
+        );
+        let report = engine.run(vec![roberta, t5]);
+        assert_eq!(report.jobs.len(), 2, "unfinished: {:?}", report.unfinished);
+        // Rubick produced *some* non-trivial schedule without violating
+        // accounting, and at least one reconfiguration/allocation decision
+        // happened across the run.
+        assert!(report.rounds >= 2);
+        assert_eq!(report.infeasible_assignments, 0);
+    }
+
+    #[test]
+    fn no_infeasible_assignments_on_mixed_workload() {
+        // The policy's memory estimator is shared with the oracle, so it
+        // must never emit an assignment the testbed rejects.
+        let oracle = TestbedOracle::new(26);
+        let zoo = [
+            ModelSpec::roberta_large(),
+            ModelSpec::gpt2_xl(),
+            ModelSpec::t5_1b(),
+        ];
+        let reg = registry(&oracle, &zoo);
+        let jobs: Vec<JobSpec> = (0..6)
+            .map(|i| {
+                let model = zoo[i as usize % 3].clone();
+                let gpus = [1u32, 2, 4][i as usize % 3];
+                let mut j = job(i, model, gpus, ExecutionPlan::zero_dp(gpus), 400);
+                j.submit_time = i as f64 * 200.0;
+                j
+            })
+            .collect();
+        let report = run(&oracle, reg, 2, vec![], jobs);
+        assert_eq!(report.jobs.len(), 6, "unfinished: {:?}", report.unfinished);
+        assert_eq!(report.infeasible_assignments, 0);
+    }
+}
+
+#[cfg(test)]
+mod lazy_profiling_tests {
+    use crate::registry::ModelRegistry;
+    use crate::rubick::RubickScheduler;
+    use rubick_model::{ClusterEnv, ExecutionPlan, ModelSpec, NodeShape, Resources};
+    use rubick_sim::cluster::Cluster;
+    use rubick_sim::engine::{Engine, EngineConfig};
+    use rubick_sim::job::{JobClass, JobSpec};
+    use rubick_sim::tenant::TenantId;
+    use rubick_testbed::TestbedOracle;
+    use std::sync::Arc;
+
+    #[test]
+    fn unknown_model_types_are_profiled_on_demand() {
+        let oracle = TestbedOracle::new(41);
+        // Empty registry: nothing pre-profiled.
+        let registry = Arc::new(ModelRegistry::new(
+            ClusterEnv::a800(),
+            NodeShape::a800(),
+        ));
+        let scheduler = RubickScheduler::new(Arc::clone(&registry))
+            .with_lazy_profiling(oracle.clone());
+        let job = JobSpec {
+            id: 1,
+            model: ModelSpec::roberta_large(),
+            global_batch: 64,
+            submit_time: 0.0,
+            target_batches: 500,
+            requested: Resources::new(4, 16, 100.0),
+            initial_plan: ExecutionPlan::dp(4),
+            class: JobClass::Guaranteed,
+            tenant: TenantId::default(),
+        };
+        let mut engine = Engine::new(
+            &oracle,
+            Box::new(scheduler),
+            Cluster::new(1, NodeShape::a800()),
+            vec![],
+            EngineConfig::default(),
+        );
+        let report = engine.run(vec![job]);
+        assert_eq!(report.jobs.len(), 1, "unfinished: {:?}", report.unfinished);
+        // The model was registered on demand...
+        assert!(registry.model("roberta-355m").is_some());
+        // ...and the job waited out the simulated profiling window (~210s+,
+        // surfaced at the next scheduling round).
+        let start = report.jobs[0].first_start.unwrap();
+        assert!(start >= 200.0, "job started before profiling finished: {start}");
+    }
+
+    #[test]
+    fn preprofiled_types_pay_nothing() {
+        let oracle = TestbedOracle::new(41);
+        let registry = Arc::new(
+            ModelRegistry::from_oracle(&oracle, &[ModelSpec::roberta_large()]).unwrap(),
+        );
+        let scheduler = RubickScheduler::new(Arc::clone(&registry))
+            .with_lazy_profiling(oracle.clone());
+        let job = JobSpec {
+            id: 1,
+            model: ModelSpec::roberta_large(),
+            global_batch: 64,
+            submit_time: 0.0,
+            target_batches: 200,
+            requested: Resources::new(4, 16, 100.0),
+            initial_plan: ExecutionPlan::dp(4),
+            class: JobClass::Guaranteed,
+            tenant: TenantId::default(),
+        };
+        let mut engine = Engine::new(
+            &oracle,
+            Box::new(scheduler),
+            Cluster::new(1, NodeShape::a800()),
+            vec![],
+            EngineConfig::default(),
+        );
+        let report = engine.run(vec![job]);
+        assert_eq!(report.jobs.len(), 1);
+        assert!(report.jobs[0].first_start.unwrap() < 60.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! The Rubick ablation variants of the break-down study (§7.3).
+//!
+//! * **Rubick-E** reconfigures execution plans only, with resources pinned
+//!   to each job's request.
+//! * **Rubick-R** reallocates resources only; plans are fixed in structure
+//!   and scale like Sia does (DP-degree rescaling, including for
+//!   3D-parallel jobs).
+//! * **Rubick-N** does neither — the bare scheduling skeleton.
+
+use crate::registry::ModelRegistry;
+use crate::rubick::{RubickConfig, RubickScheduler};
+use std::sync::Arc;
+
+/// Rubick-E: plan reconfiguration on fixed (requested) resources.
+pub fn rubick_e(registry: Arc<ModelRegistry>) -> RubickScheduler {
+    RubickScheduler::with_config(
+        registry,
+        RubickConfig {
+            name: "rubick-e".into(),
+            plan_reconfig: true,
+            resource_realloc: false,
+            ..RubickConfig::default()
+        },
+    )
+}
+
+/// Rubick-R: resource reallocation with Sia-style DP rescaling only.
+pub fn rubick_r(registry: Arc<ModelRegistry>) -> RubickScheduler {
+    RubickScheduler::with_config(
+        registry,
+        RubickConfig {
+            name: "rubick-r".into(),
+            plan_reconfig: false,
+            resource_realloc: true,
+            ..RubickConfig::default()
+        },
+    )
+}
+
+/// Rubick-N: neither plan reconfiguration nor resource reallocation.
+pub fn rubick_n(registry: Arc<ModelRegistry>) -> RubickScheduler {
+    RubickScheduler::with_config(
+        registry,
+        RubickConfig {
+            name: "rubick-n".into(),
+            plan_reconfig: false,
+            resource_realloc: false,
+            ..RubickConfig::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rubick_model::ModelSpec;
+    use rubick_sim::Scheduler;
+    use rubick_testbed::TestbedOracle;
+
+    #[test]
+    fn variant_names_and_flags() {
+        let oracle = TestbedOracle::new(0);
+        let registry =
+            Arc::new(ModelRegistry::from_oracle(&oracle, &[ModelSpec::vit_base()]).unwrap());
+        let e = rubick_e(Arc::clone(&registry));
+        assert_eq!(e.name(), "rubick-e");
+        assert!(e.config().plan_reconfig && !e.config().resource_realloc);
+        let r = rubick_r(Arc::clone(&registry));
+        assert_eq!(r.name(), "rubick-r");
+        assert!(!r.config().plan_reconfig && r.config().resource_realloc);
+        let n = rubick_n(registry);
+        assert_eq!(n.name(), "rubick-n");
+        assert!(!n.config().plan_reconfig && !n.config().resource_realloc);
+    }
+}

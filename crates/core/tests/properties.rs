@@ -1,0 +1,274 @@
+//! Property-based tests for the scheduling policies: for *any* job mix and
+//! cluster state, a policy must emit assignments that (a) fit node
+//! capacities, (b) carry structurally valid, memory-feasible plans, and
+//! (c) respect job identity. The Rubick policy additionally must respect
+//! tenant quotas for guaranteed jobs.
+
+use proptest::prelude::*;
+use rubick_core::{
+    pack_gang, rubick_e, rubick_n, rubick_r, AntManScheduler, EqualShareScheduler,
+    ModelRegistry, RubickScheduler, SiaScheduler, SynergyScheduler,
+};
+use rubick_model::prelude::*;
+use rubick_sim::cluster::Cluster;
+use rubick_sim::job::{JobClass, JobSpec, JobStatus};
+use rubick_sim::scheduler::{Assignment, JobSnapshot, Scheduler};
+use rubick_sim::tenant::{Tenant, TenantId};
+use rubick_testbed::TestbedOracle;
+use std::sync::{Arc, OnceLock};
+
+/// A shared registry (profiling the zoo once keeps the suite fast).
+fn registry() -> Arc<ModelRegistry> {
+    static REG: OnceLock<Arc<ModelRegistry>> = OnceLock::new();
+    Arc::clone(REG.get_or_init(|| {
+        let oracle = TestbedOracle::new(99);
+        Arc::new(ModelRegistry::from_oracle(&oracle, &ModelSpec::zoo()).unwrap())
+    }))
+}
+
+fn job_snapshot(
+    id: u64,
+    model: ModelSpec,
+    gpus: u32,
+    class: JobClass,
+    queued_since: f64,
+) -> Option<JobSnapshot> {
+    // A real user submits a plan that can at least launch; mirror the trace
+    // generator and pick a feasible one.
+    let plan = enumerate_plans(
+        &model,
+        gpus,
+        model.default_batch,
+        &NodeShape::a800(),
+        &ClusterEnv::a800(),
+    )
+    .into_iter()
+    .next()?;
+    Some(JobSnapshot {
+        spec: Arc::new(JobSpec {
+            id,
+            global_batch: model.default_batch,
+            submit_time: queued_since,
+            target_batches: 1000,
+            requested: Resources::new(gpus, gpus * 6, gpus as f64 * 100.0),
+            initial_plan: plan,
+            class,
+            tenant: if class == JobClass::Guaranteed {
+                TenantId::new("tenant-a")
+            } else {
+                TenantId::new("tenant-b")
+            },
+            model,
+        }),
+        status: JobStatus::Queued,
+        remaining_batches: 1000.0,
+        queued_since,
+        runtime: 0.0,
+        reconfig_count: 0,
+        baseline_throughput: None,
+    })
+}
+
+fn any_jobs() -> impl Strategy<Value = Vec<JobSnapshot>> {
+    prop::collection::vec(
+        (
+            0usize..7,  // model index
+            0u32..3,    // gpus = 2^k
+            prop::bool::ANY,
+            0.0f64..1000.0,
+        ),
+        1..10,
+    )
+    .prop_map(|raw| {
+        let zoo = ModelSpec::zoo();
+        raw.into_iter()
+            .enumerate()
+            .filter_map(|(i, (m, gp, guaranteed, since))| {
+                let model = zoo[m].clone();
+                // Respect realistic floors so requests are feasible-ish.
+                let gpus = (1u32 << gp).max(if model.params >= 2.0e10 {
+                    16
+                } else if model.params >= 5.0e9 {
+                    8
+                } else {
+                    1
+                });
+                job_snapshot(
+                    i as u64,
+                    model,
+                    gpus,
+                    if guaranteed {
+                        JobClass::Guaranteed
+                    } else {
+                        JobClass::BestEffort
+                    },
+                    since,
+                )
+            })
+            .collect()
+    })
+}
+
+/// Checks the universal assignment invariants for any policy.
+fn check_assignments(
+    name: &str,
+    assignments: &[Assignment],
+    jobs: &[JobSnapshot],
+    cluster: &Cluster,
+) -> Result<(), TestCaseError> {
+    let oracle = TestbedOracle::new(99);
+    // (a) per-node totals within capacity.
+    let mut used = vec![Resources::zero(); cluster.len()];
+    for a in assignments {
+        for (node, res) in &a.allocation.per_node {
+            prop_assert!(*node < cluster.len(), "{name}: unknown node {node}");
+            used[*node] += *res;
+        }
+    }
+    for (node, u) in used.iter().enumerate() {
+        prop_assert!(
+            cluster.nodes()[node].shape.capacity().dominates(u),
+            "{name}: node {node} overcommitted: {u}"
+        );
+    }
+    // (b) each assignment references a known job at most once, with a
+    // feasible plan on its placement.
+    let mut seen = std::collections::BTreeSet::new();
+    for a in assignments {
+        prop_assert!(seen.insert(a.job), "{name}: duplicate assignment for {}", a.job);
+        let snap = jobs.iter().find(|j| j.id() == a.job);
+        prop_assert!(snap.is_some(), "{name}: assignment for unknown job {}", a.job);
+        let snap = snap.unwrap();
+        if a.allocation.is_empty() {
+            continue;
+        }
+        let placement = a.allocation.to_placement();
+        prop_assert!(
+            oracle
+                .measure(&snap.spec.model, &a.plan, snap.spec.global_batch, &placement)
+                .is_ok(),
+            "{name}: infeasible assignment {} on {placement} for job {} ({})",
+            a.plan,
+            a.job,
+            snap.spec.model.name
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every policy produces capacity-respecting, feasible assignments for
+    /// arbitrary queued job mixes on an idle cluster.
+    #[test]
+    fn all_policies_emit_feasible_assignments(jobs in any_jobs()) {
+        let registry = registry();
+        let cluster = Cluster::a800_testbed();
+        let tenants = Tenant::paper_mt_pair();
+        let mut policies: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(RubickScheduler::new(Arc::clone(&registry))),
+            Box::new(rubick_e(Arc::clone(&registry))),
+            Box::new(rubick_r(Arc::clone(&registry))),
+            Box::new(rubick_n(Arc::clone(&registry))),
+            Box::new(SiaScheduler::new(Arc::clone(&registry))),
+            Box::new(SynergyScheduler::new(Arc::clone(&registry))),
+            Box::new(AntManScheduler::new()),
+            Box::new(EqualShareScheduler::new(Arc::clone(&registry))),
+        ];
+        for policy in policies.iter_mut() {
+            let name = policy.name().to_string();
+            let assignments = policy.schedule(2000.0, &jobs, &cluster, &tenants);
+            check_assignments(&name, &assignments, &jobs, &cluster)?;
+        }
+    }
+
+    /// Rubick never hands a guaranteed job less than its minimum demand.
+    #[test]
+    fn rubick_respects_minimum_demands(jobs in any_jobs()) {
+        let registry = registry();
+        let cluster = Cluster::a800_testbed();
+        let mut policy = RubickScheduler::new(Arc::clone(&registry));
+        let assignments = policy.schedule(2000.0, &jobs, &cluster, &[]);
+        for a in &assignments {
+            let snap = jobs.iter().find(|j| j.id() == a.job).unwrap();
+            if snap.spec.class == JobClass::Guaranteed && !a.allocation.is_empty() {
+                let minimum = rubick_core::rubick::min_res(
+                    &registry,
+                    snap,
+                    &rubick_core::PlanSearch::Full,
+                    true,
+                );
+                // The GPU floor is the binding part of the minimum: the
+                // chosen plan may legitimately demand fewer CPUs / less
+                // memory than the plan used during the minRes search.
+                prop_assert!(
+                    a.allocation.gpus() >= minimum.gpus,
+                    "guaranteed job {} got {} GPUs below min {}",
+                    a.job,
+                    a.allocation.gpus(),
+                    minimum.gpus
+                );
+            }
+        }
+    }
+
+    /// `pack_gang` output always fits within the provided free vector and
+    /// delivers exactly the requested GPUs (when it succeeds).
+    #[test]
+    fn pack_gang_fits_free_capacity(
+        free in prop::collection::vec(
+            (0u32..9, 0u32..97, 0.0f64..1600.0)
+                .prop_map(|(g, c, m)| Resources::new(g, c, m)),
+            1..8,
+        ),
+        want_gpus in 1u32..24,
+        want_cpus in 0u32..64,
+        want_mem in 0.0f64..800.0,
+    ) {
+        let want = Resources::new(want_gpus, want_cpus, want_mem);
+        match pack_gang(&free, want) {
+            Some(alloc) => {
+                prop_assert_eq!(alloc.gpus(), want_gpus);
+                for (node, res) in &alloc.per_node {
+                    prop_assert!(*node < free.len());
+                    prop_assert!(
+                        free[*node].dominates(res),
+                        "node {} grant {} exceeds free {}",
+                        node,
+                        res,
+                        free[*node]
+                    );
+                }
+            }
+            None => {
+                let total: u32 = free.iter().map(|f| f.gpus).sum();
+                prop_assert!(total < want_gpus, "pack failed despite {total} free GPUs");
+            }
+        }
+    }
+
+    /// Sia's DP rescaling always yields valid plans when it yields at all.
+    #[test]
+    fn rescale_dp_yields_valid_plans(
+        d in 1u32..9, t in 0u32..3, p in 1u32..4, gpus in 1u32..65, batch_pow in 4u32..8
+    ) {
+        use rubick_core::PlanSearch;
+        let batch = 1u32 << batch_pow;
+        let tp = 1u32 << t;
+        let spec = ModelSpec::llama2_7b(); // hidden divisible by 2^k
+        if d * tp * p > batch || p > spec.layers {
+            return Ok(());
+        }
+        let base = ExecutionPlan::three_d(d, tp, p, if p > 1 { p } else { 1 });
+        if base.validate(&spec, batch).is_err() {
+            return Ok(());
+        }
+        if let Some(plan) = PlanSearch::rescale_dp(&base, gpus, batch) {
+            prop_assert_eq!(plan.gpus(), gpus);
+            prop_assert_eq!(plan.parallel.tp, base.parallel.tp);
+            prop_assert_eq!(plan.parallel.pp, base.parallel.pp);
+            prop_assert!(plan.validate(&spec, batch).is_ok(), "invalid rescale {plan}");
+        }
+    }
+}

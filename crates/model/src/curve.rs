@@ -1,0 +1,401 @@
+//! Resource sensitivity curves (paper §5.2, Fig. 6).
+//!
+//! A sensitivity curve depicts a job's best achievable throughput as one
+//! resource type scales while others stay fixed, always picking the best
+//! execution plan at each amount. Two properties matter to the scheduler:
+//!
+//! * the curve is a **monotone envelope** — "the curve remains flat for
+//!   invalid GPU numbers as it only considers the maximum throughput
+//!   achievable within the given GPU range";
+//! * its **slopes** rank jobs by marginal benefit, driving both the
+//!   allocation order (`SortBySlope`) and the shrink decision
+//!   (`GetLowestSlopeOverMinJob`) of Algorithm 1.
+//!
+//! Curves are pure functions of `(model type, batch, context)`, so
+//! [`CurveCache`] memoizes them behind an `RwLock` and can pre-compute them
+//! in parallel with crossbeam scoped threads ("the curves can be computed
+//! in parallel or even prior to the scheduling, and then cached for
+//! reuse").
+
+use crate::perf::ThroughputModel;
+use crate::placement::Placement;
+use crate::plan::ExecutionPlan;
+use crate::resources::ResourceKind;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One point of a sensitivity curve: the best plan and throughput at a
+/// given resource amount (plan is `None` when no plan is feasible there).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// The resource amount (GPUs or CPUs).
+    pub amount: u32,
+    /// Best raw throughput at exactly this amount, samples/s (0 if
+    /// infeasible).
+    pub raw_throughput: f64,
+    /// Monotone-envelope throughput: best achievable with *up to* this
+    /// amount.
+    pub envelope: f64,
+    /// The plan achieving `raw_throughput`.
+    pub plan: Option<ExecutionPlan>,
+}
+
+/// A job's throughput as a function of one resource amount, best plan
+/// chosen at every point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensitivityCurve {
+    /// Which resource this curve scales.
+    pub kind: ResourceKind,
+    /// Points for amounts `0..=max` (index = amount).
+    pub points: Vec<CurvePoint>,
+}
+
+impl SensitivityCurve {
+    /// Builds the GPU sensitivity curve: amounts `0..=max_gpus`, with CPUs
+    /// and host memory scaling proportionally to a packed placement
+    /// (matching how the scheduler packs jobs onto nodes).
+    pub fn for_gpus(model: &ThroughputModel, global_batch: u32, max_gpus: u32) -> Self {
+        let mut points = Vec::with_capacity(max_gpus as usize + 1);
+        points.push(CurvePoint {
+            amount: 0,
+            raw_throughput: 0.0,
+            envelope: 0.0,
+            plan: None,
+        });
+        let mut env_best = 0.0f64;
+        for g in 1..=max_gpus {
+            let placement = Placement::packed(g, &model.shape);
+            let best = model.best_plan(global_batch, &placement);
+            let raw = best.as_ref().map(|(_, t)| *t).unwrap_or(0.0);
+            env_best = env_best.max(raw);
+            points.push(CurvePoint {
+                amount: g,
+                raw_throughput: raw,
+                envelope: env_best,
+                plan: best.map(|(p, _)| p),
+            });
+        }
+        SensitivityCurve {
+            kind: ResourceKind::Gpu,
+            points,
+        }
+    }
+
+    /// Builds the CPU sensitivity curve at a fixed GPU count: amounts
+    /// `0..=max_cpus`, host memory fixed at the packed share.
+    pub fn for_cpus(
+        model: &ThroughputModel,
+        global_batch: u32,
+        gpus: u32,
+        max_cpus: u32,
+    ) -> Self {
+        let base = Placement::packed(gpus, &model.shape);
+        let mut points = Vec::with_capacity(max_cpus as usize + 1);
+        points.push(CurvePoint {
+            amount: 0,
+            raw_throughput: 0.0,
+            envelope: 0.0,
+            plan: None,
+        });
+        let mut env_best = 0.0f64;
+        for c in 1..=max_cpus {
+            let placement = Placement {
+                cpus: c,
+                ..base.clone()
+            };
+            let best = model.best_plan(global_batch, &placement);
+            let raw = best.as_ref().map(|(_, t)| *t).unwrap_or(0.0);
+            env_best = env_best.max(raw);
+            points.push(CurvePoint {
+                amount: c,
+                raw_throughput: raw,
+                envelope: env_best,
+                plan: best.map(|(p, _)| p),
+            });
+        }
+        SensitivityCurve {
+            kind: ResourceKind::Cpu,
+            points,
+        }
+    }
+
+    /// The largest amount the curve covers.
+    pub fn max_amount(&self) -> u32 {
+        (self.points.len() as u32).saturating_sub(1)
+    }
+
+    /// Monotone-envelope throughput at `amount` (clamped to the curve's
+    /// range).
+    pub fn value(&self, amount: u32) -> f64 {
+        let idx = (amount as usize).min(self.points.len().saturating_sub(1));
+        self.points.get(idx).map(|p| p.envelope).unwrap_or(0.0)
+    }
+
+    /// The best plan using at most `amount` of the resource, together with
+    /// its throughput.
+    pub fn best_plan_at(&self, amount: u32) -> Option<(ExecutionPlan, f64)> {
+        let idx = (amount as usize).min(self.points.len().saturating_sub(1));
+        let target = self.points.get(idx)?.envelope;
+        if target <= 0.0 {
+            return None;
+        }
+        // Walk back to the point achieving the envelope.
+        self.points[..=idx]
+            .iter()
+            .rev()
+            .find(|p| p.plan.is_some() && (p.raw_throughput - target).abs() < 1e-12)
+            .and_then(|p| p.plan.map(|plan| (plan, p.raw_throughput)))
+    }
+
+    /// Marginal gain of adding one unit at `amount`:
+    /// `value(amount+1) − value(amount)`.
+    pub fn gain_slope(&self, amount: u32) -> f64 {
+        self.value(amount + 1) - self.value(amount)
+    }
+
+    /// Marginal loss of removing one unit at `amount`:
+    /// `value(amount) − value(amount−1)` (0 at amount 0).
+    pub fn loss_slope(&self, amount: u32) -> f64 {
+        if amount == 0 {
+            0.0
+        } else {
+            self.value(amount) - self.value(amount - 1)
+        }
+    }
+
+    /// The smallest amount whose envelope reaches `target` throughput, if
+    /// any — the 1-D building block of the `minRes` SLA search.
+    pub fn min_amount_reaching(&self, target: f64) -> Option<u32> {
+        self.points
+            .iter()
+            .find(|p| p.envelope >= target - 1e-12)
+            .map(|p| p.amount)
+    }
+}
+
+/// Cache key: model type + batch + curve context.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CurveKey {
+    model: String,
+    batch: u32,
+    kind: ResourceKind,
+    /// Curve context: `(fixed GPU count, max amount)` for CPU curves,
+    /// `(0, max amount)` for GPU curves — a tuple, so the components can
+    /// never collide.
+    context: (u32, u32),
+}
+
+/// A concurrent cache of sensitivity curves, keyed by model type.
+///
+/// Curves only depend on the model type (not the individual job), so all
+/// jobs of one type share cached curves across scheduling rounds.
+#[derive(Debug, Default)]
+pub struct CurveCache {
+    curves: RwLock<HashMap<CurveKey, Arc<SensitivityCurve>>>,
+}
+
+impl CurveCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        CurveCache::default()
+    }
+
+    /// Number of cached curves.
+    pub fn len(&self) -> usize {
+        self.curves.read().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.curves.read().is_empty()
+    }
+
+    /// Drops all cached curves (e.g. after an online refit changed the
+    /// model parameters).
+    pub fn invalidate_model(&self, model_name: &str) {
+        self.curves.write().retain(|k, _| k.model != model_name);
+    }
+
+    /// Returns the GPU curve for `model`, computing and caching it on first
+    /// use.
+    pub fn gpu_curve(
+        &self,
+        model: &ThroughputModel,
+        global_batch: u32,
+        max_gpus: u32,
+    ) -> Arc<SensitivityCurve> {
+        let key = CurveKey {
+            model: model.spec.name.clone(),
+            batch: global_batch,
+            kind: ResourceKind::Gpu,
+            context: (0, max_gpus),
+        };
+        if let Some(c) = self.curves.read().get(&key) {
+            return Arc::clone(c);
+        }
+        let curve = Arc::new(SensitivityCurve::for_gpus(model, global_batch, max_gpus));
+        self.curves.write().insert(key, Arc::clone(&curve));
+        curve
+    }
+
+    /// Returns the CPU curve for `model` at a fixed GPU count, computing
+    /// and caching it on first use.
+    pub fn cpu_curve(
+        &self,
+        model: &ThroughputModel,
+        global_batch: u32,
+        gpus: u32,
+        max_cpus: u32,
+    ) -> Arc<SensitivityCurve> {
+        let key = CurveKey {
+            model: model.spec.name.clone(),
+            batch: global_batch,
+            kind: ResourceKind::Cpu,
+            context: (gpus, max_cpus),
+        };
+        if let Some(c) = self.curves.read().get(&key) {
+            return Arc::clone(c);
+        }
+        let curve = Arc::new(SensitivityCurve::for_cpus(
+            model,
+            global_batch,
+            gpus,
+            max_cpus,
+        ));
+        self.curves.write().insert(key, Arc::clone(&curve));
+        curve
+    }
+
+    /// Pre-computes GPU curves for many models in parallel using crossbeam
+    /// scoped threads — the "computed in parallel or even prior to the
+    /// scheduling" optimization of §5.2.
+    pub fn precompute_gpu_curves(
+        &self,
+        models: &[ThroughputModel],
+        global_batch: impl Fn(&ThroughputModel) -> u32 + Sync,
+        max_gpus: u32,
+    ) {
+        crossbeam::scope(|scope| {
+            for model in models {
+                let batch = global_batch(model);
+                scope.spawn(move |_| {
+                    self.gpu_curve(model, batch, max_gpus);
+                });
+            }
+        })
+        .expect("curve precompute thread panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::ClusterEnv;
+    use crate::perf::PerfParams;
+    use crate::resources::NodeShape;
+    use crate::spec::ModelSpec;
+
+    fn model(spec: ModelSpec) -> ThroughputModel {
+        ThroughputModel::new(
+            spec,
+            PerfParams::default(),
+            ClusterEnv::a800(),
+            NodeShape::a800(),
+        )
+    }
+
+    #[test]
+    fn envelope_is_monotone() {
+        let m = model(ModelSpec::gpt2_xl());
+        let curve = SensitivityCurve::for_gpus(&m, 16, 16);
+        for w in curve.points.windows(2) {
+            assert!(w[1].envelope >= w[0].envelope);
+        }
+    }
+
+    #[test]
+    fn gpu_curve_flat_at_infeasible_amounts() {
+        // LLaMA-30B is infeasible below ~12 GPUs: envelope stays 0 then rises.
+        let m = model(ModelSpec::llama_30b());
+        let curve = SensitivityCurve::for_gpus(&m, 64, 24);
+        assert_eq!(curve.value(1), 0.0);
+        assert_eq!(curve.value(4), 0.0);
+        assert!(curve.value(24) > 0.0);
+    }
+
+    #[test]
+    fn slopes_are_consistent_with_values() {
+        let m = model(ModelSpec::roberta_large());
+        let curve = SensitivityCurve::for_gpus(&m, 64, 8);
+        for g in 0..8 {
+            assert!(
+                (curve.gain_slope(g) - (curve.value(g + 1) - curve.value(g))).abs() < 1e-12
+            );
+        }
+        assert_eq!(curve.loss_slope(0), 0.0);
+    }
+
+    #[test]
+    fn best_plan_at_uses_fewer_gpus_when_invalid() {
+        let m = model(ModelSpec::gpt2_xl());
+        let curve = SensitivityCurve::for_gpus(&m, 16, 16);
+        // Whatever amount we ask for, the returned plan must fit within it.
+        for g in 1..=16 {
+            if let Some((plan, _)) = curve.best_plan_at(g) {
+                assert!(plan.gpus() <= g);
+            }
+        }
+    }
+
+    #[test]
+    fn min_amount_reaching_inverts_value() {
+        let m = model(ModelSpec::bert_large());
+        let curve = SensitivityCurve::for_gpus(&m, 64, 8);
+        let target = curve.value(4);
+        let g = curve.min_amount_reaching(target).unwrap();
+        assert!(g <= 4);
+        assert!(curve.value(g) >= target - 1e-12);
+    }
+
+    #[test]
+    fn cache_hits_return_same_arc() {
+        let cache = CurveCache::new();
+        let m = model(ModelSpec::vit_base());
+        let a = cache.gpu_curve(&m, 128, 8);
+        let b = cache.gpu_curve(&m, 128, 8);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cache_invalidation_by_model() {
+        let cache = CurveCache::new();
+        let a = model(ModelSpec::vit_base());
+        let b = model(ModelSpec::bert_large());
+        cache.gpu_curve(&a, 128, 8);
+        cache.gpu_curve(&b, 64, 8);
+        cache.invalidate_model("vit-86m");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn parallel_precompute_populates_cache() {
+        let cache = CurveCache::new();
+        let models: Vec<_> = [ModelSpec::vit_base(), ModelSpec::roberta_large()]
+            .into_iter()
+            .map(model)
+            .collect();
+        cache.precompute_gpu_curves(&models, |m| m.spec.default_batch, 8);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cpu_curve_rises_for_offload_bound_model() {
+        // On 1 GPU a large model must offload; more CPUs speed the optimizer.
+        let m = model(ModelSpec::llama2_7b());
+        let curve = SensitivityCurve::for_cpus(&m, 32, 1, 64);
+        assert!(curve.value(64) > curve.value(8));
+    }
+}

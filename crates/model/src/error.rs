@@ -1,0 +1,79 @@
+//! Error types for the model crate.
+
+use std::fmt;
+
+/// Errors produced while building or evaluating performance models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// An execution plan violated a structural constraint (e.g. `d*t*p != g`).
+    InvalidPlan {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// A plan is structurally valid but cannot run within the given memory.
+    OutOfMemory {
+        /// Estimated per-GPU memory in GiB.
+        needed_gb: f64,
+        /// Available per-GPU memory in GiB.
+        available_gb: f64,
+    },
+    /// Model fitting failed to converge or was given too few data points.
+    FitFailed {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A request referenced a resource amount of zero where positive is required.
+    EmptyResources,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidPlan { reason } => write!(f, "invalid execution plan: {reason}"),
+            ModelError::OutOfMemory {
+                needed_gb,
+                available_gb,
+            } => write!(
+                f,
+                "plan needs {needed_gb:.1} GiB per GPU but only {available_gb:.1} GiB available"
+            ),
+            ModelError::FitFailed { reason } => write!(f, "model fitting failed: {reason}"),
+            ModelError::EmptyResources => write!(f, "resource amount must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            ModelError::InvalidPlan {
+                reason: "d*t*p != g".into(),
+            },
+            ModelError::OutOfMemory {
+                needed_gb: 100.0,
+                available_gb: 80.0,
+            },
+            ModelError::FitFailed {
+                reason: "too few points".into(),
+            },
+            ModelError::EmptyResources,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,521 @@
+//! Model fitting (paper §4.3, "continuous model fitting").
+//!
+//! The seven fittable parameters of [`PerfParams`] are estimated from a
+//! handful of profiled `(plan, placement, iteration-time)` samples by
+//! minimizing the **root mean squared logarithmic error** (RMSLE) between
+//! Eq. (1) and the observations. The paper requires at least seven data
+//! points, three of which exercise ZeRO-Offload (so `k_opt_off`, `k_off`
+//! and `k_swap` are identifiable).
+//!
+//! Optimization is a from-scratch bounded [Nelder–Mead] simplex search with
+//! seeded random restarts — no external optimizer crates. [`OnlineFitter`]
+//! implements the online-update loop: observations from real training runs
+//! are accumulated, and the model is refit whenever prediction error
+//! exceeds a threshold.
+//!
+//! [Nelder–Mead]: https://en.wikipedia.org/wiki/Nelder%E2%80%93Mead_method
+
+use crate::env::ClusterEnv;
+use crate::error::ModelError;
+use crate::perf::PerfParams;
+use crate::placement::Placement;
+use crate::plan::ExecutionPlan;
+use crate::spec::ModelSpec;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One profiled observation: a plan ran on a placement and achieved an
+/// iteration time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataPoint {
+    /// The execution plan that was measured.
+    pub plan: ExecutionPlan,
+    /// Where it ran.
+    pub placement: Placement,
+    /// Global batch size of the run.
+    pub global_batch: u32,
+    /// Observed seconds per iteration.
+    pub iter_time: f64,
+}
+
+impl DataPoint {
+    /// Creates a data point; `iter_time` must be positive and finite.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iter_time` is not a positive finite number.
+    pub fn new(
+        plan: ExecutionPlan,
+        placement: Placement,
+        global_batch: u32,
+        iter_time: f64,
+    ) -> Self {
+        assert!(
+            iter_time.is_finite() && iter_time > 0.0,
+            "iter_time must be positive and finite, got {iter_time}"
+        );
+        DataPoint {
+            plan,
+            placement,
+            global_batch,
+            iter_time,
+        }
+    }
+}
+
+/// Search bounds for each of the 7 fittable parameters, in
+/// [`PerfParams::to_vec`] order.
+const LO: [f64; 7] = [0.5, 1.0, 1e-4, 1e-3, 1.0, 1.0, 0.0];
+const HI: [f64; 7] = [5.0, 32.0, 1.0, 100.0, 32.0, 32.0, 1.0];
+
+/// Options controlling the fit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FitOptions {
+    /// Number of random restarts of the simplex search.
+    pub restarts: usize,
+    /// Maximum Nelder–Mead iterations per restart.
+    pub max_iters: usize,
+    /// RNG seed for restart initialization (fits are deterministic).
+    pub seed: u64,
+    /// Minimum number of data points required (paper: 7).
+    pub min_points: usize,
+    /// Profiled sustained per-GPU FLOP/s anchoring `T_fwd` (measured by the
+    /// profiler from a framework-reported forward time, not fitted).
+    pub gpu_flops: f64,
+}
+
+impl Default for FitOptions {
+    fn default() -> Self {
+        FitOptions {
+            restarts: 12,
+            max_iters: 600,
+            seed: 0x5EED_CAFE,
+            min_points: 7,
+            gpu_flops: 1.2e14,
+        }
+    }
+}
+
+/// A completed fit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FitResult {
+    /// The fitted parameters.
+    pub params: PerfParams,
+    /// Final RMSLE on the training points.
+    pub rmsle: f64,
+    /// Total objective evaluations performed.
+    pub evaluations: usize,
+}
+
+/// RMSLE between predicted and observed iteration times.
+fn rmsle(
+    params: &PerfParams,
+    spec: &ModelSpec,
+    env: &ClusterEnv,
+    points: &[DataPoint],
+) -> f64 {
+    let mut acc = 0.0;
+    for p in points {
+        let pred = params.iter_time(spec, &p.plan, p.global_batch, &p.placement, env);
+        let d = (1.0 + pred).ln() - (1.0 + p.iter_time).ln();
+        acc += d * d;
+    }
+    (acc / points.len() as f64).sqrt()
+}
+
+/// Projects a candidate vector into the parameter box.
+fn project(x: &mut [f64; 7]) {
+    for i in 0..7 {
+        x[i] = x[i].clamp(LO[i], HI[i]);
+    }
+}
+
+/// Bounded Nelder–Mead simplex minimization of `f` starting from `x0`.
+///
+/// Returns `(best_x, best_f, evaluations)`. Standard coefficients
+/// (reflection 1, expansion 2, contraction ½, shrink ½) with box projection
+/// applied to every trial point.
+fn nelder_mead<F: FnMut(&[f64; 7]) -> f64>(
+    mut f: F,
+    x0: [f64; 7],
+    max_iters: usize,
+) -> ([f64; 7], f64, usize) {
+    const N: usize = 7;
+    let mut evals = 0usize;
+    let mut eval = |x: &[f64; 7], evals: &mut usize| {
+        *evals += 1;
+        f(x)
+    };
+
+    // Initial simplex: x0 plus per-coordinate steps of 10% of the box.
+    let mut simplex: Vec<([f64; 7], f64)> = Vec::with_capacity(N + 1);
+    let mut first = x0;
+    project(&mut first);
+    let fv = eval(&first, &mut evals);
+    simplex.push((first, fv));
+    for i in 0..N {
+        let mut xi = first;
+        let step = 0.1 * (HI[i] - LO[i]);
+        xi[i] = if xi[i] + step <= HI[i] {
+            xi[i] + step
+        } else {
+            xi[i] - step
+        };
+        project(&mut xi);
+        let fv = eval(&xi, &mut evals);
+        simplex.push((xi, fv));
+    }
+
+    for _ in 0..max_iters {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        let best = simplex[0].1;
+        let worst = simplex[N].1;
+        if (worst - best).abs() < 1e-12 {
+            break;
+        }
+        // Centroid of all but the worst.
+        let mut centroid = [0.0f64; 7];
+        for (x, _) in simplex.iter().take(N) {
+            for i in 0..N {
+                centroid[i] += x[i] / N as f64;
+            }
+        }
+        let worst_x = simplex[N].0;
+        let make = |coef: f64| {
+            let mut x = [0.0f64; 7];
+            for i in 0..N {
+                x[i] = centroid[i] + coef * (centroid[i] - worst_x[i]);
+            }
+            project(&mut x);
+            x
+        };
+        let xr = make(1.0);
+        let fr = eval(&xr, &mut evals);
+        if fr < simplex[0].1 {
+            let xe = make(2.0);
+            let fe = eval(&xe, &mut evals);
+            simplex[N] = if fe < fr { (xe, fe) } else { (xr, fr) };
+        } else if fr < simplex[N - 1].1 {
+            simplex[N] = (xr, fr);
+        } else {
+            let xc = make(-0.5);
+            let fc = eval(&xc, &mut evals);
+            if fc < simplex[N].1 {
+                simplex[N] = (xc, fc);
+            } else {
+                // Shrink towards the best vertex.
+                let x_best = simplex[0].0;
+                for v in simplex.iter_mut().skip(1) {
+                    for i in 0..N {
+                        v.0[i] = x_best[i] + 0.5 * (v.0[i] - x_best[i]);
+                    }
+                    project(&mut v.0);
+                    v.1 = eval(&v.0, &mut evals);
+                }
+            }
+        }
+    }
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+    (simplex[0].0, simplex[0].1, evals)
+}
+
+/// Fits the seven performance-model parameters to profiled data points.
+///
+/// # Errors
+///
+/// Returns [`ModelError::FitFailed`] if fewer than `opts.min_points` points
+/// are supplied or every restart diverged.
+///
+/// ```
+/// use rubick_model::prelude::*;
+/// use rubick_model::fit::{fit_perf_params, DataPoint, FitOptions};
+///
+/// # fn main() -> Result<(), ModelError> {
+/// let spec = ModelSpec::roberta_large();
+/// let env = ClusterEnv::a800();
+/// // Generate synthetic observations from known parameters...
+/// let truth = PerfParams::default();
+/// let mut points = Vec::new();
+/// for (plan, gpus) in [
+///     (ExecutionPlan::dp(1), 1u32),
+///     (ExecutionPlan::dp(2), 2),
+///     (ExecutionPlan::dp(4), 4),
+///     (ExecutionPlan::zero_dp(8), 8),
+///     (ExecutionPlan::zero_offload(1), 1),
+///     (ExecutionPlan::zero_offload(2), 2),
+///     (ExecutionPlan::zero_offload(4), 4),
+/// ] {
+///     let placement = Placement::packed(gpus, &NodeShape::a800());
+///     let t = truth.iter_time(&spec, &plan, 64, &placement, &env);
+///     points.push(DataPoint::new(plan, placement, 64, t));
+/// }
+/// let fit = fit_perf_params(&spec, &env, &points, &FitOptions::default())?;
+/// assert!(fit.rmsle < 0.05, "should recover the generating model");
+/// # Ok(())
+/// # }
+/// ```
+pub fn fit_perf_params(
+    spec: &ModelSpec,
+    env: &ClusterEnv,
+    points: &[DataPoint],
+    opts: &FitOptions,
+) -> Result<FitResult, ModelError> {
+    if points.len() < opts.min_points {
+        return Err(ModelError::FitFailed {
+            reason: format!(
+                "need at least {} data points, got {}",
+                opts.min_points,
+                points.len()
+            ),
+        });
+    }
+    let mut rng = SmallRng::seed_from_u64(opts.seed);
+    let objective = |v: &[f64; 7]| {
+        let params = PerfParams::from_vec(v, opts.gpu_flops);
+        rmsle(&params, spec, env, points)
+    };
+
+    let mut best: Option<([f64; 7], f64)> = None;
+    let mut total_evals = 0usize;
+    for restart in 0..opts.restarts.max(1) {
+        let x0 = if restart == 0 {
+            PerfParams {
+                gpu_flops: opts.gpu_flops,
+                ..PerfParams::default()
+            }
+            .to_vec()
+        } else {
+            let mut x = [0.0f64; 7];
+            for i in 0..7 {
+                // Log-uniform for the scale parameters, uniform otherwise.
+                x[i] = if i == 2 || i == 3 {
+                    (LO[i].ln() + rng.random::<f64>() * (HI[i].ln() - LO[i].ln())).exp()
+                } else {
+                    LO[i] + rng.random::<f64>() * (HI[i] - LO[i])
+                };
+            }
+            x
+        };
+        let (x, fv, evals) = nelder_mead(objective, x0, opts.max_iters);
+        total_evals += evals;
+        if fv.is_finite() && best.as_ref().map(|(_, b)| fv < *b).unwrap_or(true) {
+            best = Some((x, fv));
+        }
+    }
+    let (x, fv) = best.ok_or_else(|| ModelError::FitFailed {
+        reason: "all restarts diverged".into(),
+    })?;
+    Ok(FitResult {
+        params: PerfParams::from_vec(&x, opts.gpu_flops),
+        rmsle: fv,
+        evaluations: total_evals,
+    })
+}
+
+/// Continuous online fitting: accumulates observations from live training
+/// and refits when the current model's prediction error drifts.
+///
+/// The paper: "the model can also be updated online using metrics collected
+/// in real training runs when the prediction error exceeds a threshold."
+#[derive(Debug, Clone)]
+pub struct OnlineFitter {
+    spec: ModelSpec,
+    env: ClusterEnv,
+    points: Vec<DataPoint>,
+    params: PerfParams,
+    opts: FitOptions,
+    /// Relative prediction-error threshold that triggers a refit.
+    pub refit_threshold: f64,
+    refits: usize,
+}
+
+impl OnlineFitter {
+    /// Starts from an initial fit over the profiled points.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelError::FitFailed`] from the initial fit.
+    pub fn new(
+        spec: ModelSpec,
+        env: ClusterEnv,
+        initial_points: Vec<DataPoint>,
+        opts: FitOptions,
+    ) -> Result<Self, ModelError> {
+        let fit = fit_perf_params(&spec, &env, &initial_points, &opts)?;
+        Ok(OnlineFitter {
+            spec,
+            env,
+            points: initial_points,
+            params: fit.params,
+            opts,
+            refit_threshold: 0.15,
+            refits: 0,
+        })
+    }
+
+    /// The current best parameters.
+    pub fn params(&self) -> &PerfParams {
+        &self.params
+    }
+
+    /// Number of refits triggered so far.
+    pub fn refits(&self) -> usize {
+        self.refits
+    }
+
+    /// Number of accumulated observations.
+    pub fn observations(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Relative prediction error of the current model on a would-be
+    /// observation (used to decide whether feeding it is worthwhile).
+    pub fn prediction_error(&self, point: &DataPoint) -> f64 {
+        let pred = self.params.iter_time(
+            &self.spec,
+            &point.plan,
+            point.global_batch,
+            &point.placement,
+            &self.env,
+        );
+        (pred - point.iter_time).abs() / point.iter_time.max(1e-9)
+    }
+
+    /// Records a live observation; refits if the relative prediction error
+    /// exceeds [`OnlineFitter::refit_threshold`]. Returns `true` when a
+    /// refit happened.
+    ///
+    /// The point set is bounded: the original profiled samples are always
+    /// kept (they anchor the offload parameters), and only the most recent
+    /// online observations beyond that are retained.
+    pub fn observe(&mut self, point: DataPoint) -> bool {
+        const MAX_POINTS: usize = 28;
+        // A configuration we already learned from carries no new
+        // information — refitting on it again would just thrash on
+        // whatever residual error the model family cannot express.
+        if self
+            .points
+            .iter()
+            .any(|p| p.plan == point.plan && p.placement == point.placement)
+        {
+            return false;
+        }
+        let rel_err = self.prediction_error(&point);
+        self.points.push(point);
+        if self.points.len() > MAX_POINTS {
+            // Drop the oldest *online* point (keep the profiled prefix).
+            let keep_prefix = self.opts.min_points.min(self.points.len());
+            self.points.remove(keep_prefix);
+        }
+        if rel_err > self.refit_threshold {
+            if let Ok(fit) = fit_perf_params(&self.spec, &self.env, &self.points, &self.opts) {
+                self.params = fit.params;
+                self.refits += 1;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::NodeShape;
+
+    /// Synthetic observations from known ground-truth parameters.
+    fn synthetic_points(spec: &ModelSpec, truth: &PerfParams, env: &ClusterEnv) -> Vec<DataPoint> {
+        let shape = NodeShape::a800();
+        let configs: Vec<(ExecutionPlan, u32)> = vec![
+            (ExecutionPlan::dp(1), 1),
+            (ExecutionPlan::dp(4), 4),
+            (ExecutionPlan::dp(8).with_ga(2), 8),
+            (ExecutionPlan::zero_dp(8), 8),
+            (ExecutionPlan::zero_offload(1), 1),
+            (ExecutionPlan::zero_offload(2), 2),
+            (ExecutionPlan::zero_offload(4).with_gc(), 4),
+        ];
+        configs
+            .into_iter()
+            .map(|(plan, g)| {
+                let placement = Placement::packed(g, &shape);
+                let t = truth.iter_time(spec, &plan, 64, &placement, env);
+                DataPoint::new(plan, placement, 64, t)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fit_recovers_generating_model() {
+        let spec = ModelSpec::roberta_large();
+        let env = ClusterEnv::a800();
+        let truth = PerfParams {
+            k_bwd: 2.3,
+            k_sync: 3.0,
+            k_opt: 0.05,
+            k_opt_off: 2.0,
+            k_off: 1.8,
+            k_swap: 2.5,
+            k_const: 0.02,
+            gpu_flops: 1.2e14,
+        };
+        let points = synthetic_points(&spec, &truth, &env);
+        let fit = fit_perf_params(&spec, &env, &points, &FitOptions::default()).unwrap();
+        assert!(fit.rmsle < 0.02, "rmsle too high: {}", fit.rmsle);
+        // Predictions on an unseen configuration should be close.
+        let plan = ExecutionPlan::zero_dp(4);
+        let placement = Placement::packed(4, &NodeShape::a800());
+        let pred = fit.params.iter_time(&spec, &plan, 64, &placement, &env);
+        let actual = truth.iter_time(&spec, &plan, 64, &placement, &env);
+        let rel = (pred - actual).abs() / actual;
+        assert!(rel < 0.15, "unseen prediction off by {rel}");
+    }
+
+    #[test]
+    fn fit_requires_min_points() {
+        let spec = ModelSpec::roberta_large();
+        let env = ClusterEnv::a800();
+        let truth = PerfParams::default();
+        let mut points = synthetic_points(&spec, &truth, &env);
+        points.truncate(5);
+        let err = fit_perf_params(&spec, &env, &points, &FitOptions::default());
+        assert!(matches!(err, Err(ModelError::FitFailed { .. })));
+    }
+
+    #[test]
+    fn fit_is_deterministic_for_fixed_seed() {
+        let spec = ModelSpec::bert_large();
+        let env = ClusterEnv::a800();
+        let truth = PerfParams::default();
+        let points = synthetic_points(&spec, &truth, &env);
+        let a = fit_perf_params(&spec, &env, &points, &FitOptions::default()).unwrap();
+        let b = fit_perf_params(&spec, &env, &points, &FitOptions::default()).unwrap();
+        assert_eq!(a.params, b.params);
+    }
+
+    #[test]
+    fn online_fitter_refits_on_drift() {
+        let spec = ModelSpec::roberta_large();
+        let env = ClusterEnv::a800();
+        let truth = PerfParams::default();
+        let points = synthetic_points(&spec, &truth, &env);
+        let mut fitter =
+            OnlineFitter::new(spec.clone(), env, points, FitOptions::default()).unwrap();
+        // Feed an observation that is 2x slower than the model expects.
+        let plan = ExecutionPlan::dp(2);
+        let placement = Placement::packed(2, &NodeShape::a800());
+        let t = truth.iter_time(&spec, &plan, 64, &placement, &env) * 2.0;
+        let refit = fitter.observe(DataPoint::new(plan, placement, 64, t));
+        assert!(refit);
+        assert_eq!(fitter.refits(), 1);
+    }
+
+    #[test]
+    fn datapoint_rejects_nonpositive_time() {
+        let plan = ExecutionPlan::dp(1);
+        let placement = Placement::single_node(1, 8, 100.0);
+        let res = std::panic::catch_unwind(|| DataPoint::new(plan, placement, 16, 0.0));
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,536 @@
+//! The seven-parameter iteration-time model (paper §4).
+//!
+//! `T_iter = T_cc + T_oo + k_const` (Eq. 1), where `T_cc` combines forward,
+//! backward and communication (§4.1) and `T_oo` combines optimizer and
+//! offloading (§4.2). Overlap between stages is modelled by the p-norm
+//! [`f_overlap`] borrowed from Pollux: `(x^k + y^k)^(1/k)` equals `x + y` at
+//! `k = 1` and tends to `max(x, y)` as `k → ∞`.
+//!
+//! Each fittable parameter is a `k_*` field of [`PerfParams`]; everything
+//! else is a model constant ([`ModelSpec`]), a job constant (plan, batch),
+//! or an environment constant ([`ClusterEnv`]) — exactly Table 1.
+
+use crate::env::ClusterEnv;
+use crate::error::ModelError;
+use crate::memory::MemoryEstimator;
+use crate::placement::{CommTopology, Placement};
+use crate::plan::{enumerate_plans, ExecutionPlan, MemoryMode};
+use crate::resources::NodeShape;
+use crate::spec::ModelSpec;
+use serde::{Deserialize, Serialize};
+
+/// Communication volumes of one training iteration, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct CommVolumes {
+    /// Data-parallel gradient synchronization volume.
+    pub dp_bytes: f64,
+    /// Tensor-parallel activation exchange volume.
+    pub tp_bytes: f64,
+    /// Pipeline-parallel stage transfer volume.
+    pub pp_bytes: f64,
+    /// GPU ↔ host offload volume (ZeRO-Offload only).
+    pub pcie_bytes: f64,
+}
+
+impl CommVolumes {
+    /// Total network (DP + TP + PP) bytes per iteration.
+    pub fn network_bytes(&self) -> f64 {
+        self.dp_bytes + self.tp_bytes + self.pp_bytes
+    }
+}
+
+/// Computes the per-iteration communication volumes of a plan (paper §4.1).
+///
+/// * DP (ring all-reduce): `V_dp = P · 2(d−1) / (d·t·p)` — the rule also
+///   applies to the ZeRO series;
+/// * TP: `V_tp = 4·2·(t−1)·b·s·h·l / (d·t)` elements;
+/// * PP (1F1B): `V_pp = 2·p·b·s·h / (d·t)` elements;
+/// * PCIe (ZeRO-Offload): `P / d` per data-parallel GPU.
+///
+/// Element counts are converted to bytes at fp16 (2 bytes).
+pub fn volumes(spec: &ModelSpec, plan: &ExecutionPlan, global_batch: u32) -> CommVolumes {
+    let d = plan.parallel.dp as f64;
+    let t = plan.parallel.tp as f64;
+    let p = plan.parallel.pp as f64;
+    let b = global_batch as f64;
+    let s = spec.seq_len as f64;
+    let h = spec.hidden as f64;
+    let l = spec.layers as f64;
+    let p_bytes = spec.param_bytes();
+    const BYTES_PER_ELEM: f64 = 2.0;
+
+    let dp_bytes = if plan.parallel.dp > 1 {
+        // ZeRO-3 all-gathers parameters in the forward and backward passes
+        // on top of the gradient reduce-scatter: ~1.5x the ring-allreduce
+        // traffic of plain DP / ZeRO-2.
+        let factor = if plan.memory == MemoryMode::Zero3 { 3.0 } else { 2.0 };
+        p_bytes * factor * (d - 1.0) / (d * t * p)
+    } else {
+        0.0
+    };
+    let tp_bytes = if plan.parallel.tp > 1 {
+        4.0 * 2.0 * (t - 1.0) * b * s * h * l / (d * t) * BYTES_PER_ELEM
+    } else {
+        0.0
+    };
+    let pp_bytes = if plan.parallel.pp > 1 {
+        2.0 * p * b * s * h / (d * t) * BYTES_PER_ELEM
+    } else {
+        0.0
+    };
+    let pcie_bytes = if plan.memory == MemoryMode::ZeroOffload {
+        p_bytes / d
+    } else {
+        0.0
+    };
+    CommVolumes {
+        dp_bytes,
+        tp_bytes,
+        pp_bytes,
+        pcie_bytes,
+    }
+}
+
+/// The p-norm overlap function `f_overlap^k(x, y) = (x^k + y^k)^(1/k)`.
+///
+/// Properties (exercised by property tests):
+/// * `f(1, x, y) = x + y` (no overlap),
+/// * `f(k, x, y) → max(x, y)` as `k → ∞` (perfect overlap),
+/// * monotonically non-increasing in `k`, bounded by `[max(x,y), x+y]`.
+///
+/// `k` is clamped to `[1, 64]`; zero operands short-circuit.
+pub fn f_overlap(k: f64, x: f64, y: f64) -> f64 {
+    if x <= 0.0 {
+        return y.max(0.0);
+    }
+    if y <= 0.0 {
+        return x;
+    }
+    let k = k.clamp(1.0, 64.0);
+    // Compute in a numerically stable way: factor out the larger operand.
+    let (hi, lo) = if x >= y { (x, y) } else { (y, x) };
+    hi * (1.0 + (lo / hi).powf(k)).powf(1.0 / k)
+}
+
+/// The seven fittable parameters of the performance model (Table 1), plus
+/// the profiled effective GPU throughput that anchors `T_fwd`.
+///
+/// The paper obtains `T_fwd` from framework profilers and scales it
+/// linearly with per-GPU batch and tensor-shard size; we represent the same
+/// information as `gpu_flops` — the sustained FLOP/s one GPU achieves on
+/// this model — so `T_fwd` is derived from [`ModelSpec::fwd_flops_per_sample`].
+///
+/// ```
+/// use rubick_model::prelude::*;
+/// let spec = ModelSpec::gpt2_xl();
+/// let params = PerfParams::default();
+/// let plan = ExecutionPlan::zero_dp(8);
+/// let placement = Placement::single_node(8, 96, 1600.0);
+/// let t = params.iter_time(&spec, &plan, 16, &placement, &ClusterEnv::a800());
+/// assert!(t > 0.0 && t.is_finite());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfParams {
+    /// Backward/forward compute ratio: `T_bwd = k_bwd · T_fwd`.
+    pub k_bwd: f64,
+    /// Overlap exponent for backward-pass / DP-sync overlap.
+    pub k_sync: f64,
+    /// GPU optimizer time per billion parameters (3D / ZeRO-DP).
+    pub k_opt: f64,
+    /// CPU optimizer efficiency for ZeRO-Offload
+    /// (`T_opt = k_opt_off · P / (d·c)`).
+    pub k_opt_off: f64,
+    /// Overlap exponent for DP-sync / offload overlap (ZeRO-Offload).
+    pub k_off: f64,
+    /// Overlap exponent for optimizer / swap overlap (ZeRO-Offload).
+    pub k_swap: f64,
+    /// Constant per-iteration overhead, seconds.
+    pub k_const: f64,
+    /// Profiled sustained per-GPU throughput, FLOP/s.
+    pub gpu_flops: f64,
+}
+
+impl Default for PerfParams {
+    /// Plausible A800 defaults; real deployments fit these from profiled
+    /// samples (see [`crate::fit`]).
+    fn default() -> Self {
+        PerfParams {
+            k_bwd: 2.0,
+            k_sync: 2.0,
+            k_opt: 0.02,
+            k_opt_off: 1.0,
+            k_off: 2.0,
+            k_swap: 2.0,
+            k_const: 0.01,
+            gpu_flops: 1.2e14,
+        }
+    }
+}
+
+impl PerfParams {
+    /// The fittable parameters as a fixed-size vector
+    /// `[k_bwd, k_sync, k_opt, k_opt_off, k_off, k_swap, k_const]`,
+    /// the order of Table 1.
+    pub fn to_vec(&self) -> [f64; 7] {
+        [
+            self.k_bwd,
+            self.k_sync,
+            self.k_opt,
+            self.k_opt_off,
+            self.k_off,
+            self.k_swap,
+            self.k_const,
+        ]
+    }
+
+    /// Reconstructs parameters from the vector form, keeping `gpu_flops`.
+    pub fn from_vec(v: &[f64; 7], gpu_flops: f64) -> Self {
+        PerfParams {
+            k_bwd: v[0],
+            k_sync: v[1],
+            k_opt: v[2],
+            k_opt_off: v[3],
+            k_off: v[4],
+            k_swap: v[5],
+            k_const: v[6],
+            gpu_flops,
+        }
+    }
+
+    /// Forward-pass time of one *pass* (one GA step, or the `(m+p−1)`-step
+    /// pipeline schedule under PP), in seconds.
+    fn t_fwd(&self, spec: &ModelSpec, plan: &ExecutionPlan, global_batch: u32) -> f64 {
+        let d = plan.parallel.dp as f64;
+        let t = plan.parallel.tp as f64;
+        let p = plan.parallel.pp as f64;
+        let b = global_batch as f64;
+        let flops = spec.fwd_flops_per_sample();
+        if plan.parallel.pp > 1 {
+            let m = plan.micro_batches as f64;
+            // One micro-batch through one stage holding l/p layers:
+            let t_stage = flops * (b / (d * m)) / (t * p) / self.gpu_flops;
+            // 1F1B: fill (p−1) bubbles plus m micro-batches serially.
+            t_stage * (m + p - 1.0)
+        } else {
+            let a = plan.ga_steps as f64;
+            flops * (b / (d * a)) / t / self.gpu_flops
+        }
+    }
+
+    /// Predicts the end-to-end iteration time `T_iter` in seconds (Eq. 1).
+    ///
+    /// This is the *structural* prediction only; it does not check memory
+    /// feasibility (see [`ThroughputModel::iter_time`] for the checked
+    /// variant).
+    pub fn iter_time(
+        &self,
+        spec: &ModelSpec,
+        plan: &ExecutionPlan,
+        global_batch: u32,
+        placement: &Placement,
+        env: &ClusterEnv,
+    ) -> f64 {
+        let topo = CommTopology::derive(&plan.parallel, placement, env);
+        let vol = volumes(spec, plan, global_batch);
+        let gb = 1.0e9;
+        let t_comm_dp = vol.dp_bytes / (topo.b_dp * gb);
+        let t_comm_tp = vol.tp_bytes / (topo.b_tp * gb);
+        let t_comm_pp = vol.pp_bytes / (topo.b_pp * gb);
+
+        let t_fwd = self.t_fwd(spec, plan, global_batch);
+        // GC adds one forward-pass worth of recomputation to the backward pass.
+        let t_bwd = self.k_bwd * t_fwd + if plan.gc { t_fwd } else { 0.0 };
+
+        let d = plan.parallel.dp as f64;
+        let offload = plan.memory == MemoryMode::ZeroOffload;
+
+        let t_cc = if offload {
+            // DP sync is overlapped with offloading inside T_oo instead.
+            let a = plan.ga_steps as f64;
+            a * t_fwd + a * t_bwd + t_comm_tp + t_comm_pp
+        } else if plan.ga_steps > 1 {
+            let a = plan.ga_steps as f64;
+            a * t_fwd
+                + (a - 1.0) * t_bwd
+                + f_overlap(self.k_sync, t_bwd, t_comm_dp)
+                + t_comm_tp
+                + t_comm_pp
+        } else {
+            t_fwd + f_overlap(self.k_sync, t_bwd, t_comm_dp) + t_comm_tp + t_comm_pp
+        };
+
+        let t_oo = if offload {
+            let c = placement.cpus.max(1) as f64;
+            let t_opt = self.k_opt_off * spec.params_b() / (d * c);
+            let t_off = vol.pcie_bytes / (env.b_pcie * gb);
+            f_overlap(self.k_off, t_comm_dp, t_off) + f_overlap(self.k_swap, t_opt, t_off)
+        } else {
+            // 3D parallelism partitions parameters by t·p; the ZeRO
+            // variants by d.
+            let x = match plan.memory {
+                MemoryMode::Zero2 | MemoryMode::Zero3 => d,
+                _ => (plan.parallel.tp * plan.parallel.pp) as f64,
+            };
+            self.k_opt * spec.params_b() / x
+        };
+
+        t_cc + t_oo + self.k_const
+    }
+
+    /// Predicted throughput in samples/second: `b / T_iter`.
+    pub fn throughput(
+        &self,
+        spec: &ModelSpec,
+        plan: &ExecutionPlan,
+        global_batch: u32,
+        placement: &Placement,
+        env: &ClusterEnv,
+    ) -> f64 {
+        global_batch as f64 / self.iter_time(spec, plan, global_batch, placement, env)
+    }
+}
+
+/// A fitted performance model for one model type, bundled with the cluster
+/// environment and node shape so it can answer scheduler queries
+/// ("best plan on `g` GPUs?", "throughput of this placement?") directly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputModel {
+    /// The model type this performance model describes.
+    pub spec: ModelSpec,
+    /// Fitted parameters.
+    pub params: PerfParams,
+    /// Cluster environment constants.
+    pub env: ClusterEnv,
+    /// Node hardware shape (for plan enumeration and memory checks).
+    pub shape: NodeShape,
+}
+
+impl ThroughputModel {
+    /// Bundles a fitted parameter set with its context.
+    pub fn new(spec: ModelSpec, params: PerfParams, env: ClusterEnv, shape: NodeShape) -> Self {
+        ThroughputModel {
+            spec,
+            params,
+            env,
+            shape,
+        }
+    }
+
+    /// Memory-checked iteration time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidPlan`] or [`ModelError::OutOfMemory`]
+    /// when the plan cannot run on the placement.
+    pub fn iter_time(
+        &self,
+        plan: &ExecutionPlan,
+        global_batch: u32,
+        placement: &Placement,
+    ) -> Result<f64, ModelError> {
+        plan.validate(&self.spec, global_batch)?;
+        MemoryEstimator::new(self.shape.gpu_mem_gb).check_feasible(
+            &self.spec,
+            plan,
+            placement,
+            global_batch,
+            &self.env,
+        )?;
+        Ok(self
+            .params
+            .iter_time(&self.spec, plan, global_batch, placement, &self.env))
+    }
+
+    /// Memory-checked throughput in samples/second.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ThroughputModel::iter_time`].
+    pub fn throughput(
+        &self,
+        plan: &ExecutionPlan,
+        global_batch: u32,
+        placement: &Placement,
+    ) -> Result<f64, ModelError> {
+        Ok(global_batch as f64 / self.iter_time(plan, global_batch, placement)?)
+    }
+
+    /// Searches all feasible plans on this placement and returns the best
+    /// `(plan, throughput)` — `GetBestPlan` of Algorithm 1.
+    ///
+    /// Returns `None` when no plan fits (e.g. LLaMA-30B on 1 GPU).
+    pub fn best_plan(
+        &self,
+        global_batch: u32,
+        placement: &Placement,
+    ) -> Option<(ExecutionPlan, f64)> {
+        let gpus = placement.total_gpus();
+        if gpus == 0 {
+            return None;
+        }
+        let mut best: Option<(ExecutionPlan, f64)> = None;
+        for plan in enumerate_plans(&self.spec, gpus, global_batch, &self.shape, &self.env) {
+            if let Ok(tput) = self.throughput(&plan, global_batch, placement) {
+                if best.as_ref().map(|(_, b)| tput > *b).unwrap_or(true) {
+                    best = Some((plan, tput));
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> (ModelSpec, PerfParams, ClusterEnv) {
+        (
+            ModelSpec::gpt2_xl(),
+            PerfParams::default(),
+            ClusterEnv::a800(),
+        )
+    }
+
+    #[test]
+    fn overlap_function_bounds() {
+        for &(x, y) in &[(1.0, 2.0), (0.5, 0.5), (3.0, 0.1)] {
+            let sum = f_overlap(1.0, x, y);
+            assert!((sum - (x + y)).abs() < 1e-9, "k=1 is exact sum");
+            let near_max = f_overlap(64.0, x, y);
+            assert!(near_max >= x.max(y) - 1e-9);
+            assert!(near_max <= x.max(y) * 1.05);
+            let mid = f_overlap(2.0, x, y);
+            assert!(mid <= sum && mid >= x.max(y));
+        }
+    }
+
+    #[test]
+    fn overlap_zero_operands() {
+        assert_eq!(f_overlap(2.0, 0.0, 3.0), 3.0);
+        assert_eq!(f_overlap(2.0, 3.0, 0.0), 3.0);
+        assert_eq!(f_overlap(2.0, 0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn dp_volume_zero_for_single_replica() {
+        let (spec, _, _) = ctx();
+        let v = volumes(&spec, &ExecutionPlan::dp(1), 16);
+        assert_eq!(v.dp_bytes, 0.0);
+        assert_eq!(v.tp_bytes, 0.0);
+        assert_eq!(v.pp_bytes, 0.0);
+    }
+
+    #[test]
+    fn dp_volume_grows_with_replicas() {
+        let (spec, _, _) = ctx();
+        let v2 = volumes(&spec, &ExecutionPlan::dp(2), 16).dp_bytes;
+        let v8 = volumes(&spec, &ExecutionPlan::dp(8), 16).dp_bytes;
+        assert!(v8 > v2);
+        // 2(d-1)/d approaches 2P: v8 = P*2*7/8
+        assert!((v8 - spec.param_bytes() * 1.75).abs() / v8 < 1e-9);
+    }
+
+    #[test]
+    fn offload_has_pcie_volume() {
+        let (spec, _, _) = ctx();
+        let v = volumes(&spec, &ExecutionPlan::zero_offload(2), 16);
+        assert!((v.pcie_bytes - spec.param_bytes() / 2.0).abs() < 1.0);
+        let v = volumes(&spec, &ExecutionPlan::zero_dp(2), 16);
+        assert_eq!(v.pcie_bytes, 0.0);
+    }
+
+    #[test]
+    fn more_gpus_faster_dp() {
+        let (spec, params, env) = ctx();
+        let p1 = Placement::single_node(1, 12, 200.0);
+        let p8 = Placement::single_node(8, 96, 1600.0);
+        let t1 = params.iter_time(&spec, &ExecutionPlan::dp(1), 16, &p1, &env);
+        let t8 = params.iter_time(&spec, &ExecutionPlan::dp(8), 16, &p8, &env);
+        assert!(t8 < t1, "8-GPU DP should beat 1 GPU: {t8} vs {t1}");
+    }
+
+    #[test]
+    fn gc_slows_down_iteration() {
+        let (spec, params, env) = ctx();
+        let p = Placement::single_node(4, 48, 800.0);
+        let plain = params.iter_time(&spec, &ExecutionPlan::dp(4), 16, &p, &env);
+        let gc = params.iter_time(&spec, &ExecutionPlan::dp(4).with_gc(), 16, &p, &env);
+        assert!(gc > plain);
+    }
+
+    #[test]
+    fn zero_dp_beats_plain_dp_on_large_model_many_gpus() {
+        // ZeRO-DP partitions optimizer work across d GPUs; with the same
+        // communication volume, its T_opt shrinks -> faster than plain DP.
+        let (spec, params, env) = ctx();
+        let p = Placement::single_node(8, 96, 1600.0);
+        let dp = params.iter_time(&spec, &ExecutionPlan::dp(8), 16, &p, &env);
+        let zero = params.iter_time(&spec, &ExecutionPlan::zero_dp(8), 16, &p, &env);
+        assert!(zero < dp, "ZeRO-DP {zero} should beat DP {dp}");
+    }
+
+    #[test]
+    fn offload_speeds_up_with_more_cpus() {
+        // Fig. 7's final stage: doubling CPUs accelerates ZeRO-Offload.
+        let (spec, params, env) = ctx();
+        let few = Placement::single_node(1, 6, 400.0);
+        let many = Placement::single_node(1, 48, 400.0);
+        let plan = ExecutionPlan::zero_offload(1);
+        let t_few = params.iter_time(&spec, &plan, 16, &few, &env);
+        let t_many = params.iter_time(&spec, &plan, 16, &many, &env);
+        assert!(t_many < t_few);
+    }
+
+    #[test]
+    fn cross_node_dp_slower_than_single_node() {
+        let (spec, params, env) = ctx();
+        let single = Placement::single_node(8, 96, 1600.0);
+        let spread = Placement::spread(8, 4, 96, 1600.0);
+        let plan = ExecutionPlan::dp(8);
+        let t_single = params.iter_time(&spec, &plan, 16, &single, &env);
+        let t_spread = params.iter_time(&spec, &plan, 16, &spread, &env);
+        assert!(t_spread > t_single);
+    }
+
+    #[test]
+    fn best_plan_exists_for_gpt2_8gpu() {
+        let (spec, params, env) = ctx();
+        let model = ThroughputModel::new(spec, params, env, NodeShape::a800());
+        let placement = Placement::single_node(8, 96, 1600.0);
+        let (plan, tput) = model.best_plan(16, &placement).expect("feasible");
+        assert!(tput > 0.0);
+        assert_eq!(plan.gpus(), 8);
+    }
+
+    #[test]
+    fn best_plan_none_for_30b_on_one_gpu() {
+        let params = PerfParams::default();
+        let model = ThroughputModel::new(
+            ModelSpec::llama_30b(),
+            params,
+            ClusterEnv::a800(),
+            NodeShape::a800(),
+        );
+        let placement = Placement::single_node(1, 12, 200.0);
+        assert!(model.best_plan(64, &placement).is_none());
+    }
+
+    #[test]
+    fn params_vec_roundtrip() {
+        let p = PerfParams::default();
+        let v = p.to_vec();
+        let q = PerfParams::from_vec(&v, p.gpu_flops);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn throughput_is_batch_over_iter_time() {
+        let (spec, params, env) = ctx();
+        let p = Placement::single_node(4, 48, 800.0);
+        let plan = ExecutionPlan::dp(4);
+        let t = params.iter_time(&spec, &plan, 16, &p, &env);
+        let tput = params.throughput(&spec, &plan, 16, &p, &env);
+        assert!((tput - 16.0 / t).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,593 @@
+//! Execution plans for reconfigurable DL training.
+//!
+//! A plan combines (paper §3): Megatron-style **3D parallelism** (DP × TP ×
+//! PP sizes), the **ZeRO series** (ZeRO-DP a.k.a. ZeRO-2, ZeRO-Offload), and
+//! the memory-saving techniques **gradient accumulation** (GA) and
+//! **gradient checkpointing** (GC). [`enumerate_plans`] lists every plan that
+//! is structurally valid *and* memory-feasible for a model on a given GPU
+//! count — the search space the Rubick scheduler walks when it builds
+//! resource sensitivity curves.
+
+use crate::env::ClusterEnv;
+use crate::error::ModelError;
+use crate::memory::MemoryEstimator;
+use crate::placement::Placement;
+use crate::resources::NodeShape;
+use crate::spec::ModelSpec;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The 3D-parallelism degrees: `d·t·p` GPUs total (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Parallelism {
+    /// Data-parallel size `d` (number of model replicas).
+    pub dp: u32,
+    /// Tensor-parallel size `t` (number of model partitions per layer).
+    pub tp: u32,
+    /// Pipeline-parallel size `p` (number of pipeline stages).
+    pub pp: u32,
+}
+
+impl Parallelism {
+    /// Creates a parallelism configuration; all degrees must be ≥ 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any degree is zero.
+    pub fn new(dp: u32, tp: u32, pp: u32) -> Self {
+        assert!(dp >= 1 && tp >= 1 && pp >= 1, "parallel degrees must be >= 1");
+        Parallelism { dp, tp, pp }
+    }
+
+    /// Pure data parallelism of degree `d`.
+    pub fn data(d: u32) -> Self {
+        Parallelism::new(d, 1, 1)
+    }
+
+    /// Total GPUs consumed: `d·t·p`.
+    pub fn gpus(&self) -> u32 {
+        self.dp * self.tp * self.pp
+    }
+
+    /// Whether any model-parallel dimension is active.
+    pub fn is_model_parallel(&self) -> bool {
+        self.tp > 1 || self.pp > 1
+    }
+}
+
+impl fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DP{}×TP{}×PP{}", self.dp, self.tp, self.pp)
+    }
+}
+
+/// Memory strategy layered on top of data parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryMode {
+    /// Vanilla: every replica holds full model states.
+    Plain,
+    /// ZeRO-DP (ZeRO-2): optimizer states and gradients sliced across the
+    /// `d` replicas. The paper's default ZeRO variant.
+    Zero2,
+    /// ZeRO-3: weights sliced as well — minimum per-GPU memory in the DP
+    /// family, at ~1.5× the gradient-synchronization traffic (parameters
+    /// are all-gathered on demand). An extension beyond the paper's default
+    /// ("there are several ZeRO-DP variants, and we refer to ZeRO-2").
+    Zero3,
+    /// ZeRO-Offload: states live in host memory, parameter update on CPUs.
+    ZeroOffload,
+}
+
+impl MemoryMode {
+    /// Whether this mode requires pure DP (`t = p = 1`).
+    pub fn requires_pure_dp(&self) -> bool {
+        !matches!(self, MemoryMode::Plain)
+    }
+}
+
+impl fmt::Display for MemoryMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryMode::Plain => write!(f, "plain"),
+            MemoryMode::Zero2 => write!(f, "ZeRO-DP"),
+            MemoryMode::Zero3 => write!(f, "ZeRO-3"),
+            MemoryMode::ZeroOffload => write!(f, "ZeRO-Offload"),
+        }
+    }
+}
+
+/// A complete execution plan for one training job.
+///
+/// Invariants (enforced by [`ExecutionPlan::validate`]):
+/// * ZeRO modes require `t = p = 1` (they are DP-based);
+/// * GA (`ga_steps > 1`) is only used without PP — with PP the micro-batch
+///   count `micro_batches` plays that role;
+/// * the per-device micro-batch must contain at least one sample, i.e.
+///   `d·a ≤ b` and `d·m ≤ b`.
+///
+/// ```
+/// use rubick_model::{ExecutionPlan, ModelSpec};
+/// let plan = ExecutionPlan::zero_dp(8).with_ga(2);
+/// let spec = ModelSpec::gpt2_xl();
+/// assert!(plan.validate(&spec, 16).is_ok());
+/// assert_eq!(plan.label(), "ZeRO-DP8+GA2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ExecutionPlan {
+    /// 3D-parallel degrees.
+    pub parallel: Parallelism,
+    /// Memory strategy (ZeRO series).
+    pub memory: MemoryMode,
+    /// Gradient-accumulation steps `a` (1 = off).
+    pub ga_steps: u32,
+    /// Pipeline micro-batch count `m` (1 when `pp == 1`).
+    pub micro_batches: u32,
+    /// Gradient checkpointing (activation recomputation).
+    pub gc: bool,
+}
+
+impl ExecutionPlan {
+    /// Pure data parallelism of degree `d`.
+    pub fn dp(d: u32) -> Self {
+        ExecutionPlan {
+            parallel: Parallelism::data(d),
+            memory: MemoryMode::Plain,
+            ga_steps: 1,
+            micro_batches: 1,
+            gc: false,
+        }
+    }
+
+    /// ZeRO-DP (ZeRO-2) of degree `d`.
+    pub fn zero_dp(d: u32) -> Self {
+        ExecutionPlan {
+            memory: MemoryMode::Zero2,
+            ..ExecutionPlan::dp(d)
+        }
+    }
+
+    /// ZeRO-3 of degree `d` (weights partitioned too).
+    pub fn zero3(d: u32) -> Self {
+        ExecutionPlan {
+            memory: MemoryMode::Zero3,
+            ..ExecutionPlan::dp(d)
+        }
+    }
+
+    /// ZeRO-Offload of degree `d`.
+    pub fn zero_offload(d: u32) -> Self {
+        ExecutionPlan {
+            memory: MemoryMode::ZeroOffload,
+            ..ExecutionPlan::dp(d)
+        }
+    }
+
+    /// Megatron-style 3D parallelism with `m` pipeline micro-batches.
+    pub fn three_d(d: u32, t: u32, p: u32, m: u32) -> Self {
+        ExecutionPlan {
+            parallel: Parallelism::new(d, t, p),
+            memory: MemoryMode::Plain,
+            ga_steps: 1,
+            micro_batches: if p > 1 { m.max(1) } else { 1 },
+            gc: false,
+        }
+    }
+
+    /// Returns a copy with gradient accumulation of `a` steps.
+    pub fn with_ga(mut self, a: u32) -> Self {
+        self.ga_steps = a.max(1);
+        self
+    }
+
+    /// Returns a copy with gradient checkpointing enabled.
+    pub fn with_gc(mut self) -> Self {
+        self.gc = true;
+        self
+    }
+
+    /// Total GPUs this plan runs on.
+    pub fn gpus(&self) -> u32 {
+        self.parallel.gpus()
+    }
+
+    /// Checks every structural invariant against a model and global batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidPlan`] describing the first violated
+    /// constraint.
+    pub fn validate(&self, spec: &ModelSpec, global_batch: u32) -> Result<(), ModelError> {
+        let invalid = |reason: String| Err(ModelError::InvalidPlan { reason });
+        let Parallelism { dp, tp, pp } = self.parallel;
+        if dp == 0 || tp == 0 || pp == 0 {
+            return invalid("parallel degrees must be >= 1".into());
+        }
+        if self.memory.requires_pure_dp() && self.parallel.is_model_parallel() {
+            return invalid(format!(
+                "{} requires pure DP but plan is {}",
+                self.memory, self.parallel
+            ));
+        }
+        if pp > spec.layers {
+            return invalid(format!(
+                "pp={} exceeds layer count {} of {}",
+                pp, spec.layers, spec.name
+            ));
+        }
+        if tp > 1 && spec.hidden % tp != 0 {
+            return invalid(format!(
+                "tp={} does not divide hidden size {}",
+                tp, spec.hidden
+            ));
+        }
+        if self.ga_steps == 0 || self.micro_batches == 0 {
+            return invalid("ga_steps and micro_batches must be >= 1".into());
+        }
+        if pp > 1 && self.ga_steps > 1 {
+            return invalid("gradient accumulation is folded into micro-batches under PP".into());
+        }
+        if pp == 1 && self.micro_batches > 1 {
+            return invalid("micro_batches > 1 requires pp > 1".into());
+        }
+        // Frameworks require the global batch to split evenly into
+        // per-device micro-batches (`b = micro · a · d` in DeepSpeed terms).
+        // This is why only a few GPU counts are valid in the paper's Fig. 6.
+        let splits = dp.saturating_mul(if pp > 1 {
+            self.micro_batches
+        } else {
+            self.ga_steps
+        });
+        if splits > global_batch || global_batch % splits != 0 {
+            return invalid(format!(
+                "global batch {} does not split evenly into {} device micro-batches",
+                global_batch, splits
+            ));
+        }
+        Ok(())
+    }
+
+    /// A coarse categorization of the plan, matching the paper's figure
+    /// legends.
+    pub fn kind(&self) -> PlanKind {
+        let Parallelism { tp, pp, .. } = self.parallel;
+        match self.memory {
+            MemoryMode::Zero2 => PlanKind::ZeroDp,
+            MemoryMode::Zero3 => PlanKind::Zero3,
+            MemoryMode::ZeroOffload => PlanKind::ZeroOffload,
+            MemoryMode::Plain => {
+                if tp > 1 && pp > 1 {
+                    PlanKind::ThreeD
+                } else if tp > 1 {
+                    PlanKind::TensorParallel
+                } else if pp > 1 {
+                    PlanKind::Pipeline
+                } else {
+                    PlanKind::DataParallel
+                }
+            }
+        }
+    }
+
+    /// A compact human-readable label, e.g. `"TP4+DP2+GC"` or
+    /// `"ZeRO-Offload+GA2"`.
+    pub fn label(&self) -> String {
+        let Parallelism { dp, tp, pp } = self.parallel;
+        let mut parts: Vec<String> = Vec::new();
+        match self.memory {
+            MemoryMode::Zero2 => parts.push(format!("ZeRO-DP{dp}")),
+            MemoryMode::Zero3 => parts.push(format!("ZeRO-3x{dp}")),
+            MemoryMode::ZeroOffload => parts.push(format!("ZeRO-Offload{dp}")),
+            MemoryMode::Plain => {
+                if tp > 1 {
+                    parts.push(format!("TP{tp}"));
+                }
+                if pp > 1 {
+                    parts.push(format!("PP{pp}"));
+                }
+                if dp > 1 || parts.is_empty() {
+                    parts.push(format!("DP{dp}"));
+                }
+            }
+        }
+        if self.ga_steps > 1 {
+            parts.push(format!("GA{}", self.ga_steps));
+        }
+        if self.parallel.pp > 1 && self.micro_batches > 1 {
+            parts.push(format!("m{}", self.micro_batches));
+        }
+        if self.gc {
+            parts.push("GC".into());
+        }
+        parts.join("+")
+    }
+}
+
+impl fmt::Display for ExecutionPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Coarse plan category (the series names in the paper's figures).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlanKind {
+    /// Pure data parallelism (optionally with GA/GC).
+    DataParallel,
+    /// ZeRO-DP (ZeRO-2).
+    ZeroDp,
+    /// ZeRO-3 (weights partitioned too).
+    Zero3,
+    /// ZeRO-Offload.
+    ZeroOffload,
+    /// Tensor parallelism (possibly with DP).
+    TensorParallel,
+    /// Pipeline parallelism (possibly with DP).
+    Pipeline,
+    /// Full 3D parallelism (TP and PP both active).
+    ThreeD,
+}
+
+impl fmt::Display for PlanKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanKind::DataParallel => write!(f, "DP"),
+            PlanKind::ZeroDp => write!(f, "ZeRO-DP"),
+            PlanKind::Zero3 => write!(f, "ZeRO-3"),
+            PlanKind::ZeroOffload => write!(f, "ZeRO-Offload"),
+            PlanKind::TensorParallel => write!(f, "TP"),
+            PlanKind::Pipeline => write!(f, "PP"),
+            PlanKind::ThreeD => write!(f, "3D"),
+        }
+    }
+}
+
+/// Candidate TP degrees: powers of two up to a node's width.
+fn tp_candidates(shape: &NodeShape, gpus: u32, spec: &ModelSpec) -> Vec<u32> {
+    let mut v = vec![1u32];
+    let mut t = 2u32;
+    while t <= shape.gpus && t <= gpus {
+        if spec.hidden % t == 0 {
+            v.push(t);
+        }
+        t *= 2;
+    }
+    v
+}
+
+/// Enumerates every structurally valid, memory-feasible execution plan for
+/// `spec` on exactly `gpus` GPUs with the given global batch size.
+///
+/// The feasibility check assumes a *packed* placement
+/// ([`Placement::packed`]): GPUs fill nodes of `shape` in order and the job
+/// receives a node-proportional share of CPUs and host memory. The
+/// scheduler re-checks feasibility against the real placement it finds.
+///
+/// Returned plans are deduplicated; ordering is deterministic.
+///
+/// ```
+/// use rubick_model::prelude::*;
+/// let spec = ModelSpec::roberta_large();
+/// let plans = enumerate_plans(&spec, 2, 64, &NodeShape::a800(), &ClusterEnv::a800());
+/// // Small model on 2 GPUs: DP, ZeRO variants, GA/GC combinations and TP2.
+/// assert!(plans.iter().any(|p| p.kind() == PlanKind::DataParallel));
+/// assert!(plans.iter().any(|p| p.kind() == PlanKind::ZeroDp));
+/// ```
+pub fn enumerate_plans(
+    spec: &ModelSpec,
+    gpus: u32,
+    global_batch: u32,
+    shape: &NodeShape,
+    env: &ClusterEnv,
+) -> Vec<ExecutionPlan> {
+    if gpus == 0 {
+        return Vec::new();
+    }
+    let placement = Placement::packed(gpus, shape);
+    let estimator = MemoryEstimator::new(shape.gpu_mem_gb);
+    let mut plans = Vec::new();
+    let mut push_if_feasible = |plan: ExecutionPlan| {
+        if plan.validate(spec, global_batch).is_ok()
+            && estimator
+                .check_feasible(spec, &plan, &placement, global_batch, env)
+                .is_ok()
+        {
+            plans.push(plan);
+        }
+    };
+
+    for t in tp_candidates(shape, gpus, spec) {
+        if gpus % t != 0 {
+            continue;
+        }
+        let rest = gpus / t;
+        for p in 1..=rest {
+            if rest % p != 0 || p > spec.layers {
+                continue;
+            }
+            let d = rest / p;
+            if d > global_batch {
+                continue;
+            }
+            let base = Parallelism::new(d, t, p);
+            if t == 1 && p == 1 {
+                // Pure DP family: plain / ZeRO-2 / ZeRO-3 / ZeRO-Offload,
+                // with GA and GC. ZeRO-3 only matters beyond one replica.
+                for memory in [
+                    MemoryMode::Plain,
+                    MemoryMode::Zero2,
+                    MemoryMode::Zero3,
+                    MemoryMode::ZeroOffload,
+                ] {
+                    if memory == MemoryMode::Zero3 && d == 1 {
+                        continue; // degenerates to plain DP
+                    }
+                    for ga in [1u32, 2, 4, 8] {
+                        if d.saturating_mul(ga) > global_batch {
+                            continue;
+                        }
+                        for gc in [false, true] {
+                            push_if_feasible(ExecutionPlan {
+                                parallel: base,
+                                memory,
+                                ga_steps: ga,
+                                micro_batches: 1,
+                                gc,
+                            });
+                        }
+                    }
+                }
+            } else if p == 1 {
+                // TP (+DP): GA and GC still apply.
+                for ga in [1u32, 2, 4] {
+                    if d.saturating_mul(ga) > global_batch {
+                        continue;
+                    }
+                    for gc in [false, true] {
+                        push_if_feasible(ExecutionPlan {
+                            parallel: base,
+                            memory: MemoryMode::Plain,
+                            ga_steps: ga,
+                            micro_batches: 1,
+                            gc,
+                        });
+                    }
+                }
+            } else {
+                // Pipeline / 3D: choose micro-batch counts around the stage
+                // count (1F1B wants m >= p to fill the pipeline).
+                let max_m = global_batch / d;
+                let mut candidates = vec![p, 2 * p, 4 * p, max_m];
+                candidates.retain(|&m| m >= 1 && m <= max_m);
+                candidates.sort_unstable();
+                candidates.dedup();
+                for m in candidates {
+                    for gc in [false, true] {
+                        push_if_feasible(ExecutionPlan {
+                            parallel: base,
+                            memory: MemoryMode::Plain,
+                            ga_steps: 1,
+                            micro_batches: m,
+                            gc,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    plans.dedup();
+    plans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a800() -> (NodeShape, ClusterEnv) {
+        (NodeShape::a800(), ClusterEnv::a800())
+    }
+
+    #[test]
+    fn parallelism_gpu_product() {
+        assert_eq!(Parallelism::new(2, 4, 2).gpus(), 16);
+        assert_eq!(Parallelism::data(8).gpus(), 8);
+    }
+
+    #[test]
+    fn zero_requires_pure_dp() {
+        let spec = ModelSpec::gpt2_xl();
+        let mut plan = ExecutionPlan::zero_dp(2);
+        plan.parallel = Parallelism::new(2, 2, 1);
+        assert!(plan.validate(&spec, 16).is_err());
+    }
+
+    #[test]
+    fn ga_cannot_exceed_batch() {
+        let spec = ModelSpec::gpt2_xl();
+        let plan = ExecutionPlan::dp(8).with_ga(4); // 8*4 = 32 > 16
+        assert!(plan.validate(&spec, 16).is_err());
+        let plan = ExecutionPlan::dp(4).with_ga(4); // 16 = 16 ok
+        assert!(plan.validate(&spec, 16).is_ok());
+    }
+
+    #[test]
+    fn pp_cannot_exceed_layers() {
+        let spec = ModelSpec::vit_base(); // 12 layers
+        let plan = ExecutionPlan::three_d(1, 1, 16, 16);
+        assert!(plan.validate(&spec, 64).is_err());
+    }
+
+    #[test]
+    fn labels_match_paper_vocabulary() {
+        assert_eq!(ExecutionPlan::dp(4).label(), "DP4");
+        assert_eq!(ExecutionPlan::dp(4).with_ga(2).label(), "DP4+GA2");
+        assert_eq!(ExecutionPlan::zero_dp(8).label(), "ZeRO-DP8");
+        assert_eq!(
+            ExecutionPlan::zero_offload(1).with_gc().label(),
+            "ZeRO-Offload1+GC"
+        );
+        assert_eq!(ExecutionPlan::three_d(4, 4, 2, 8).label(), "TP4+PP2+DP4+m8");
+    }
+
+    #[test]
+    fn kinds_partition_plans() {
+        assert_eq!(ExecutionPlan::dp(1).kind(), PlanKind::DataParallel);
+        assert_eq!(ExecutionPlan::zero_dp(2).kind(), PlanKind::ZeroDp);
+        assert_eq!(ExecutionPlan::zero_offload(1).kind(), PlanKind::ZeroOffload);
+        assert_eq!(
+            ExecutionPlan::three_d(1, 4, 1, 1).kind(),
+            PlanKind::TensorParallel
+        );
+        assert_eq!(ExecutionPlan::three_d(1, 1, 4, 4).kind(), PlanKind::Pipeline);
+        assert_eq!(ExecutionPlan::three_d(2, 2, 2, 4).kind(), PlanKind::ThreeD);
+    }
+
+    #[test]
+    fn enumeration_covers_dp_and_zero_for_small_model() {
+        let (shape, env) = a800();
+        let spec = ModelSpec::roberta_large();
+        let plans = enumerate_plans(&spec, 4, 64, &shape, &env);
+        assert!(plans.iter().any(|p| p.kind() == PlanKind::DataParallel));
+        assert!(plans.iter().any(|p| p.kind() == PlanKind::ZeroDp));
+        assert!(plans.iter().any(|p| p.kind() == PlanKind::ZeroOffload));
+        assert!(plans.iter().any(|p| p.kind() == PlanKind::TensorParallel));
+    }
+
+    #[test]
+    fn enumeration_products_match_gpu_count() {
+        let (shape, env) = a800();
+        let spec = ModelSpec::t5_1b();
+        for g in [1u32, 2, 4, 8, 16] {
+            for plan in enumerate_plans(&spec, g, 32, &shape, &env) {
+                assert_eq!(plan.gpus(), g, "plan {plan} does not use {g} GPUs");
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_empty_for_zero_gpus() {
+        let (shape, env) = a800();
+        assert!(enumerate_plans(&ModelSpec::vit_base(), 0, 64, &shape, &env).is_empty());
+    }
+
+    #[test]
+    fn large_model_on_one_gpu_needs_offload() {
+        let (shape, env) = a800();
+        let spec = ModelSpec::llama2_7b();
+        let plans = enumerate_plans(&spec, 1, 32, &shape, &env);
+        assert!(!plans.is_empty(), "ZeRO-Offload should make 1 GPU feasible");
+        assert!(
+            plans.iter().all(|p| p.kind() == PlanKind::ZeroOffload),
+            "7B model states cannot fit one 80 GiB GPU without offload: {plans:?}"
+        );
+    }
+
+    #[test]
+    fn thirty_b_model_infeasible_on_few_gpus() {
+        let (shape, env) = a800();
+        let spec = ModelSpec::llama_30b();
+        // Table 2 predicts LLaMA-30B only on [12-64] GPUs.
+        assert!(enumerate_plans(&spec, 1, 64, &shape, &env).is_empty());
+        assert!(enumerate_plans(&spec, 2, 64, &shape, &env).is_empty());
+        assert!(!enumerate_plans(&spec, 16, 64, &shape, &env).is_empty());
+    }
+}

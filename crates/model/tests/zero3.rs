@@ -1,0 +1,88 @@
+//! ZeRO-3 extension: weights partitioned as well (the paper defaults to
+//! ZeRO-2; this covers the "several ZeRO-DP variants" it mentions).
+
+use rubick_model::perf::volumes;
+use rubick_model::prelude::*;
+
+#[test]
+fn zero3_memory_sits_below_zero2() {
+    let est = MemoryEstimator::default();
+    let spec = ModelSpec::llama2_7b();
+    let z2 = est.gpu_mem_gb(&spec, &ExecutionPlan::zero_dp(8), 32);
+    let z3 = est.gpu_mem_gb(&spec, &ExecutionPlan::zero3(8), 32);
+    let plain = est.gpu_mem_gb(&spec, &ExecutionPlan::dp(8), 32);
+    assert!(z3 < z2, "ZeRO-3 {z3} must beat ZeRO-2 {z2}");
+    assert!(z2 < plain);
+}
+
+#[test]
+fn zero3_pays_fifty_percent_more_sync_traffic() {
+    let spec = ModelSpec::gpt2_xl();
+    let v2 = volumes(&spec, &ExecutionPlan::zero_dp(8), 16).dp_bytes;
+    let v3 = volumes(&spec, &ExecutionPlan::zero3(8), 16).dp_bytes;
+    assert!((v3 / v2 - 1.5).abs() < 1e-9, "ratio {}", v3 / v2);
+}
+
+#[test]
+fn zero3_enables_30b_on_eight_gpus() {
+    // ZeRO-2 keeps full fp16 weights per GPU (60 GiB for 30B): infeasible.
+    // ZeRO-3 partitions them too, so 8 GPUs suffice with GA/GC.
+    let shape = NodeShape::a800();
+    let env = ClusterEnv::a800();
+    let spec = ModelSpec::llama_30b();
+    let plans = enumerate_plans(&spec, 8, 64, &shape, &env);
+    assert!(plans.iter().any(|p| p.kind() == PlanKind::Zero3));
+    assert!(plans.iter().all(|p| p.kind() != PlanKind::ZeroDp));
+}
+
+#[test]
+fn zero3_excluded_at_single_replica() {
+    let shape = NodeShape::a800();
+    let env = ClusterEnv::a800();
+    let spec = ModelSpec::gpt2_xl();
+    let plans = enumerate_plans(&spec, 1, 16, &shape, &env);
+    assert!(plans.iter().all(|p| p.kind() != PlanKind::Zero3));
+}
+
+#[test]
+fn zero3_prediction_is_finite_and_slower_than_zero2_on_fast_interconnect() {
+    // On NVLink the extra all-gather traffic is cheap but not free; on a
+    // slow inter-node link ZeRO-3 should fall behind ZeRO-2 clearly.
+    let spec = ModelSpec::gpt2_xl();
+    let params = PerfParams::default();
+    let single = Placement::single_node(8, 96, 1600.0);
+    let spread = Placement::spread(8, 2, 96, 1600.0);
+    for env in [ClusterEnv::a800(), ClusterEnv::commodity()] {
+        let t2 = params.iter_time(&spec, &ExecutionPlan::zero_dp(8), 16, &spread, &env);
+        let t3 = params.iter_time(&spec, &ExecutionPlan::zero3(8), 16, &spread, &env);
+        assert!(t3.is_finite() && t3 > 0.0);
+        assert!(t3 >= t2, "ZeRO-3 cannot be faster than ZeRO-2 cross-node");
+    }
+    let t3 = params.iter_time(&spec, &ExecutionPlan::zero3(8), 16, &single, &ClusterEnv::a800());
+    assert!(t3.is_finite() && t3 > 0.0);
+}
+
+#[test]
+fn labels_and_kinds() {
+    let plan = ExecutionPlan::zero3(4).with_ga(2);
+    assert_eq!(plan.label(), "ZeRO-3x4+GA2");
+    assert_eq!(plan.kind(), PlanKind::Zero3);
+    assert_eq!(PlanKind::Zero3.to_string(), "ZeRO-3");
+}
+
+#[test]
+fn oracle_measures_zero3_consistently_with_model_shape() {
+    use rubick_testbed::TestbedOracle;
+    let oracle = TestbedOracle::new(33);
+    let spec = ModelSpec::gpt2_xl();
+    let placement = Placement::single_node(8, 96, 1600.0);
+    let m3 = oracle
+        .measure(&spec, &ExecutionPlan::zero3(8), 16, &placement)
+        .expect("feasible");
+    let m2 = oracle
+        .measure(&spec, &ExecutionPlan::zero_dp(8), 16, &placement)
+        .expect("feasible");
+    assert!(m3.throughput > 0.0);
+    // On NVLink the gap is small but ZeRO-3 never wins outright.
+    assert!(m3.throughput <= m2.throughput * 1.02);
+}

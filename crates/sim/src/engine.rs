@@ -1,0 +1,702 @@
+//! The discrete-event simulation engine.
+//!
+//! Drives jobs through submit → (queued ⇄ running) → finished, calling the
+//! policy on every submission and completion (and optionally on a periodic
+//! tick), applying the returned target assignments, and charging
+//! checkpoint-resume penalties for launches and reconfigurations. Actual
+//! throughputs come from the ground-truth [`TestbedOracle`], so a policy
+//! that mispredicts (e.g. assigns an OOM plan) is penalized exactly like it
+//! would be on the real cluster: the launch fails and the job returns to
+//! the queue.
+
+use crate::cluster::Cluster;
+use crate::job::{JobId, JobSpec, JobStatus};
+use crate::metrics::{Decision, JobRecord, SimReport};
+use crate::scheduler::{Assignment, JobSnapshot, Scheduler};
+use crate::tenant::Tenant;
+use rubick_model::Placement;
+use rubick_testbed::TestbedOracle;
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BinaryHeap, BTreeMap};
+use std::sync::Arc;
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Periodic scheduling-round interval, seconds (`None` = only on
+    /// submit/finish events). Rubick benefits from occasional rounds to
+    /// re-expand running jobs as the cluster drains.
+    pub round_interval: Option<f64>,
+    /// Hard stop for the simulation clock, seconds.
+    pub max_time: f64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            round_interval: Some(600.0),
+            max_time: 120.0 * 24.0 * 3600.0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    Submit(JobId),
+    Finish(JobId, u64),
+    Tick,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+#[derive(Debug)]
+struct JobRuntime {
+    spec: Arc<JobSpec>,
+    status: JobStatus,
+    /// Mini-batches left.
+    remaining: f64,
+    queued_since: f64,
+    /// Seconds spent holding resources.
+    runtime: f64,
+    /// Seconds of productive training (excludes restore windows).
+    work_seconds: f64,
+    gpu_seconds: f64,
+    reconfig_count: u32,
+    reconfig_time: f64,
+    /// GPU-seconds lost to checkpoint-resume windows (delay x held GPUs).
+    reconfig_gpu_seconds: f64,
+    first_start: Option<f64>,
+    baseline_tput: Option<f64>,
+    /// Bumped on every (re)configuration; stale finish events are ignored.
+    epoch: u64,
+    last_advance: f64,
+}
+
+/// The simulator: wires a policy, a cluster and the ground-truth oracle.
+///
+/// ```no_run
+/// use rubick_sim::{Cluster, Engine, EngineConfig};
+/// use rubick_testbed::TestbedOracle;
+///
+/// let oracle = TestbedOracle::new(0);
+/// # let scheduler: Box<dyn rubick_sim::Scheduler> = unimplemented!();
+/// let mut engine = Engine::new(
+///     &oracle,
+///     scheduler,
+///     Cluster::a800_testbed(),
+///     vec![],
+///     EngineConfig::default(),
+/// );
+/// let report = engine.run(vec![]);
+/// println!("avg JCT: {:.1}s", report.avg_jct());
+/// ```
+pub struct Engine<'a> {
+    oracle: &'a TestbedOracle,
+    scheduler: Box<dyn Scheduler + 'a>,
+    cluster: Cluster,
+    tenants: Vec<Tenant>,
+    config: EngineConfig,
+    jobs: BTreeMap<JobId, JobRuntime>,
+    events: BinaryHeap<Reverse<Event>>,
+    now: f64,
+    seq: u64,
+    tick_pending: bool,
+    infeasible: u64,
+    rounds: u64,
+    decisions: Vec<Decision>,
+}
+
+impl<'a> Engine<'a> {
+    /// Creates an engine.
+    pub fn new(
+        oracle: &'a TestbedOracle,
+        scheduler: Box<dyn Scheduler + 'a>,
+        cluster: Cluster,
+        tenants: Vec<Tenant>,
+        config: EngineConfig,
+    ) -> Self {
+        Engine {
+            oracle,
+            scheduler,
+            cluster,
+            tenants,
+            config,
+            jobs: BTreeMap::new(),
+            events: BinaryHeap::new(),
+            now: 0.0,
+            seq: 0,
+            tick_pending: false,
+            infeasible: 0,
+            rounds: 0,
+            decisions: Vec::new(),
+        }
+    }
+
+    fn push_event(&mut self, time: f64, kind: EventKind) {
+        self.seq += 1;
+        self.events.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    /// Advances all running jobs' progress to time `t`.
+    fn advance(&mut self, t: f64) {
+        for rt in self.jobs.values_mut() {
+            if let JobStatus::Running {
+                throughput,
+                resume_at,
+                allocation,
+                ..
+            } = &rt.status
+            {
+                let held = (t - rt.last_advance).max(0.0);
+                rt.runtime += held;
+                rt.gpu_seconds += held * allocation.gpus() as f64;
+                let work_start = rt.last_advance.max(*resume_at);
+                if t > work_start {
+                    let work = t - work_start;
+                    let batches_per_sec = throughput / rt.spec.global_batch as f64;
+                    rt.remaining = (rt.remaining - work * batches_per_sec).max(0.0);
+                    rt.work_seconds += work;
+                }
+            }
+            rt.last_advance = t;
+        }
+    }
+
+    /// Measures the SLA baseline: the throughput of the user-requested
+    /// resources with the user-chosen plan.
+    fn baseline_throughput(&self, spec: &JobSpec) -> Option<f64> {
+        let shape = self.cluster.shape();
+        let placement = Placement::spread(
+            spec.requested.gpus.max(1),
+            shape.gpus,
+            spec.requested.cpus,
+            spec.requested.mem_gb,
+        );
+        self.oracle
+            .throughput(&spec.model, &spec.initial_plan, spec.global_batch, &placement)
+    }
+
+    fn snapshots(&self) -> Vec<JobSnapshot> {
+        self.jobs
+            .values()
+            .filter(|rt| !rt.status.is_finished())
+            .map(|rt| JobSnapshot {
+                spec: Arc::clone(&rt.spec),
+                status: rt.status.clone(),
+                remaining_batches: rt.remaining,
+                queued_since: rt.queued_since,
+                runtime: rt.runtime,
+                reconfig_count: rt.reconfig_count,
+                baseline_throughput: rt.baseline_tput,
+            })
+            .collect()
+    }
+
+    /// Runs one scheduling round and applies the target assignment.
+    fn round(&mut self) {
+        self.rounds += 1;
+        let snaps = self.snapshots();
+        if snaps.is_empty() {
+            return;
+        }
+        let targets =
+            self.scheduler
+                .schedule(self.now, &snaps, &self.cluster, &self.tenants);
+        self.apply(targets);
+    }
+
+    fn apply(&mut self, targets: Vec<Assignment>) {
+        let mut target_map: BTreeMap<JobId, Assignment> = BTreeMap::new();
+        let mut order: Vec<JobId> = Vec::new();
+        for a in targets {
+            if let Some(rt) = self.jobs.get(&a.job) {
+                if !rt.status.is_finished() && !order.contains(&a.job) {
+                    order.push(a.job);
+                    target_map.insert(a.job, a);
+                }
+            }
+        }
+
+        // Phase 1: release running jobs that are changed or preempted.
+        let ids: Vec<JobId> = self.jobs.keys().copied().collect();
+        let mut to_configure: Vec<JobId> = Vec::new();
+        for id in ids {
+            let rt = self.jobs.get_mut(&id).expect("job exists");
+            match (&rt.status, target_map.get(&id)) {
+                (JobStatus::Running { allocation, plan, .. }, Some(a))
+                    if a.allocation == *allocation && a.plan == *plan =>
+                {
+                    // Unchanged: keep running, keep the pending finish event.
+                }
+                (JobStatus::Running { allocation, .. }, Some(_)) => {
+                    let alloc = allocation.clone();
+                    self.cluster.release(&alloc);
+                    to_configure.push(id);
+                }
+                (JobStatus::Running { allocation, .. }, None) => {
+                    // Preemption: back to the queue (progress is kept via
+                    // the checkpoint; the restore cost is charged at the
+                    // next launch).
+                    let alloc = allocation.clone();
+                    self.cluster.release(&alloc);
+                    rt.status = JobStatus::Queued;
+                    rt.queued_since = self.now;
+                    rt.epoch += 1;
+                    self.decisions.push(Decision::Preempt { at: self.now, job: id });
+                }
+                (JobStatus::Queued, Some(_)) => to_configure.push(id),
+                _ => {}
+            }
+        }
+
+        // Phase 2: apply new configurations in the scheduler's order.
+        to_configure.sort_by_key(|id| order.iter().position(|o| o == id));
+        for id in to_configure {
+            let assignment = target_map.get(&id).expect("targeted job").clone();
+            if assignment.allocation.is_empty() {
+                self.queue_job(id);
+                continue;
+            }
+            if let Err(e) = self.cluster.allocate(&assignment.allocation) {
+                self.infeasible += 1;
+                self.decisions.push(Decision::Reject {
+                    at: self.now,
+                    job: id,
+                    reason: e.to_string(),
+                });
+                self.queue_job(id);
+                continue;
+            }
+            let (spec, remaining, restarted) = {
+                let rt = self.jobs.get(&id).expect("job exists");
+                (Arc::clone(&rt.spec), rt.remaining, rt.first_start.is_some())
+            };
+            let placement = assignment.allocation.to_placement();
+            match self
+                .oracle
+                .measure(&spec.model, &assignment.plan, spec.global_batch, &placement)
+            {
+                Ok(m) => {
+                    let delay = if restarted {
+                        spec.checkpoint_resume_secs()
+                    } else {
+                        spec.cold_start_secs()
+                    };
+                    let rt = self.jobs.get_mut(&id).expect("job exists");
+                    if restarted {
+                        rt.reconfig_count += 1;
+                        rt.reconfig_time += delay;
+                        rt.reconfig_gpu_seconds +=
+                            delay * assignment.allocation.gpus() as f64;
+                        self.decisions.push(Decision::Reconfigure {
+                            at: self.now,
+                            job: id,
+                            gpus: assignment.allocation.gpus(),
+                            plan: assignment.plan.label(),
+                            delay,
+                        });
+                    } else {
+                        rt.first_start = Some(self.now);
+                        self.decisions.push(Decision::Launch {
+                            at: self.now,
+                            job: id,
+                            gpus: assignment.allocation.gpus(),
+                            plan: assignment.plan.label(),
+                            throughput: m.throughput,
+                        });
+                    }
+                    rt.epoch += 1;
+                    let epoch = rt.epoch;
+                    rt.status = JobStatus::Running {
+                        allocation: assignment.allocation.clone(),
+                        plan: assignment.plan,
+                        throughput: m.throughput,
+                        resume_at: self.now + delay,
+                    };
+                    let finish = self.now
+                        + delay
+                        + remaining * spec.global_batch as f64 / m.throughput;
+                    self.push_event(finish, EventKind::Finish(id, epoch));
+                }
+                Err(e) => {
+                    // The launch would OOM on the real cluster.
+                    self.cluster.release(&assignment.allocation);
+                    self.infeasible += 1;
+                    self.decisions.push(Decision::Reject {
+                        at: self.now,
+                        job: id,
+                        reason: e.to_string(),
+                    });
+                    self.queue_job(id);
+                }
+            }
+        }
+    }
+
+    fn queue_job(&mut self, id: JobId) {
+        let now = self.now;
+        let rt = self.jobs.get_mut(&id).expect("job exists");
+        if !rt.status.is_queued() {
+            rt.status = JobStatus::Queued;
+            rt.queued_since = now;
+            rt.epoch += 1;
+        }
+    }
+
+    fn finalize(&mut self, id: JobId) -> JobRecord {
+        let rt = self.jobs.get_mut(&id).expect("job exists");
+        if let JobStatus::Running { allocation, .. } = &rt.status {
+            let alloc = allocation.clone();
+            self.cluster.release(&alloc);
+        }
+        let rt = self.jobs.get_mut(&id).expect("job exists");
+        rt.status = JobStatus::Finished { at: self.now };
+        let spec = &rt.spec;
+        let samples = spec.target_batches as f64 * spec.global_batch as f64;
+        JobRecord {
+            id,
+            model: spec.model.name.clone(),
+            class: spec.class,
+            tenant: spec.tenant.clone(),
+            submit_time: spec.submit_time,
+            first_start: rt.first_start,
+            finish_time: self.now,
+            reconfig_count: rt.reconfig_count,
+            reconfig_time: rt.reconfig_time,
+            reconfig_gpu_seconds: rt.reconfig_gpu_seconds,
+            gpu_seconds: rt.gpu_seconds,
+            runtime: rt.runtime,
+            target_batches: spec.target_batches,
+            baseline_throughput: rt.baseline_tput,
+            avg_throughput: if rt.work_seconds > 0.0 {
+                samples / rt.work_seconds
+            } else {
+                0.0
+            },
+        }
+    }
+
+    fn active_jobs(&self) -> usize {
+        self.jobs
+            .values()
+            .filter(|rt| !rt.status.is_finished())
+            .count()
+    }
+
+    /// Runs the whole workload to completion and reports the outcome.
+    ///
+    /// Jobs that cannot make progress by `max_time` (or for which the
+    /// policy never finds a feasible configuration) are listed in
+    /// [`SimReport::unfinished`].
+    pub fn run(&mut self, specs: Vec<JobSpec>) -> SimReport {
+        let mut pending: BTreeMap<JobId, JobSpec> = BTreeMap::new();
+        for spec in specs {
+            self.push_event(spec.submit_time, EventKind::Submit(spec.id));
+            pending.insert(spec.id, spec);
+        }
+        let mut records: Vec<JobRecord> = Vec::new();
+        let mut stall_rounds = 0u32;
+
+        while let Some(Reverse(head)) = self.events.pop() {
+            if head.time > self.config.max_time {
+                break;
+            }
+            self.advance(head.time);
+            self.now = head.time;
+            let mut need_round = false;
+            let mut batch = vec![head];
+            while let Some(next) = self.events.peek().map(|r| r.0) {
+                if next.time <= self.now + 1e-9 {
+                    self.events.pop();
+                    batch.push(next);
+                } else {
+                    break;
+                }
+            }
+            for ev in batch {
+                match ev.kind {
+                    EventKind::Submit(id) => {
+                        let spec = pending.remove(&id).expect("submitted job exists");
+                        let baseline = self.baseline_throughput(&spec);
+                        let spec = Arc::new(spec);
+                        self.jobs.insert(
+                            id,
+                            JobRuntime {
+                                remaining: spec.target_batches as f64,
+                                queued_since: self.now,
+                                runtime: 0.0,
+                                work_seconds: 0.0,
+                                gpu_seconds: 0.0,
+                                reconfig_count: 0,
+                                reconfig_time: 0.0,
+                                reconfig_gpu_seconds: 0.0,
+                                first_start: None,
+                                baseline_tput: baseline,
+                                epoch: 0,
+                                last_advance: self.now,
+                                status: JobStatus::Queued,
+                                spec,
+                            },
+                        );
+                        need_round = true;
+                    }
+                    EventKind::Finish(id, epoch) => {
+                        let rt = self.jobs.get(&id).expect("job exists");
+                        if rt.status.is_finished() || rt.epoch != epoch {
+                            continue; // stale
+                        }
+                        if rt.remaining <= 1e-6 {
+                            records.push(self.finalize(id));
+                            self.decisions.push(Decision::Finish { at: self.now, job: id });
+                            need_round = true;
+                        } else {
+                            // Float drift: re-arm the finish event.
+                            let (batch_size, remaining) =
+                                (rt.spec.global_batch as f64, rt.remaining);
+                            if let JobStatus::Running { throughput, .. } = rt.status {
+                                let t = self.now + remaining * batch_size / throughput;
+                                self.push_event(t, EventKind::Finish(id, epoch));
+                            }
+                        }
+                    }
+                    EventKind::Tick => {
+                        self.tick_pending = false;
+                        need_round = true;
+                    }
+                }
+            }
+            if need_round {
+                self.round();
+            }
+            // Keep a heartbeat while jobs are active.
+            if self.active_jobs() > 0 {
+                if let Some(interval) = self.config.round_interval {
+                    if !self.tick_pending {
+                        self.tick_pending = true;
+                        self.push_event(self.now + interval, EventKind::Tick);
+                    }
+                }
+                // Deadlock guard: no future events but active jobs remain.
+                if self.events.is_empty() {
+                    stall_rounds += 1;
+                    if stall_rounds > 3 {
+                        break;
+                    }
+                    self.push_event(self.now + 3600.0, EventKind::Tick);
+                    self.tick_pending = true;
+                } else {
+                    stall_rounds = 0;
+                }
+            }
+        }
+
+        let unfinished: Vec<JobId> = self
+            .jobs
+            .values()
+            .filter(|rt| !rt.status.is_finished())
+            .map(|rt| rt.spec.id)
+            .chain(pending.keys().copied())
+            .collect();
+        let makespan = records
+            .iter()
+            .map(|r| r.finish_time)
+            .fold(0.0f64, f64::max);
+        SimReport {
+            scheduler: self.scheduler.name().to_string(),
+            jobs: records,
+            unfinished,
+            makespan,
+            infeasible_assignments: self.infeasible,
+            rounds: self.rounds,
+            decisions: std::mem::take(&mut self.decisions),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Allocation;
+    use crate::job::JobClass;
+    use crate::tenant::TenantId;
+    use rubick_model::{ExecutionPlan, ModelSpec, Resources};
+
+    /// A minimal FIFO gang scheduler: runs each queued job with its
+    /// requested GPUs on the first node with room, never reconfiguring.
+    struct Fifo;
+
+    impl Scheduler for Fifo {
+        fn name(&self) -> &str {
+            "fifo-test"
+        }
+
+        fn schedule(
+            &mut self,
+            _now: f64,
+            jobs: &[JobSnapshot],
+            cluster: &Cluster,
+            _tenants: &[Tenant],
+        ) -> Vec<Assignment> {
+            let mut free: Vec<Resources> =
+                cluster.nodes().iter().map(|n| n.free).collect();
+            let mut out = Vec::new();
+            for job in jobs {
+                if let JobStatus::Running { allocation, plan, .. } = &job.status {
+                    out.push(Assignment {
+                        job: job.id(),
+                        allocation: allocation.clone(),
+                        plan: *plan,
+                    });
+                    continue;
+                }
+                let want = job.spec.requested;
+                if let Some((node, f)) =
+                    free.iter_mut().enumerate().find(|(_, f)| f.dominates(&want))
+                {
+                    *f -= want;
+                    out.push(Assignment {
+                        job: job.id(),
+                        allocation: Allocation::on_node(node, want),
+                        plan: job.spec.initial_plan,
+                    });
+                }
+            }
+            out
+        }
+    }
+
+    fn job(id: JobId, submit: f64, batches: u64) -> JobSpec {
+        let model = ModelSpec::roberta_large();
+        JobSpec {
+            id,
+            global_batch: 64,
+            submit_time: submit,
+            target_batches: batches,
+            requested: Resources::new(4, 16, 100.0),
+            initial_plan: ExecutionPlan::dp(4),
+            class: JobClass::Guaranteed,
+            tenant: TenantId::default(),
+            model,
+        }
+    }
+
+    fn run_jobs(jobs: Vec<JobSpec>) -> SimReport {
+        let oracle = TestbedOracle::new(1);
+        let mut engine = Engine::new(
+            &oracle,
+            Box::new(Fifo),
+            Cluster::new(2, rubick_model::NodeShape::a800()),
+            vec![],
+            EngineConfig::default(),
+        );
+        engine.run(jobs)
+    }
+
+    #[test]
+    fn single_job_completes() {
+        let report = run_jobs(vec![job(1, 0.0, 500)]);
+        assert_eq!(report.jobs.len(), 1);
+        assert!(report.unfinished.is_empty());
+        let r = &report.jobs[0];
+        assert!(r.jct() > 0.0);
+        assert_eq!(r.reconfig_count, 0);
+        assert!(r.first_start.is_some());
+    }
+
+    #[test]
+    fn jct_matches_throughput_arithmetic() {
+        let report = run_jobs(vec![job(1, 0.0, 1000)]);
+        let r = &report.jobs[0];
+        // JCT ≈ cold start + batches * batch / throughput.
+        let oracle = TestbedOracle::new(1);
+        let placement = Placement::single_node(4, 16, 100.0);
+        let tput = oracle
+            .throughput(
+                &ModelSpec::roberta_large(),
+                &ExecutionPlan::dp(4),
+                64,
+                &placement,
+            )
+            .unwrap();
+        let expected = 15.0 + 1000.0 * 64.0 / tput;
+        assert!(
+            (r.jct() - expected).abs() / expected < 0.01,
+            "jct {} vs expected {expected}",
+            r.jct()
+        );
+    }
+
+    #[test]
+    fn queued_job_waits_for_capacity() {
+        // Five 4-GPU jobs on 2×8 GPUs: the fifth queues until one finishes.
+        let jobs: Vec<JobSpec> = (0..5).map(|i| job(i, 0.0, 500)).collect();
+        let report = run_jobs(jobs);
+        assert_eq!(report.jobs.len(), 5);
+        let max_queue = report
+            .jobs
+            .iter()
+            .map(|r| r.queueing_delay())
+            .fold(0.0f64, f64::max);
+        assert!(max_queue > 60.0, "someone must have queued: {max_queue}");
+    }
+
+    #[test]
+    fn later_submissions_are_honored() {
+        let report = run_jobs(vec![job(1, 0.0, 500), job(2, 5000.0, 500)]);
+        assert_eq!(report.jobs.len(), 2);
+        let r2 = report.jobs.iter().find(|r| r.id == 2).unwrap();
+        assert!(r2.first_start.unwrap() >= 5000.0);
+    }
+
+    #[test]
+    fn makespan_covers_all_jobs() {
+        let report = run_jobs(vec![job(1, 0.0, 300), job(2, 100.0, 300)]);
+        let last = report
+            .jobs
+            .iter()
+            .map(|r| r.finish_time)
+            .fold(0.0f64, f64::max);
+        assert_eq!(report.makespan, last);
+    }
+
+    #[test]
+    fn infeasible_request_reports_unfinished() {
+        // Request more GPUs than any node has, with a FIFO that can't split.
+        let mut j = job(1, 0.0, 100);
+        j.requested = Resources::new(64, 16, 100.0);
+        let report = run_jobs(vec![j]);
+        assert!(report.jobs.is_empty());
+        assert_eq!(report.unfinished, vec![1]);
+    }
+
+    #[test]
+    fn sla_met_for_exact_allocation() {
+        let report = run_jobs(vec![job(1, 0.0, 500)]);
+        assert_eq!(report.sla_attainment(), 1.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # rubick-sim
+//!
+//! A **discrete-event GPU-cluster simulator**: the substrate every
+//! end-to-end experiment of the Rubick reproduction runs on.
+//!
+//! The paper validates its own discrete-time simulator against the physical
+//! 64-GPU cluster (§7.4, max 6.9 % JCT error) and uses it for the load and
+//! model-mix sweeps; we build that simulator and use it for *all* cluster
+//! experiments, with [`rubick_testbed::TestbedOracle`] standing in for the
+//! hardware.
+//!
+//! Modules:
+//!
+//! * [`cluster`] — nodes, multi-resource accounting, allocations.
+//! * [`job`] — job specifications, lifecycle state, checkpoint-resume cost.
+//! * [`tenant`] — tenants and quotas for the multi-tenant experiments.
+//! * [`scheduler`] — the [`Scheduler`] trait every policy implements
+//!   (Rubick, Sia, Synergy, AntMan, the ablations) plus assignment types.
+//! * [`engine`] — the event loop: submissions, completions, reconfiguration
+//!   penalties, periodic scheduling rounds.
+//! * [`metrics`] — per-job records and the summary statistics of Table 4
+//!   (average/P99 JCT, makespan, reconfiguration overhead, SLA attainment).
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod cluster;
+pub mod engine;
+pub mod job;
+pub mod metrics;
+pub mod scheduler;
+pub mod tenant;
+
+pub use cluster::{Allocation, Cluster, Node};
+pub use engine::{Engine, EngineConfig};
+pub use job::{JobClass, JobId, JobSpec, JobStatus};
+pub use metrics::{JobRecord, SimReport};
+pub use scheduler::{Assignment, JobSnapshot, Scheduler};
+pub use tenant::{Tenant, TenantId};

@@ -1,0 +1,157 @@
+//! Engine configuration behaviors: periodic rounds, the max-time cutoff,
+//! and stale-event handling.
+
+use rubick_model::{ExecutionPlan, ModelSpec, NodeShape, Resources};
+use rubick_sim::cluster::{Allocation, Cluster};
+use rubick_sim::engine::{Engine, EngineConfig};
+use rubick_sim::job::{JobClass, JobSpec, JobStatus};
+use rubick_sim::scheduler::{Assignment, JobSnapshot, Scheduler};
+use rubick_sim::tenant::{Tenant, TenantId};
+use rubick_testbed::TestbedOracle;
+
+fn job(id: u64, submit: f64, batches: u64) -> JobSpec {
+    JobSpec {
+        id,
+        model: ModelSpec::roberta_large(),
+        global_batch: 64,
+        submit_time: submit,
+        target_batches: batches,
+        requested: Resources::new(2, 8, 100.0),
+        initial_plan: ExecutionPlan::dp(2),
+        class: JobClass::Guaranteed,
+        tenant: TenantId::default(),
+    }
+}
+
+/// Counts its scheduling rounds; schedules jobs with their request, FIFO.
+struct CountingFifo {
+    rounds: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl Scheduler for CountingFifo {
+    fn name(&self) -> &str {
+        "counting-fifo"
+    }
+    fn schedule(
+        &mut self,
+        _now: f64,
+        jobs: &[JobSnapshot],
+        cluster: &Cluster,
+        _tenants: &[Tenant],
+    ) -> Vec<Assignment> {
+        self.rounds.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let mut free: Vec<Resources> = cluster.nodes().iter().map(|n| n.free).collect();
+        let mut out = Vec::new();
+        for j in jobs {
+            if let JobStatus::Running { allocation, plan, .. } = &j.status {
+                out.push(Assignment {
+                    job: j.id(),
+                    allocation: allocation.clone(),
+                    plan: *plan,
+                });
+                continue;
+            }
+            if let Some((node, f)) = free
+                .iter_mut()
+                .enumerate()
+                .find(|(_, f)| f.dominates(&j.spec.requested))
+            {
+                *f -= j.spec.requested;
+                out.push(Assignment {
+                    job: j.id(),
+                    allocation: Allocation::on_node(node, j.spec.requested),
+                    plan: j.spec.initial_plan,
+                });
+            }
+        }
+        out
+    }
+}
+
+fn run_with_config(config: EngineConfig, jobs: Vec<JobSpec>) -> (rubick_sim::SimReport, u64) {
+    let oracle = TestbedOracle::new(19);
+    let rounds = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let scheduler = CountingFifo {
+        rounds: std::sync::Arc::clone(&rounds),
+    };
+    let mut engine = Engine::new(
+        &oracle,
+        Box::new(scheduler),
+        Cluster::new(1, NodeShape::a800()),
+        vec![],
+        config,
+    );
+    let report = engine.run(jobs);
+    let n = rounds.load(std::sync::atomic::Ordering::Relaxed);
+    (report, n)
+}
+
+#[test]
+fn periodic_ticks_add_rounds() {
+    // One long job: without ticks only submit+finish trigger rounds.
+    let long = vec![job(1, 0.0, 20_000)];
+    let (r_no_tick, rounds_no_tick) = run_with_config(
+        EngineConfig {
+            round_interval: None,
+            ..EngineConfig::default()
+        },
+        long.clone(),
+    );
+    let (r_tick, rounds_tick) = run_with_config(
+        EngineConfig {
+            round_interval: Some(300.0),
+            ..EngineConfig::default()
+        },
+        long,
+    );
+    assert_eq!(r_no_tick.jobs.len(), 1);
+    assert_eq!(r_tick.jobs.len(), 1);
+    assert!(
+        rounds_tick > rounds_no_tick + 3,
+        "ticks must add rounds: {rounds_tick} vs {rounds_no_tick}"
+    );
+    // Ticks never change a FIFO schedule's outcome.
+    assert!((r_tick.jobs[0].jct() - r_no_tick.jobs[0].jct()).abs() < 1.0);
+}
+
+#[test]
+fn max_time_cuts_the_simulation_short() {
+    // The job would need hours; cap the clock at 60 s.
+    let (report, _) = run_with_config(
+        EngineConfig {
+            max_time: 60.0,
+            ..EngineConfig::default()
+        },
+        vec![job(1, 0.0, 50_000)],
+    );
+    assert!(report.jobs.is_empty());
+    assert_eq!(report.unfinished, vec![1]);
+}
+
+#[test]
+fn submissions_beyond_max_time_never_run() {
+    let (report, _) = run_with_config(
+        EngineConfig {
+            max_time: 500.0,
+            ..EngineConfig::default()
+        },
+        vec![job(1, 0.0, 100), job(2, 1_000_000.0, 100)],
+    );
+    assert_eq!(report.jobs.len(), 1);
+    assert_eq!(report.unfinished, vec![2]);
+}
+
+#[test]
+fn many_same_time_submissions_are_batched_into_one_round() {
+    let jobs: Vec<JobSpec> = (0..4).map(|i| job(i, 0.0, 100)).collect();
+    let (report, rounds) = run_with_config(
+        EngineConfig {
+            round_interval: None,
+            ..EngineConfig::default()
+        },
+        jobs,
+    );
+    assert_eq!(report.jobs.len(), 4);
+    // 1 batched submit round + 1 round per (possibly batched) finish.
+    assert!(rounds <= 6, "expected batched rounds, got {rounds}");
+}

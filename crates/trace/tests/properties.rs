@@ -1,0 +1,114 @@
+//! Property-based tests for trace generation: every generated workload
+//! must be well-formed regardless of seed, load, or mix.
+
+use proptest::prelude::*;
+use rubick_model::Placement;
+use rubick_sim::job::JobClass;
+use rubick_testbed::TestbedOracle;
+use rubick_trace::philly::request_floor;
+use rubick_trace::{
+    best_plan_trace, generate_base, multi_tenant_trace, with_large_model_fraction, TraceConfig,
+};
+
+fn config(seed: u64, jobs: usize, load: f64) -> TraceConfig {
+    TraceConfig {
+        seed,
+        base_jobs: jobs,
+        load_factor: load,
+        ..TraceConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Base traces are well-formed for any seed and load: sorted arrivals,
+    /// unique ids, in-range requests honoring model floors, feasible
+    /// initial plans, positive batch targets.
+    #[test]
+    fn base_trace_well_formed(seed in 0u64..1000, load in 0.25f64..2.0) {
+        let oracle = TestbedOracle::new(5);
+        let cfg = config(seed, 40, load);
+        let jobs = generate_base(&cfg, &oracle);
+        prop_assert!(!jobs.is_empty());
+        let span = cfg.duration_hours * 3600.0;
+        let mut last = 0.0f64;
+        for (i, j) in jobs.iter().enumerate() {
+            prop_assert_eq!(j.id, i as u64);
+            prop_assert!(j.submit_time >= last - 1e-9 && j.submit_time <= span);
+            last = j.submit_time;
+            prop_assert!(j.requested.gpus >= request_floor(&j.model));
+            prop_assert!(j.requested.gpus <= cfg.cluster_gpus);
+            prop_assert!(j.target_batches >= 10);
+            let placement = Placement::spread(
+                j.requested.gpus,
+                oracle.shape().gpus,
+                j.requested.cpus,
+                j.requested.mem_gb,
+            );
+            prop_assert!(
+                oracle
+                    .throughput(&j.model, &j.initial_plan, j.global_batch, &placement)
+                    .is_some(),
+                "infeasible initial plan {} for {}",
+                j.initial_plan,
+                j.model.name
+            );
+        }
+    }
+
+    /// The BP variant keeps job identity (ids, arrival times, requests) and
+    /// only improves the initial plan's throughput.
+    #[test]
+    fn bp_variant_preserves_identity(seed in 0u64..200) {
+        let oracle = TestbedOracle::new(5);
+        let cfg = config(seed, 30, 1.0);
+        let base = generate_base(&cfg, &oracle);
+        let bp = best_plan_trace(&cfg, &oracle);
+        prop_assert_eq!(base.len(), bp.len());
+        for (b, p) in base.iter().zip(&bp) {
+            prop_assert_eq!(b.id, p.id);
+            prop_assert_eq!(b.submit_time, p.submit_time);
+            prop_assert_eq!(b.requested, p.requested);
+            prop_assert_eq!(&b.model.name, &p.model.name);
+        }
+    }
+
+    /// The MT variant partitions jobs consistently: tenant-a ⇔ guaranteed,
+    /// tenant-b ⇔ best-effort, and the tenant table carries the quota.
+    #[test]
+    fn mt_variant_partitions_consistently(seed in 0u64..200) {
+        let oracle = TestbedOracle::new(5);
+        let (jobs, tenants) = multi_tenant_trace(&config(seed, 30, 1.0), &oracle);
+        prop_assert_eq!(tenants.len(), 2);
+        prop_assert_eq!(tenants[0].quota.gpus, 64);
+        for j in &jobs {
+            match j.class {
+                JobClass::Guaranteed => prop_assert_eq!(&j.tenant.0, "tenant-a"),
+                JobClass::BestEffort => prop_assert_eq!(&j.tenant.0, "tenant-b"),
+            }
+        }
+    }
+
+    /// The large-model sweep hits its target fraction (±15 %) and keeps
+    /// every job feasible, for any target in [0, 0.8].
+    #[test]
+    fn large_fraction_sweep_well_formed(seed in 0u64..100, frac in 0.0f64..0.8) {
+        let oracle = TestbedOracle::new(5);
+        let jobs = with_large_model_fraction(&config(seed, 40, 1.0), &oracle, frac);
+        let large = jobs.iter().filter(|j| j.model.is_large()).count() as f64;
+        let actual = large / jobs.len() as f64;
+        prop_assert!((actual - frac).abs() < 0.15, "target {frac}, got {actual}");
+        for j in &jobs {
+            let placement = Placement::spread(
+                j.requested.gpus,
+                oracle.shape().gpus,
+                j.requested.cpus,
+                j.requested.mem_gb,
+            );
+            prop_assert!(oracle
+                .throughput(&j.model, &j.initial_plan, j.global_batch, &placement)
+                .is_some());
+        }
+    }
+}

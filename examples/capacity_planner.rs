@@ -1,0 +1,91 @@
+//! Capacity planning with the performance model: "how many GPUs (and which
+//! execution plan) does my training job actually need?"
+//!
+//! This is the *inverse* question of scheduling — instead of fitting jobs
+//! to resources, use the fitted model and sensitivity curves to answer
+//! what-ifs before buying or reserving hardware:
+//!
+//! 1. the GPU count past which a model stops scaling (the curve knee);
+//! 2. the cheapest configuration that meets a throughput target;
+//! 3. what changes on a commodity cloud with slow interconnects.
+//!
+//! ```sh
+//! cargo run --release --example capacity_planner
+//! ```
+
+use rubick::prelude::*;
+
+fn knee(curve: &SensitivityCurve, max: u32) -> u32 {
+    // The smallest GPU count achieving 90% of the best throughput.
+    let peak = curve.value(max);
+    curve.min_amount_reaching(peak * 0.9).unwrap_or(max)
+}
+
+fn main() -> Result<(), ModelError> {
+    let oracle = TestbedOracle::new(77);
+    let max_gpus = 64;
+
+    println!("== Scaling knees: where more GPUs stop paying off ==\n");
+    println!(
+        "{:<14} | {:>9} | {:>13} | {:<20}",
+        "model", "90% knee", "peak sample/s", "plan at the knee"
+    );
+    println!("{}", "-".repeat(66));
+    let mut curves = Vec::new();
+    for spec in ModelSpec::zoo() {
+        let batch = spec.default_batch;
+        let (model, _) = profile_and_fit(&oracle, &spec, batch)?;
+        let curve = SensitivityCurve::for_gpus(&model, batch, max_gpus);
+        let g = knee(&curve, max_gpus);
+        let plan = curve
+            .best_plan_at(g)
+            .map(|(p, _)| p.label())
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<14} | {g:>9} | {:>13.1} | {plan:<20}",
+            spec.name,
+            curve.value(max_gpus)
+        );
+        curves.push((spec, model, curve));
+    }
+
+    // 2. Cheapest configuration meeting a throughput target.
+    println!("\n== Cheapest configuration for a target throughput ==\n");
+    let (spec, _, curve) = &curves[4]; // GPT-2
+    for target_frac in [0.25, 0.5, 0.75] {
+        let target = curve.value(max_gpus) * target_frac;
+        match curve.min_amount_reaching(target) {
+            Some(g) => {
+                let (plan, tput) = curve.best_plan_at(g).expect("reachable");
+                println!(
+                    "{}: {target:>7.1} samples/s -> {g:>2} GPUs with {:<20} ({tput:.1} samples/s)",
+                    spec.name,
+                    plan.label()
+                );
+            }
+            None => println!("{}: {target:.1} samples/s -> unreachable", spec.name),
+        }
+    }
+
+    // 3. The same model on a commodity cloud.
+    println!("\n== Environment: A800 testbed vs. commodity cloud (LLaMA-2-7B, 32 GPUs) ==\n");
+    let spec = ModelSpec::llama2_7b();
+    let batch = spec.default_batch;
+    let commodity = TestbedOracle::with_env(77, ClusterEnv::commodity(), NodeShape::a800());
+    for (label, oracle) in [("A800 (100 GB/s RDMA)", &oracle), ("commodity (3 GB/s)", &commodity)] {
+        let placement = Placement::spread(32, 8, 384, 6400.0);
+        match oracle.best_plan(&spec, batch, &placement) {
+            Some((plan, tput)) => println!(
+                "{label:<22} best plan {:<22} at {tput:>7.2} samples/s",
+                plan.label()
+            ),
+            None => println!("{label:<22} infeasible"),
+        }
+    }
+    println!(
+        "\nSlow interconnects push the best plan toward heavier in-node model\n\
+         parallelism and gradient accumulation — the same fitted model form\n\
+         answers both environments because bandwidths are explicit inputs."
+    );
+    Ok(())
+}

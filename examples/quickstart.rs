@@ -1,0 +1,86 @@
+//! Quickstart: profile a model, fit its performance model, and explore
+//! execution plans and sensitivity curves.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rubick::prelude::*;
+
+fn main() -> Result<(), ModelError> {
+    // The testbed oracle stands in for a real 8×8 A800 cluster: it answers
+    // "what iteration time would this (model, plan, placement) achieve?".
+    let oracle = TestbedOracle::new(42);
+    let spec = ModelSpec::gpt2_xl();
+    let batch = spec.default_batch;
+
+    println!("== Profiling {spec} (global batch {batch}) ==");
+    let (model, report) = profile_and_fit(&oracle, &spec, batch)?;
+    println!(
+        "profiled {} sample runs in {:.0} simulated seconds",
+        report.points.len(),
+        report.wall_seconds
+    );
+    println!(
+        "fitted params: k_bwd={:.2} k_sync={:.2} k_opt={:.3} k_opt_off={:.2} k_const={:.3}\n",
+        model.params.k_bwd,
+        model.params.k_sync,
+        model.params.k_opt,
+        model.params.k_opt_off,
+        model.params.k_const
+    );
+
+    // Best plan per GPU count — the data behind a resource sensitivity
+    // curve (paper Fig. 6).
+    println!("== Best execution plan vs. GPU count ==");
+    println!(
+        "{:>5} | {:<24} | {:>12} | {:>10}",
+        "GPUs", "best plan", "samples/s", "speedup"
+    );
+    let one_gpu = {
+        let placement = Placement::packed(1, &model.shape);
+        model
+            .best_plan(batch, &placement)
+            .map(|(_, t)| t)
+            .unwrap_or(f64::NAN)
+    };
+    for gpus in [1u32, 2, 3, 4, 6, 8, 12, 16] {
+        let placement = Placement::packed(gpus, &model.shape);
+        match model.best_plan(batch, &placement) {
+            Some((plan, tput)) => println!(
+                "{gpus:>5} | {:<24} | {tput:>12.1} | {:>9.2}x",
+                plan.label(),
+                tput / one_gpu
+            ),
+            None => println!(
+                "{gpus:>5} | {:<24} | {:>12} | {:>10}",
+                "(infeasible)", "-", "-"
+            ),
+        }
+    }
+
+    // Compare specific plans on fixed resources.
+    println!("\n== Plans on 4 GPUs (predicted vs. measured) ==");
+    let placement = Placement::packed(4, &model.shape);
+    for plan in [
+        ExecutionPlan::dp(4),
+        ExecutionPlan::dp(4).with_ga(4),
+        ExecutionPlan::zero_dp(4),
+        ExecutionPlan::zero_offload(4),
+        ExecutionPlan::three_d(1, 4, 1, 1),
+    ] {
+        let predicted = model.throughput(&plan, batch, &placement);
+        let measured = oracle.throughput(&spec, &plan, batch, &placement);
+        match (predicted, measured) {
+            (Ok(p), Some(m)) => {
+                let err = (p - m).abs() / m * 100.0;
+                println!(
+                    "{:<24} predicted {p:>8.1}  measured {m:>8.1}  error {err:>5.1}%",
+                    plan.label()
+                );
+            }
+            _ => println!("{:<24} infeasible on this placement", plan.label()),
+        }
+    }
+    Ok(())
+}

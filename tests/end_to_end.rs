@@ -1,0 +1,133 @@
+//! Cross-crate integration: trace generation → scheduling → simulation.
+//!
+//! These tests run small versions of the paper's cluster experiments and
+//! check the *shape* of the results (who wins, SLAs held, accounting sane)
+//! rather than absolute numbers.
+
+use rubick::prelude::*;
+use std::sync::Arc;
+
+fn small_trace_config(jobs: usize) -> TraceConfig {
+    TraceConfig {
+        base_jobs: jobs,
+        ..TraceConfig::default()
+    }
+}
+
+fn registry(oracle: &TestbedOracle) -> Arc<ModelRegistry> {
+    Arc::new(ModelRegistry::from_oracle(oracle, &ModelSpec::zoo()).expect("profiling fits"))
+}
+
+fn run(
+    oracle: &TestbedOracle,
+    scheduler: Box<dyn rubick::sim::Scheduler + '_>,
+    jobs: Vec<JobSpec>,
+    tenants: Vec<Tenant>,
+) -> SimReport {
+    let mut engine = Engine::new(
+        oracle,
+        scheduler,
+        Cluster::a800_testbed(),
+        tenants,
+        EngineConfig::default(),
+    );
+    engine.run(jobs)
+}
+
+#[test]
+fn rubick_completes_a_base_trace_and_beats_synergy() {
+    let oracle = TestbedOracle::new(1001);
+    let reg = registry(&oracle);
+    let trace = generate_base(&small_trace_config(60), &oracle);
+    let n = trace.len();
+
+    let rubick = run(
+        &oracle,
+        Box::new(RubickScheduler::new(Arc::clone(&reg))),
+        trace.clone(),
+        vec![],
+    );
+    assert_eq!(rubick.jobs.len(), n, "unfinished: {:?}", rubick.unfinished);
+    assert_eq!(rubick.infeasible_assignments, 0);
+
+    let synergy = run(
+        &oracle,
+        Box::new(SynergyScheduler::new(Arc::clone(&reg))),
+        trace,
+        vec![],
+    );
+    assert_eq!(synergy.jobs.len(), n, "unfinished: {:?}", synergy.unfinished);
+
+    assert!(
+        rubick.avg_jct() < synergy.avg_jct(),
+        "rubick {:.0}s should beat synergy {:.0}s",
+        rubick.avg_jct(),
+        synergy.avg_jct()
+    );
+}
+
+#[test]
+fn multi_tenant_trace_preserves_guaranteed_sla() {
+    let oracle = TestbedOracle::new(1002);
+    let reg = registry(&oracle);
+    let (trace, tenants) = multi_tenant_trace(&small_trace_config(40), &oracle);
+    let n = trace.len();
+    let report = run(
+        &oracle,
+        Box::new(RubickScheduler::new(reg)),
+        trace,
+        tenants,
+    );
+    assert_eq!(report.jobs.len(), n, "unfinished: {:?}", report.unfinished);
+    assert!(
+        report.sla_attainment() >= 0.9,
+        "sla attainment {:.2}",
+        report.sla_attainment()
+    );
+}
+
+#[test]
+fn reconfiguration_overhead_stays_small() {
+    // §7.3: total reconfiguration time ≈ 1% of GPU hours; per-job ~78 s.
+    let oracle = TestbedOracle::new(1003);
+    let reg = registry(&oracle);
+    let trace = generate_base(&small_trace_config(40), &oracle);
+    let report = run(&oracle, Box::new(RubickScheduler::new(reg)), trace, vec![]);
+    assert!(report.reconfig_share() < 0.10, "share {}", report.reconfig_share());
+    if report.total_reconfig_time() > 0.0 {
+        let avg = report.avg_reconfig_time();
+        assert!((30.0..150.0).contains(&avg), "avg reconfig {avg}");
+    }
+}
+
+#[test]
+fn ablation_ordering_holds_on_average() {
+    // Table 4 break-down: Rubick ≤ Rubick-R ≤ Rubick-N and
+    // Rubick ≤ Rubick-E ≤ Rubick-N in average JCT (allowing slack for the
+    // small trace).
+    let oracle = TestbedOracle::new(1004);
+    let reg = registry(&oracle);
+    let trace = generate_base(&small_trace_config(50), &oracle);
+
+    let full = run(
+        &oracle,
+        Box::new(RubickScheduler::new(Arc::clone(&reg))),
+        trace.clone(),
+        vec![],
+    );
+    let e = run(&oracle, Box::new(rubick_e(Arc::clone(&reg))), trace.clone(), vec![]);
+    let n = run(&oracle, Box::new(rubick_n(Arc::clone(&reg))), trace.clone(), vec![]);
+
+    assert!(
+        full.avg_jct() <= e.avg_jct() * 1.15,
+        "full {:.0} vs E {:.0}",
+        full.avg_jct(),
+        e.avg_jct()
+    );
+    assert!(
+        full.avg_jct() <= n.avg_jct() * 1.05,
+        "full {:.0} vs N {:.0}",
+        full.avg_jct(),
+        n.avg_jct()
+    );
+}
