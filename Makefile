@@ -1,0 +1,25 @@
+# Developer entry points for the Rubick reproduction.
+#
+#   make verify   format check + lints + full test suite (the CI gate)
+#   make bench    scheduling-round latency benchmarks (BENCH_*.json)
+#   make build    release build of the whole workspace
+
+.PHONY: verify fmt lint test build bench
+
+verify: fmt lint test
+
+fmt:
+	cargo fmt --check
+
+lint:
+	cargo clippy --all-targets -- -D warnings
+
+test:
+	cargo build --release
+	cargo test --workspace -q
+
+build:
+	cargo build --release
+
+bench:
+	cargo bench -p rubick-bench --bench scheduling

@@ -83,14 +83,16 @@ fn bench_fit(c: &mut Criterion) {
     let mut group = c.benchmark_group("model/fit_7_points");
     group.sample_size(10);
     group.bench_function("nelder_mead_12_restarts", |b| {
-        b.iter(|| {
-            black_box(
-                fit_perf_params(&spec, &env, &points, &FitOptions::default()).unwrap(),
-            )
-        })
+        b.iter(|| black_box(fit_perf_params(&spec, &env, &points, &FitOptions::default()).unwrap()))
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_iter_time, bench_enumerate, bench_curve, bench_fit);
+criterion_group!(
+    benches,
+    bench_iter_time,
+    bench_enumerate,
+    bench_curve,
+    bench_fit
+);
 criterion_main!(benches);

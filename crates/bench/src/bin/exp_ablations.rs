@@ -111,11 +111,13 @@ fn backfill_sweep(oracle: &TestbedOracle) {
     let registry = build_registry(oracle);
     let trace = generate_base(&TraceConfig::default(), oracle);
     println!("== 3. Synergy backfill depth (head-of-line blocking, section 2.2) ==");
-    println!("{:>7} | {:>10} | {:>12}", "window", "avg JCT(h)", "makespan(h)");
+    println!(
+        "{:>7} | {:>10} | {:>12}",
+        "window", "avg JCT(h)", "makespan(h)"
+    );
     println!("{}", "-".repeat(36));
     for window in [1usize, 4, 16, 64, 1024] {
-        let sched =
-            SynergyScheduler::new(Arc::clone(&registry)).with_backfill_window(window);
+        let sched = SynergyScheduler::new(Arc::clone(&registry)).with_backfill_window(window);
         let report = run_cluster_experiment(oracle, Box::new(sched), trace.clone(), vec![]);
         println!(
             "{window:>7} | {:>10.2} | {:>12.2}",

@@ -53,7 +53,11 @@ fn main() {
             hours(synergy.avg_jct()),
         );
     }
-    let trend = if gains.last() > gains.first() { "GROWS" } else { "does NOT grow" };
+    let trend = if gains.last() > gains.first() {
+        "GROWS"
+    } else {
+        "does NOT grow"
+    };
     println!(
         "\nShape check (paper): the JCT gain {trend} with the large-model share\n\
          (paper: 2.6x at the default mix up to 3.4x)."

@@ -75,9 +75,7 @@ fn run_model(oracle: &TestbedOracle, spec: &ModelSpec) {
         ),
         (
             "Megatron 3D",
-            Box::new(|p: &ExecutionPlan| {
-                matches!(p.kind(), PlanKind::ThreeD | PlanKind::Pipeline)
-            }),
+            Box::new(|p: &ExecutionPlan| matches!(p.kind(), PlanKind::ThreeD | PlanKind::Pipeline)),
         ),
     ];
 

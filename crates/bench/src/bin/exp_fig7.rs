@@ -66,7 +66,9 @@ fn main() {
         ("1 GPU/24c", Placement::single_node(1, 24, 400.0)),
     ];
 
-    println!("Figure 7: LLaMA-2-7B reconfiguration under shrinking resources (measured samples/s)\n");
+    println!(
+        "Figure 7: LLaMA-2-7B reconfiguration under shrinking resources (measured samples/s)\n"
+    );
     print!("{:<14}", "strategy");
     for (label, _) in &stages {
         print!(" | {label:>10}");
@@ -121,7 +123,9 @@ fn main() {
     let mut wins = 0;
     let mut total = 0;
     for ((_, placement), choice) in stages.iter().zip(&rubick_choices) {
-        let Some((_, rubick_t)) = choice else { continue };
+        let Some((_, rubick_t)) = choice else {
+            continue;
+        };
         let best_fixed = fixed_strategies(&oracle, &spec, batch, placement)
             .into_iter()
             .filter_map(|(_, v)| v)
@@ -136,7 +140,5 @@ fn main() {
         (Some((_, t24)), Some((_, t12))) => t24 / t12,
         _ => f64::NAN,
     };
-    println!(
-        "CPU doubling speedup on 1 GPU: {cpu_speedup:.2}x (paper: 1.7x; see EXPERIMENTS.md)"
-    );
+    println!("CPU doubling speedup on 1 GPU: {cpu_speedup:.2}x (paper: 1.7x; see EXPERIMENTS.md)");
 }

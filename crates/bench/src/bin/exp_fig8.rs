@@ -70,9 +70,7 @@ fn main() {
             equal_total = total;
         }
         // Both jobs must actually run (Rubick would not starve either).
-        if g_roberta >= 1 && g_t5 >= 1
-            && best_split.map(|(_, b)| total > b).unwrap_or(true)
-        {
+        if g_roberta >= 1 && g_t5 >= 1 && best_split.map(|(_, b)| total > b).unwrap_or(true) {
             best_split = Some((g_roberta, total));
         }
     }

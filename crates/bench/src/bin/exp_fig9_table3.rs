@@ -28,10 +28,17 @@ struct ModelResult {
 }
 
 fn phases(tag: u64) -> Vec<PlanPhase> {
-    vec![PlanPhase { from_step: 0, plan_tag: tag }]
+    vec![PlanPhase {
+        from_step: 0,
+        plan_tag: tag,
+    }]
 }
 
-fn run_model(spec: &ModelSpec, baseline_plan: ExecutionPlan, variants: &[Vec<PlanPhase>]) -> ModelResult {
+fn run_model(
+    spec: &ModelSpec,
+    baseline_plan: ExecutionPlan,
+    variants: &[Vec<PlanPhase>],
+) -> ModelResult {
     let sim = LossSimulator::new(spec, SIM_SEED);
     let base = sim.run(STEPS, 0, &phases(plan_tag(&baseline_plan)));
     let seed = sim.run(STEPS, 1, &phases(plan_tag(&baseline_plan)));
@@ -39,7 +46,10 @@ fn run_model(spec: &ModelSpec, baseline_plan: ExecutionPlan, variants: &[Vec<Pla
     let mut train_rcfg = 0.0f64;
     let mut val_rcfg = 0.0f64;
     let mut test_rcfg = 0.0f64;
-    println!("  {} relative train-loss diff curves (sampled every 500 steps):", spec.name);
+    println!(
+        "  {} relative train-loss diff curves (sampled every 500 steps):",
+        spec.name
+    );
     for (i, schedule) in variants.iter().enumerate() {
         let trace = sim.run(STEPS, 0, schedule);
         train_rcfg = train_rcfg.max(base.max_diff(&trace));
@@ -79,8 +89,14 @@ fn main() {
             phases(plan_tag(&ExecutionPlan::zero_dp(4))),
             phases(plan_tag(&ExecutionPlan::zero_dp(8))),
             vec![
-                PlanPhase { from_step: 0, plan_tag: plan_tag(&ExecutionPlan::dp(8)) },
-                PlanPhase { from_step: 1500, plan_tag: plan_tag(&ExecutionPlan::zero_dp(4)) },
+                PlanPhase {
+                    from_step: 0,
+                    plan_tag: plan_tag(&ExecutionPlan::dp(8)),
+                },
+                PlanPhase {
+                    from_step: 1500,
+                    plan_tag: plan_tag(&ExecutionPlan::zero_dp(4)),
+                },
             ],
         ]
     };
@@ -88,18 +104,38 @@ fn main() {
         phases(plan_tag(&ExecutionPlan::three_d(2, 4, 1, 1))),
         phases(plan_tag(&ExecutionPlan::three_d(1, 4, 2, 8))),
         vec![
-            PlanPhase { from_step: 0, plan_tag: plan_tag(&ExecutionPlan::three_d(1, 8, 1, 1)) },
-            PlanPhase { from_step: 1000, plan_tag: plan_tag(&ExecutionPlan::zero_offload(8)) },
+            PlanPhase {
+                from_step: 0,
+                plan_tag: plan_tag(&ExecutionPlan::three_d(1, 8, 1, 1)),
+            },
+            PlanPhase {
+                from_step: 1000,
+                plan_tag: plan_tag(&ExecutionPlan::zero_offload(8)),
+            },
         ],
     ];
 
     let results = vec![
-        run_model(&ModelSpec::gpt2_xl(), ExecutionPlan::dp(8).with_ga(2), &small_variants(16)),
-        run_model(&ModelSpec::bert_large(), ExecutionPlan::dp(8).with_ga(2), &small_variants(64)),
-        run_model(&ModelSpec::llama2_7b(), ExecutionPlan::three_d(1, 8, 1, 1), &llama_variants),
+        run_model(
+            &ModelSpec::gpt2_xl(),
+            ExecutionPlan::dp(8).with_ga(2),
+            &small_variants(16),
+        ),
+        run_model(
+            &ModelSpec::bert_large(),
+            ExecutionPlan::dp(8).with_ga(2),
+            &small_variants(64),
+        ),
+        run_model(
+            &ModelSpec::llama2_7b(),
+            ExecutionPlan::three_d(1, 8, 1, 1),
+            &llama_variants,
+        ),
     ];
 
-    println!("\nTable 3: maximum loss differences (Rcfg. = reconfiguration, Seed = changed seed)\n");
+    println!(
+        "\nTable 3: maximum loss differences (Rcfg. = reconfiguration, Seed = changed seed)\n"
+    );
     println!(
         "{:<12} | {:>10} {:>8} | {:>10} {:>8} | {:>10} {:>8}",
         "model", "train Rcfg", "Seed", "valid Rcfg", "Seed", "test Rcfg", "Seed"

@@ -46,9 +46,7 @@ fn large_model_families() -> Vec<Family> {
     vec![
         Family {
             name: "TP+PP",
-            matches: |p| {
-                p.parallel.dp == 1 && (p.parallel.tp > 1 || p.parallel.pp > 1) && !p.gc
-            },
+            matches: |p| p.parallel.dp == 1 && (p.parallel.tp > 1 || p.parallel.pp > 1) && !p.gc,
         },
         Family {
             name: "DP+TP+PP",
@@ -113,9 +111,21 @@ fn main() {
     println!("Table 2: performance prediction errors (fit on profiled samples, predict unseen configs)\n");
 
     let rows: Vec<(ModelSpec, Vec<u32>, Vec<Family>)> = vec![
-        (ModelSpec::vit_base(), vec![1, 2, 3, 4, 6, 8], small_model_families()),
-        (ModelSpec::roberta_large(), vec![1, 2, 3, 4, 6, 8], small_model_families()),
-        (ModelSpec::bert_large(), vec![1, 2, 3, 4, 6, 8], small_model_families()),
+        (
+            ModelSpec::vit_base(),
+            vec![1, 2, 3, 4, 6, 8],
+            small_model_families(),
+        ),
+        (
+            ModelSpec::roberta_large(),
+            vec![1, 2, 3, 4, 6, 8],
+            small_model_families(),
+        ),
+        (
+            ModelSpec::bert_large(),
+            vec![1, 2, 3, 4, 6, 8],
+            small_model_families(),
+        ),
         (
             ModelSpec::t5_1b(),
             vec![2, 4, 8, 12, 16, 24, 32],

@@ -13,7 +13,9 @@
 //! ```
 
 use rubick_bench::{build_registry, hours, run_cluster_experiment, std_oracle, with_ratio};
-use rubick_core::{rubick_e, rubick_n, rubick_r, AntManScheduler, RubickScheduler, SiaScheduler, SynergyScheduler};
+use rubick_core::{
+    rubick_e, rubick_n, rubick_r, AntManScheduler, RubickScheduler, SiaScheduler, SynergyScheduler,
+};
 use rubick_sim::{JobClass, Scheduler, SimReport};
 use rubick_trace::{best_plan_trace, generate_base, multi_tenant_trace, TraceConfig};
 use std::sync::Arc;
@@ -78,7 +80,14 @@ fn main() {
     println!("\nTable 4: 64-GPU cluster experiments (JCT in hours; ratios vs. Rubick per trace)\n");
     println!(
         "{:<6} | {:<10} | {:<6} | {:>14} | {:>14} | {:>12} | {:>9} | {:>8}",
-        "trace", "scheduler", "class", "avg JCT (h)", "P99 JCT (h)", "makespan (h)", "SLA", "finished"
+        "trace",
+        "scheduler",
+        "class",
+        "avg JCT (h)",
+        "P99 JCT (h)",
+        "makespan (h)",
+        "SLA",
+        "finished"
     );
     println!("{}", "-".repeat(102));
     for trace_name in ["Base", "BP", "MT"] {
@@ -91,8 +100,14 @@ fn main() {
             let rows: Vec<(&str, Box<dyn Fn(&rubick_sim::JobRecord) -> bool>)> = if t == "MT" {
                 vec![
                     ("all", Box::new(|_: &rubick_sim::JobRecord| true)),
-                    ("guar.", Box::new(|j: &rubick_sim::JobRecord| j.class == JobClass::Guaranteed)),
-                    ("BE", Box::new(|j: &rubick_sim::JobRecord| j.class == JobClass::BestEffort)),
+                    (
+                        "guar.",
+                        Box::new(|j: &rubick_sim::JobRecord| j.class == JobClass::Guaranteed),
+                    ),
+                    (
+                        "BE",
+                        Box::new(|j: &rubick_sim::JobRecord| j.class == JobClass::BestEffort),
+                    ),
                 ]
             } else {
                 vec![("all", Box::new(|_: &rubick_sim::JobRecord| true))]
@@ -119,7 +134,10 @@ fn main() {
 
     // ---- §7.3 system overheads --------------------------------------------
     println!("\nSystem overheads (Rubick on the base trace):");
-    if let Some((_, _, r)) = summaries.iter().find(|(t, s, _)| t == "Base" && s == "rubick") {
+    if let Some((_, _, r)) = summaries
+        .iter()
+        .find(|(t, s, _)| t == "Base" && s == "rubick")
+    {
         println!(
             "  avg reconfiguration time: {:.0} s per reconfiguration (paper: 78 s)",
             r.avg_reconfig_time()

@@ -45,7 +45,10 @@ impl fmt::Display for ArgError {
                 flag,
                 value,
                 expected,
-            } => write!(f, "invalid value '{value}' for --{flag}: expected {expected}"),
+            } => write!(
+                f,
+                "invalid value '{value}' for --{flag}: expected {expected}"
+            ),
         }
     }
 }
@@ -67,10 +70,8 @@ impl Args {
                     Some((n, v)) => (n.to_string(), Some(v.to_string())),
                     None => {
                         // A value follows unless the next token is a flag.
-                        let takes_value = iter
-                            .peek()
-                            .map(|n| !n.starts_with("--"))
-                            .unwrap_or(false);
+                        let takes_value =
+                            iter.peek().map(|n| !n.starts_with("--")).unwrap_or(false);
                         if takes_value {
                             (flag.to_string(), iter.next())
                         } else {
@@ -81,7 +82,8 @@ impl Args {
                 if args.flags.contains_key(&name) {
                     return Err(ArgError::DuplicateFlag(name));
                 }
-                args.flags.insert(name, value.unwrap_or_else(|| "true".into()));
+                args.flags
+                    .insert(name, value.unwrap_or_else(|| "true".into()));
             } else if args.command.is_none() {
                 args.command = Some(tok);
             } else {
@@ -120,16 +122,34 @@ impl Args {
         matches!(self.get(name), Some("true") | Some("1") | Some("yes"))
     }
 
+    /// The `--parallelism` knob: absent = `None` (sequential),
+    /// `auto` = `Some(0)` (all cores), `<n>` = `Some(n)` worker threads.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::InvalidValue`] when the value is neither `auto` nor an
+    /// unsigned integer.
+    pub fn parallelism(&self) -> Result<Option<usize>, ArgError> {
+        match self.get("parallelism") {
+            None => Ok(None),
+            Some("auto") => Ok(Some(0)),
+            Some(v) => v
+                .parse::<usize>()
+                .map(Some)
+                .map_err(|_| ArgError::InvalidValue {
+                    flag: "parallelism".to_string(),
+                    value: v.to_string(),
+                    expected: "'auto' or a thread count",
+                }),
+        }
+    }
+
     /// Typed flag with a default.
     ///
     /// # Errors
     ///
     /// [`ArgError::InvalidValue`] when the value does not parse as `T`.
-    pub fn parse_or<T: std::str::FromStr>(
-        &self,
-        name: &str,
-        default: T,
-    ) -> Result<T, ArgError> {
+    pub fn parse_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, ArgError> {
         match self.get(name) {
             None => Ok(default),
             Some(v) => v.parse::<T>().map_err(|_| ArgError::InvalidValue {

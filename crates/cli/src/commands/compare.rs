@@ -10,12 +10,25 @@ const SCHEDULERS: [&str; 7] = [
 
 /// Executes the `compare` subcommand.
 pub fn execute(args: &Args) -> Result<(), CliError> {
-    args.allow(&["trace", "jobs", "load", "large-frac", "seed", "csv"])?;
+    args.allow(&[
+        "trace",
+        "jobs",
+        "load",
+        "large-frac",
+        "seed",
+        "csv",
+        "parallelism",
+    ])?;
+    let parallelism = args.parallelism()?;
     let oracle = oracle_from(args)?;
     eprintln!("profiling model zoo...");
     let registry = build_registry(&oracle)?;
     let (jobs, tenants) = workload_from(args, &oracle)?;
-    eprintln!("comparing {} schedulers on {} jobs...", SCHEDULERS.len(), jobs.len());
+    eprintln!(
+        "comparing {} schedulers on {} jobs...",
+        SCHEDULERS.len(),
+        jobs.len()
+    );
 
     let csv = args.flag("csv");
     if csv {
@@ -35,7 +48,10 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
             scheduler,
             Cluster::a800_testbed(),
             tenants.clone(),
-            EngineConfig::default(),
+            EngineConfig {
+                parallelism,
+                ..EngineConfig::default()
+            },
         );
         let report = engine.run(jobs.clone());
         let reconfigs: u32 = report.jobs.iter().map(|j| j.reconfig_count).sum();

@@ -54,7 +54,8 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
     }
     println!(
         "{} on {gpus} GPUs, batch {batch} ({} feasible plans, best first)\n",
-        spec, rows.len()
+        spec,
+        rows.len()
     );
     println!(
         "{:<28} | {:>11} | {:>10} | {:>10} | {:>5}",

@@ -45,20 +45,42 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
     let p = model.params;
     println!("\nfitted parameters (Table 1):");
     println!("  k_bwd     = {:>8.3}   (backward/forward ratio)", p.k_bwd);
-    println!("  k_sync    = {:>8.3}   (bwd/DP-sync overlap exponent)", p.k_sync);
-    println!("  k_opt     = {:>8.4}   (GPU optimizer s per B params)", p.k_opt);
-    println!("  k_opt_off = {:>8.3}   (CPU optimizer efficiency)", p.k_opt_off);
-    println!("  k_off     = {:>8.3}   (sync/offload overlap exponent)", p.k_off);
-    println!("  k_swap    = {:>8.3}   (opt/swap overlap exponent)", p.k_swap);
+    println!(
+        "  k_sync    = {:>8.3}   (bwd/DP-sync overlap exponent)",
+        p.k_sync
+    );
+    println!(
+        "  k_opt     = {:>8.4}   (GPU optimizer s per B params)",
+        p.k_opt
+    );
+    println!(
+        "  k_opt_off = {:>8.3}   (CPU optimizer efficiency)",
+        p.k_opt_off
+    );
+    println!(
+        "  k_off     = {:>8.3}   (sync/offload overlap exponent)",
+        p.k_off
+    );
+    println!(
+        "  k_swap    = {:>8.3}   (opt/swap overlap exponent)",
+        p.k_swap
+    );
     println!("  k_const   = {:>8.4}   (constant overhead, s)", p.k_const);
-    println!("  gpu_flops = {:>8.2e} (profiled effective FLOP/s)", p.gpu_flops);
+    println!(
+        "  gpu_flops = {:>8.2e} (profiled effective FLOP/s)",
+        p.gpu_flops
+    );
 
     // Holdout check: predictions vs. the oracle on unseen configurations.
     let mut errors = Vec::new();
     for g in [1u32, 2, 4, 8, 16] {
         let placement = Placement::packed(g, oracle.shape());
         for plan in enumerate_plans(&spec, g, batch, oracle.shape(), oracle.env()) {
-            if report.points.iter().any(|pt| pt.plan == plan && pt.placement == placement) {
+            if report
+                .points
+                .iter()
+                .any(|pt| pt.plan == plan && pt.placement == placement)
+            {
                 continue;
             }
             let (Some(actual), Ok(pred)) = (

@@ -15,7 +15,9 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
         "seed",
         "csv",
         "verbose",
+        "parallelism",
     ])?;
+    let parallelism = args.parallelism()?;
     let oracle = oracle_from(args)?;
     let scheduler_name = args.str_or("scheduler", "rubick");
     eprintln!("profiling model zoo...");
@@ -29,7 +31,10 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
         scheduler,
         Cluster::a800_testbed(),
         tenants.clone(),
-        EngineConfig::default(),
+        EngineConfig {
+            parallelism,
+            ..EngineConfig::default()
+        },
     );
     let report = engine.run(jobs);
 
@@ -47,7 +52,11 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
         return Ok(());
     }
 
-    println!("\n=== {} on {} jobs ===", report.scheduler, report.jobs.len());
+    println!(
+        "\n=== {} on {} jobs ===",
+        report.scheduler,
+        report.jobs.len()
+    );
     println!("avg JCT        : {:.2} h", report.avg_jct() / 3600.0);
     println!("P99 JCT        : {:.2} h", report.p99_jct() / 3600.0);
     println!("makespan       : {:.2} h", report.makespan / 3600.0);

@@ -48,7 +48,9 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
         e.0 += 1;
         e.1 += j.target_batches;
         *by_gpus.entry(j.requested.gpus).or_insert(0) += 1;
-        *by_plan_kind.entry(j.initial_plan.kind().to_string()).or_insert(0) += 1;
+        *by_plan_kind
+            .entry(j.initial_plan.kind().to_string())
+            .or_insert(0) += 1;
     }
     println!("{:<14} | {:>5} | {:>14}", "model", "jobs", "total batches");
     println!("{}", "-".repeat(40));
@@ -57,7 +59,10 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
     }
     println!("\nGPU request histogram:");
     for (g, count) in &by_gpus {
-        println!("  {g:>3} GPUs: {:<60} {count}", "#".repeat((*count).min(60)));
+        println!(
+            "  {g:>3} GPUs: {:<60} {count}",
+            "#".repeat((*count).min(60))
+        );
     }
     println!("\ninitial plan kinds:");
     for (kind, count) in &by_plan_kind {

@@ -42,6 +42,8 @@ RUN / COMPARE FLAGS:
     --jobs <usize>       Jobs at load 1.0 (default 406)
     --load <f64>         Load factor (default 1.0)
     --large-frac <f64>   Override the large-model fraction of the mix
+    --parallelism <n>    Worker threads per scheduling round: 'auto' or a
+                         count (default: sequential; never changes results)
     --verbose            (run) print the full decision log
 
 PLANS FLAGS:

@@ -97,7 +97,11 @@ fn trace_csv_has_one_row_per_job() {
     let text = stdout(&out);
     let lines: Vec<&str> = text.lines().collect();
     assert!(lines[0].starts_with("id,submit_s,model"));
-    assert!(lines.len() >= 15, "expected ~20 jobs, got {}", lines.len() - 1);
+    assert!(
+        lines.len() >= 15,
+        "expected ~20 jobs, got {}",
+        lines.len() - 1
+    );
 }
 
 #[test]

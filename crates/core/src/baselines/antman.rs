@@ -50,7 +50,10 @@ impl Scheduler for AntManScheduler {
             if job.spec.class != JobClass::Guaranteed {
                 continue;
             }
-            if let JobStatus::Running { allocation, plan, .. } = &job.status {
+            if let JobStatus::Running {
+                allocation, plan, ..
+            } = &job.status
+            {
                 *quota_used
                     .entry(&job.spec.tenant)
                     .or_insert_with(Resources::zero) += job.spec.requested;
@@ -68,7 +71,9 @@ impl Scheduler for AntManScheduler {
             .iter()
             .filter(|j| j.spec.class == JobClass::BestEffort)
             .filter_map(|j| match &j.status {
-                JobStatus::Running { allocation, plan, .. } => Some(Assignment {
+                JobStatus::Running {
+                    allocation, plan, ..
+                } => Some(Assignment {
                     job: j.id(),
                     allocation: allocation.clone(),
                     plan: *plan,

@@ -53,9 +53,9 @@ impl Scheduler for EqualShareScheduler {
         let mut to_place: Vec<&JobSnapshot> = Vec::new();
         for job in &active {
             match &job.status {
-                JobStatus::Running { allocation, plan, .. }
-                    if allocation.gpus() == share =>
-                {
+                JobStatus::Running {
+                    allocation, plan, ..
+                } if allocation.gpus() == share => {
                     keeps.push(Assignment {
                         job: job.id(),
                         allocation: allocation.clone(),
@@ -77,7 +77,9 @@ impl Scheduler for EqualShareScheduler {
                 (total.cpus as f64 * frac).round() as u32,
                 total.mem_gb * frac,
             );
-            let Some(alloc) = pack_gang(&free, want) else { continue };
+            let Some(alloc) = pack_gang(&free, want) else {
+                continue;
+            };
             let Some((plan, _)) =
                 PlanSearch::Full.best_plan(&model, job.spec.global_batch, &alloc.to_placement())
             else {
@@ -108,11 +110,8 @@ mod tests {
     fn splits_gpus_evenly() {
         let oracle = TestbedOracle::new(3);
         let registry = Arc::new(
-            ModelRegistry::from_oracle(
-                &oracle,
-                &[ModelSpec::roberta_large(), ModelSpec::t5_1b()],
-            )
-            .unwrap(),
+            ModelRegistry::from_oracle(&oracle, &[ModelSpec::roberta_large(), ModelSpec::t5_1b()])
+                .unwrap(),
         );
         let mut sched = EqualShareScheduler::new(registry);
         let cluster = Cluster::new(1, NodeShape::small()); // 4 GPUs, Fig. 8 setup

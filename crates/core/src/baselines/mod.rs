@@ -25,21 +25,14 @@ pub use equal::EqualShareScheduler;
 pub use sia::SiaScheduler;
 pub use synergy::SynergyScheduler;
 
+use rubick_model::Resources;
 use rubick_sim::cluster::Cluster;
 use rubick_sim::scheduler::{Assignment, JobSnapshot};
-use rubick_model::Resources;
 
 /// Free resources per node after subtracting the running jobs' allocations
 /// that the policy wants to keep.
-pub(crate) fn free_after_keeps(
-    cluster: &Cluster,
-    keeps: &[Assignment],
-) -> Vec<Resources> {
-    let mut free: Vec<Resources> = cluster
-        .nodes()
-        .iter()
-        .map(|n| n.shape.capacity())
-        .collect();
+pub(crate) fn free_after_keeps(cluster: &Cluster, keeps: &[Assignment]) -> Vec<Resources> {
+    let mut free: Vec<Resources> = cluster.nodes().iter().map(|n| n.shape.capacity()).collect();
     for a in keeps {
         for (node, res) in &a.allocation.per_node {
             free[*node] -= *res;
@@ -53,7 +46,10 @@ pub(crate) fn free_after_keeps(
 pub(crate) fn keep_running(jobs: &[JobSnapshot]) -> Vec<Assignment> {
     jobs.iter()
         .filter_map(|j| {
-            if let rubick_sim::job::JobStatus::Running { allocation, plan, .. } = &j.status {
+            if let rubick_sim::job::JobStatus::Running {
+                allocation, plan, ..
+            } = &j.status
+            {
                 Some(Assignment {
                     job: j.id(),
                     allocation: allocation.clone(),

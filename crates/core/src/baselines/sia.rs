@@ -100,11 +100,12 @@ impl Scheduler for SiaScheduler {
             for job in jobs {
                 let id = job.id();
                 let cur = target[&id];
-                let Some(curve) = curves.get(&id) else { continue };
+                let Some(curve) = curves.get(&id) else {
+                    continue;
+                };
                 let here = curve.value(cur);
                 // Smallest amount beyond `cur` that improves throughput.
-                let Some(next) = (cur + 1..=cur + left)
-                    .find(|&g| curve.value(g) > here + 1e-12)
+                let Some(next) = (cur + 1..=cur + left).find(|&g| curve.value(g) > here + 1e-12)
                 else {
                     continue;
                 };
@@ -126,7 +127,9 @@ impl Scheduler for SiaScheduler {
         for job in jobs {
             let tgt = target[&job.id()];
             match &job.status {
-                JobStatus::Running { allocation, plan, .. } => {
+                JobStatus::Running {
+                    allocation, plan, ..
+                } => {
                     let cur = allocation.gpus();
                     let keep = if tgt == cur || tgt == 0 {
                         true
@@ -162,7 +165,9 @@ impl Scheduler for SiaScheduler {
                 continue;
             };
             let search = self.search_for(job);
-            let Some(curve) = curves.get(&id) else { continue };
+            let Some(curve) = curves.get(&id) else {
+                continue;
+            };
             // Round the target down to the nearest valid GPU count.
             let mut g = target[&id];
             let mut placed = false;
@@ -197,7 +202,10 @@ impl Scheduler for SiaScheduler {
             }
             if !placed {
                 // Leave queued; preserved progress will retry next round.
-                if let JobStatus::Running { allocation, plan, .. } = &job.status {
+                if let JobStatus::Running {
+                    allocation, plan, ..
+                } = &job.status
+                {
                     // Could not improve: keep the old configuration.
                     out.push(Assignment {
                         job: id,
@@ -223,9 +231,8 @@ mod tests {
     #[test]
     fn sia_scales_dp_jobs_up_when_cluster_is_idle() {
         let oracle = TestbedOracle::new(4);
-        let registry = Arc::new(
-            ModelRegistry::from_oracle(&oracle, &[ModelSpec::roberta_large()]).unwrap(),
-        );
+        let registry =
+            Arc::new(ModelRegistry::from_oracle(&oracle, &[ModelSpec::roberta_large()]).unwrap());
         let job = JobSpec {
             id: 1,
             model: ModelSpec::roberta_large(),
@@ -259,9 +266,8 @@ mod tests {
     #[test]
     fn sia_leaves_model_parallel_jobs_fixed() {
         let oracle = TestbedOracle::new(4);
-        let registry = Arc::new(
-            ModelRegistry::from_oracle(&oracle, &[ModelSpec::llama2_7b()]).unwrap(),
-        );
+        let registry =
+            Arc::new(ModelRegistry::from_oracle(&oracle, &[ModelSpec::llama2_7b()]).unwrap());
         let plan = ExecutionPlan::three_d(1, 8, 1, 1);
         let job = JobSpec {
             id: 1,

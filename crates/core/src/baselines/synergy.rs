@@ -63,8 +63,7 @@ impl Scheduler for SynergyScheduler {
 
         // FIFO over the queue, gang-scheduling the *requested* GPU count
         // with workload-aware CPU/memory amounts.
-        let mut queued: Vec<&JobSnapshot> =
-            jobs.iter().filter(|j| j.status.is_queued()).collect();
+        let mut queued: Vec<&JobSnapshot> = jobs.iter().filter(|j| j.status.is_queued()).collect();
         queued.sort_by(|a, b| {
             a.queued_since
                 .total_cmp(&b.queued_since)
@@ -79,7 +78,9 @@ impl Scheduler for SynergyScheduler {
             // the GPU-proportional share.
             let want = Resources::new(
                 job.spec.requested.gpus,
-                demand.cpus.max(job.spec.requested.cpus.min(demand.cpus * 2)),
+                demand
+                    .cpus
+                    .max(job.spec.requested.cpus.min(demand.cpus * 2)),
                 demand.host_mem_gb.max(job.spec.requested.mem_gb.min(512.0)),
             );
             let Some(alloc) = pack_gang(&free, want) else {

@@ -33,29 +33,25 @@ impl PlanSearch {
     ///
     /// Returns `None` when `gpus` is not a multiple of `t·p` or the batch
     /// cannot feed that many replicas.
-    pub fn rescale_dp(
-        base: &ExecutionPlan,
-        gpus: u32,
-        global_batch: u32,
-    ) -> Option<ExecutionPlan> {
+    pub fn rescale_dp(base: &ExecutionPlan, gpus: u32, global_batch: u32) -> Option<ExecutionPlan> {
         let tp_pp = base.parallel.tp * base.parallel.pp;
-        if gpus == 0 || gpus % tp_pp != 0 {
+        if gpus == 0 || !gpus.is_multiple_of(tp_pp) {
             return None;
         }
         let d = gpus / tp_pp;
-        if d > global_batch || global_batch % d != 0 {
+        if d > global_batch || !global_batch.is_multiple_of(d) {
             return None;
         }
         let mut plan = *base;
         plan.parallel = Parallelism::new(d, base.parallel.tp, base.parallel.pp);
         while plan.ga_steps > 1
-            && (d * plan.ga_steps > global_batch || global_batch % (d * plan.ga_steps) != 0)
+            && (d * plan.ga_steps > global_batch || !global_batch.is_multiple_of(d * plan.ga_steps))
         {
             plan.ga_steps /= 2;
         }
         if plan.parallel.pp > 1 {
             let mut m = plan.micro_batches.min((global_batch / d).max(1)).max(1);
-            while m > 1 && global_batch % (d * m) != 0 {
+            while m > 1 && !global_batch.is_multiple_of(d * m) {
                 m -= 1;
             }
             plan.micro_batches = m;
@@ -175,10 +171,7 @@ impl PlanSearch {
 pub fn pack_gang(free: &[Resources], want: Resources) -> Option<Allocation> {
     if want.gpus == 0 {
         // A CPU-only grant goes to the single node with the most free CPUs.
-        let (node, f) = free
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, f)| f.cpus)?;
+        let (node, f) = free.iter().enumerate().max_by_key(|(_, f)| f.cpus)?;
         return Some(Allocation::on_node(
             node,
             Resources::new(0, want.cpus.min(f.cpus), want.mem_gb.min(f.mem_gb)),
@@ -197,11 +190,7 @@ pub fn pack_gang(free: &[Resources], want: Resources) -> Option<Allocation> {
     {
         return Some(Allocation::on_node(
             node,
-            Resources::new(
-                want.gpus,
-                want.cpus.min(f.cpus),
-                want.mem_gb.min(f.mem_gb),
-            ),
+            Resources::new(want.gpus, want.cpus.min(f.cpus), want.mem_gb.min(f.mem_gb)),
         ));
     }
     // Spread: largest free blocks first (fewest nodes involved).
@@ -319,10 +308,7 @@ mod tests {
 
     #[test]
     fn pack_prefers_best_fit_node() {
-        let free = vec![
-            Resources::new(8, 96, 1600.0),
-            Resources::new(3, 36, 600.0),
-        ];
+        let free = vec![Resources::new(8, 96, 1600.0), Resources::new(3, 36, 600.0)];
         let alloc = pack_gang(&free, Resources::new(2, 8, 50.0)).unwrap();
         assert_eq!(alloc.per_node, vec![(1, Resources::new(2, 8, 50.0))]);
     }

@@ -63,10 +63,7 @@ impl ModelRegistry {
     ///
     /// Propagates profiling/fitting failures (e.g. a model with no feasible
     /// plan anywhere).
-    pub fn from_oracle(
-        oracle: &TestbedOracle,
-        specs: &[ModelSpec],
-    ) -> Result<Self, ModelError> {
+    pub fn from_oracle(oracle: &TestbedOracle, specs: &[ModelSpec]) -> Result<Self, ModelError> {
         let mut registry = ModelRegistry::new(*oracle.env(), *oracle.shape());
         for spec in specs {
             let (model, report) = profile_and_fit(oracle, spec, spec.default_batch)?;
@@ -82,8 +79,7 @@ impl ModelRegistry {
                 restarts: 4,
                 ..FitOptions::default()
             };
-            if let Ok(fitter) =
-                OnlineFitter::new(spec.clone(), *oracle.env(), report.points, opts)
+            if let Ok(fitter) = OnlineFitter::new(spec.clone(), *oracle.env(), report.points, opts)
             {
                 registry.fitters.lock().insert(spec.name.clone(), fitter);
             }
@@ -150,11 +146,7 @@ impl ModelRegistry {
     /// simulated profiling wall-clock (~210 s). Returns `None` when the
     /// type is already known (no cost) or profiling fails (no feasible
     /// plan anywhere).
-    pub fn profile_on_demand(
-        &self,
-        oracle: &TestbedOracle,
-        spec: &ModelSpec,
-    ) -> Option<f64> {
+    pub fn profile_on_demand(&self, oracle: &TestbedOracle, spec: &ModelSpec) -> Option<f64> {
         if self.models.read().contains_key(&spec.name) {
             return None;
         }
@@ -229,12 +221,8 @@ impl ModelRegistry {
     /// Pre-computes all GPU curves in parallel (the "prior to scheduling"
     /// optimization of §5.2).
     pub fn warm_curves(&self, max_gpus: u32, batch_of: impl Fn(&ModelSpec) -> u32 + Sync) {
-        let models: Vec<ThroughputModel> = self
-            .models
-            .read()
-            .values()
-            .map(|m| (**m).clone())
-            .collect();
+        let models: Vec<ThroughputModel> =
+            self.models.read().values().map(|m| (**m).clone()).collect();
         self.curves
             .precompute_gpu_curves(&models, |m| batch_of(&m.spec), max_gpus);
     }
@@ -260,8 +248,7 @@ mod tests {
     #[test]
     fn insert_replaces_and_invalidates() {
         let oracle = TestbedOracle::new(5);
-        let registry =
-            ModelRegistry::from_oracle(&oracle, &[ModelSpec::vit_base()]).unwrap();
+        let registry = ModelRegistry::from_oracle(&oracle, &[ModelSpec::vit_base()]).unwrap();
         let _ = registry.gpu_curve("vit-86m", 128, 8).unwrap();
         let replacement = ThroughputModel::new(
             ModelSpec::vit_base(),
@@ -283,8 +270,7 @@ mod online_tests {
     #[test]
     fn observe_refits_on_drifted_measurements() {
         let oracle = TestbedOracle::new(17);
-        let registry =
-            ModelRegistry::from_oracle(&oracle, &[ModelSpec::roberta_large()]).unwrap();
+        let registry = ModelRegistry::from_oracle(&oracle, &[ModelSpec::roberta_large()]).unwrap();
         let model = registry.model("roberta-355m").unwrap();
         let plan = rubick_model::ExecutionPlan::dp(2);
         let placement = Placement::packed(2, registry.shape());
@@ -301,8 +287,7 @@ mod online_tests {
     #[test]
     fn observe_skips_accurate_measurements_and_unknown_models() {
         let oracle = TestbedOracle::new(17);
-        let registry =
-            ModelRegistry::from_oracle(&oracle, &[ModelSpec::roberta_large()]).unwrap();
+        let registry = ModelRegistry::from_oracle(&oracle, &[ModelSpec::roberta_large()]).unwrap();
         let model = registry.model("roberta-355m").unwrap();
         let plan = rubick_model::ExecutionPlan::dp(4);
         let placement = Placement::packed(4, registry.shape());

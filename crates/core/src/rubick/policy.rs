@@ -2,9 +2,7 @@
 
 use super::RubickScheduler;
 use crate::common::{job_baseline, job_gpu_curve, PlanSearch};
-use rubick_model::{
-    ExecutionPlan, MemoryEstimator, Placement, Resources, SensitivityCurve,
-};
+use rubick_model::{ExecutionPlan, MemoryEstimator, Placement, Resources, SensitivityCurve};
 use rubick_sim::cluster::{Allocation, Cluster};
 use rubick_sim::job::{JobClass, JobId, JobStatus};
 use rubick_sim::scheduler::{Assignment, JobSnapshot};
@@ -135,12 +133,17 @@ impl<'a> Ctx<'a> {
         };
         let mut more = placement.clone();
         more.cpus += CPU_DELTA;
-        let cur = model
-            .params
-            .throughput(&model.spec, plan, snap.spec.global_batch, placement, &model.env);
-        let next = model
-            .params
-            .throughput(&model.spec, plan, snap.spec.global_batch, &more, &model.env);
+        let cur = model.params.throughput(
+            &model.spec,
+            plan,
+            snap.spec.global_batch,
+            placement,
+            &model.env,
+        );
+        let next =
+            model
+                .params
+                .throughput(&model.spec, plan, snap.spec.global_batch, &more, &model.env);
         ((next - cur) / CPU_DELTA as f64 / self.norm(id)).max(0.0)
     }
 
@@ -154,13 +157,81 @@ impl<'a> Ctx<'a> {
         };
         let mut fewer = placement.clone();
         fewer.cpus -= CPU_DELTA;
-        let cur = model
-            .params
-            .throughput(&model.spec, plan, snap.spec.global_batch, placement, &model.env);
-        let prev = model
-            .params
-            .throughput(&model.spec, plan, snap.spec.global_batch, &fewer, &model.env);
+        let cur = model.params.throughput(
+            &model.spec,
+            plan,
+            snap.spec.global_batch,
+            placement,
+            &model.env,
+        );
+        let prev = model.params.throughput(
+            &model.spec,
+            plan,
+            snap.spec.global_batch,
+            &fewer,
+            &model.env,
+        );
         ((cur - prev) / CPU_DELTA as f64 / self.norm(id)).max(0.0)
+    }
+}
+
+/// Below this many jobs the context build stays sequential: thread spawn
+/// and join overhead outweighs the per-job work.
+const MIN_PARALLEL_JOBS: usize = 16;
+
+/// The worker-thread count for a round over `items` jobs: `None` =
+/// sequential, `Some(0)` = all available cores, `Some(n)` = at most `n`.
+fn effective_threads(parallelism: Option<usize>, items: usize) -> usize {
+    let configured = match parallelism {
+        None => 1,
+        Some(0) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        Some(n) => n,
+    };
+    if items < MIN_PARALLEL_JOBS {
+        1
+    } else {
+        configured.clamp(1, items)
+    }
+}
+
+/// The per-job slice of [`Ctx`], computed independently per job (and in
+/// parallel when [`RubickConfig::parallelism`](super::RubickConfig) is
+/// set).
+struct JobCtxParts {
+    search: PlanSearch,
+    curve: Option<Arc<SensitivityCurve>>,
+    baseline: Option<f64>,
+    minimum: Resources,
+    frozen: bool,
+}
+
+/// Computes one job's context entries: plan-search mode, GPU sensitivity
+/// curve, SLA baseline, minimum demand, and penalty-gate state. Pure in
+/// (snapshot, registry) — full-search curves go through the shared keyed
+/// cache, whose hit/miss pattern cannot change the values.
+fn build_job_parts(sched: &RubickScheduler, snap: &JobSnapshot, total_gpus: u32) -> JobCtxParts {
+    let cfg = &sched.config;
+    let search = if cfg.plan_reconfig {
+        PlanSearch::Full
+    } else if cfg.resource_realloc {
+        PlanSearch::DpScale(snap.spec.initial_plan)
+    } else {
+        PlanSearch::Fixed(snap.spec.initial_plan)
+    };
+    JobCtxParts {
+        curve: job_gpu_curve(
+            &sched.registry,
+            &search,
+            &snap.spec.model.name,
+            snap.spec.global_batch,
+            total_gpus,
+        ),
+        baseline: job_baseline(&sched.registry, snap),
+        minimum: super::minres::min_res(&sched.registry, snap, &search, cfg.resource_realloc),
+        frozen: snap.status.is_running() && !snap.reconfig_allowed(cfg.reconfig_threshold),
+        search,
     }
 }
 
@@ -228,6 +299,11 @@ pub(super) fn run_round(
     }
 
     // ---- build round context ------------------------------------------
+    // The per-job work (curve, baseline, minimum demand) is the round's
+    // hot path and is embarrassingly parallel: each entry is a pure
+    // function of (snapshot, registry). Entries are computed on worker
+    // threads and merged into `JobId`-keyed BTreeMaps, so the result is
+    // byte-identical to the sequential build at any thread count.
     let mut ctx = Ctx {
         sched,
         snaps: BTreeMap::new(),
@@ -239,36 +315,45 @@ pub(super) fn run_round(
         estimator: MemoryEstimator::new(cluster.shape().gpu_mem_gb),
         total_gpus,
     };
-    for snap in jobs {
+    let threads = effective_threads(cfg.parallelism, jobs.len());
+    let parts: Vec<JobCtxParts> = if threads <= 1 {
+        jobs.iter()
+            .map(|snap| build_job_parts(sched, snap, total_gpus))
+            .collect()
+    } else {
+        let chunk = jobs.len().div_ceil(threads);
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        part.iter()
+                            .map(|snap| build_job_parts(sched, snap, total_gpus))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("round context thread panicked"))
+                .collect()
+        })
+        .expect("round context scope panicked")
+    };
+    for (snap, parts) in jobs.iter().zip(parts) {
         let id = snap.id();
         ctx.snaps.insert(id, snap);
-        let search = if cfg.plan_reconfig {
-            PlanSearch::Full
-        } else if cfg.resource_realloc {
-            PlanSearch::DpScale(snap.spec.initial_plan)
-        } else {
-            PlanSearch::Fixed(snap.spec.initial_plan)
-        };
-        if let Some(curve) = job_gpu_curve(
-            &sched.registry,
-            &search,
-            &snap.spec.model.name,
-            snap.spec.global_batch,
-            total_gpus,
-        ) {
+        if let Some(curve) = parts.curve {
             ctx.curves.insert(id, curve);
         }
-        if let Some(b) = job_baseline(&sched.registry, snap) {
+        if let Some(b) = parts.baseline {
             ctx.baselines.insert(id, b);
         }
-        ctx.minima.insert(
-            id,
-            super::minres::min_res(&sched.registry, snap, &search, cfg.resource_realloc),
-        );
-        if snap.status.is_running() && !snap.reconfig_allowed(cfg.reconfig_threshold) {
+        ctx.minima.insert(id, parts.minimum);
+        if parts.frozen {
             ctx.frozen.insert(id);
         }
-        ctx.searches.insert(id, search);
+        ctx.searches.insert(id, parts.search);
     }
 
     // ---- initial state: current allocations applied --------------------
@@ -437,7 +522,10 @@ fn schedule_job(ctx: &Ctx<'_>, state: &mut State, id: JobId) -> bool {
     };
     let cap_mem = ctx
         .estimator
-        .host_mem_gb(&snap.spec.model, &ExecutionPlan::zero_offload(cap_gpus.max(1)))
+        .host_mem_gb(
+            &snap.spec.model,
+            &ExecutionPlan::zero_offload(cap_gpus.max(1)),
+        )
         .max(snap.spec.requested.mem_gb);
 
     let mut tentative = cur_alloc.clone();
@@ -452,7 +540,11 @@ fn schedule_job(ctx: &Ctx<'_>, state: &mut State, id: JobId) -> bool {
             .find(|(i, _)| *i == n)
             .map(|(_, r)| r.gpus)
             .unwrap_or(0);
-        (std::cmp::Reverse(mine), std::cmp::Reverse(state.free[n].gpus), n)
+        (
+            std::cmp::Reverse(mine),
+            std::cmp::Reverse(state.free[n].gpus),
+            n,
+        )
     });
 
     for n in order {
@@ -519,8 +611,7 @@ fn schedule_job(ctx: &Ctx<'_>, state: &mut State, id: JobId) -> bool {
             if let Some(target) = curve.min_amount_reaching(envelope) {
                 shrink_alloc_to(&mut state.free, &mut tentative, target);
                 let placement = tentative.to_placement();
-                if let Some((p2, t2)) =
-                    search.best_plan(&model, snap.spec.global_batch, &placement)
+                if let Some((p2, t2)) = search.best_plan(&model, snap.spec.global_batch, &placement)
                 {
                     plan = p2;
                     tput = t2;
@@ -655,7 +746,11 @@ fn reclaim_cpus(
 ) {
     let snap = ctx.snap(id);
     // Only bother when the job has GPUs on this node already.
-    if !tentative.per_node.iter().any(|(i, r)| *i == n && r.gpus > 0) {
+    if !tentative
+        .per_node
+        .iter()
+        .any(|(i, r)| *i == n && r.gpus > 0)
+    {
         return;
     }
     for _ in 0..8 {
@@ -664,7 +759,8 @@ fn reclaim_cpus(
             break;
         }
         let placement = tentative.to_placement();
-        let Some((plan, _)) = ctx.searches[&id].best_plan(model, snap.spec.global_batch, &placement)
+        let Some((plan, _)) =
+            ctx.searches[&id].best_plan(model, snap.spec.global_batch, &placement)
         else {
             break;
         };
@@ -774,7 +870,10 @@ fn emit(ctx: &Ctx<'_>, mut state: State) -> Vec<Assignment> {
         }
         let snap = ctx.snap(id);
         if !state.changed.contains(&id) {
-            if let JobStatus::Running { allocation, plan, .. } = &snap.status {
+            if let JobStatus::Running {
+                allocation, plan, ..
+            } = &snap.status
+            {
                 out.push(Assignment {
                     job: id,
                     allocation: allocation.clone(),
@@ -798,11 +897,7 @@ fn emit(ctx: &Ctx<'_>, mut state: State) -> Vec<Assignment> {
                 let curve = ctx.curves.get(&id)?;
                 let (plan, _) = curve.best_plan_at(alloc.gpus())?;
                 shrink_alloc_to(&mut state.free, &mut alloc, plan.gpus());
-                ctx.searches[&id].best_plan(
-                    &model,
-                    snap.spec.global_batch,
-                    &alloc.to_placement(),
-                )
+                ctx.searches[&id].best_plan(&model, snap.spec.global_batch, &alloc.to_placement())
             });
         let Some((plan, _)) = best else {
             // Genuinely no feasible plan: preempt to queue.
@@ -945,17 +1040,26 @@ mod tests {
         // ZeRO-Offload (the only feasible plan) instead of failing.
         let oracle = TestbedOracle::new(23);
         let reg = registry(&oracle, &[ModelSpec::llama2_7b()]);
-        let mut j = job(1, ModelSpec::llama2_7b(), 1, ExecutionPlan::zero_offload(1), 50);
+        let mut j = job(
+            1,
+            ModelSpec::llama2_7b(),
+            1,
+            ExecutionPlan::zero_offload(1),
+            50,
+        );
         j.requested = Resources::new(1, 32, 400.0);
         let mut engine = Engine::new(
             &oracle,
             Box::new(RubickScheduler::new(reg)),
-            Cluster::new(1, NodeShape {
-                gpus: 1,
-                cpus: 32,
-                mem_gb: 400.0,
-                gpu_mem_gb: 80.0,
-            }),
+            Cluster::new(
+                1,
+                NodeShape {
+                    gpus: 1,
+                    cpus: 32,
+                    mem_gb: 400.0,
+                    gpu_mem_gb: 80.0,
+                },
+            ),
             vec![],
             EngineConfig::default(),
         );
@@ -967,19 +1071,19 @@ mod tests {
     fn best_effort_yields_to_guaranteed() {
         let oracle = TestbedOracle::new(24);
         let reg = registry(&oracle, &[ModelSpec::roberta_large()]);
-        let mut be = job(1, ModelSpec::roberta_large(), 8, ExecutionPlan::dp(8), 60_000);
+        let mut be = job(
+            1,
+            ModelSpec::roberta_large(),
+            8,
+            ExecutionPlan::dp(8),
+            60_000,
+        );
         be.class = JobClass::BestEffort;
         be.tenant = TenantId::new("tenant-b");
         let mut g = job(2, ModelSpec::roberta_large(), 8, ExecutionPlan::dp(8), 1000);
         g.submit_time = 120.0;
         g.tenant = TenantId::new("tenant-a");
-        let report = run(
-            &oracle,
-            reg,
-            1,
-            Tenant::paper_mt_pair(),
-            vec![be, g],
-        );
+        let report = run(&oracle, reg, 1, Tenant::paper_mt_pair(), vec![be, g]);
         assert_eq!(report.jobs.len(), 2, "unfinished: {:?}", report.unfinished);
         let g_rec = report.jobs.iter().find(|r| r.id == 2).unwrap();
         // The guaranteed job gets resources soon after submission (the
@@ -1002,12 +1106,15 @@ mod tests {
         let mut engine = Engine::new(
             &oracle,
             Box::new(RubickScheduler::new(reg)),
-            Cluster::new(1, NodeShape {
-                gpus: 4,
-                cpus: 48,
-                mem_gb: 800.0,
-                gpu_mem_gb: 80.0,
-            }),
+            Cluster::new(
+                1,
+                NodeShape {
+                    gpus: 4,
+                    cpus: 48,
+                    mem_gb: 800.0,
+                    gpu_mem_gb: 80.0,
+                },
+            ),
             vec![],
             EngineConfig::default(),
         );
@@ -1062,12 +1169,9 @@ mod lazy_profiling_tests {
     fn unknown_model_types_are_profiled_on_demand() {
         let oracle = TestbedOracle::new(41);
         // Empty registry: nothing pre-profiled.
-        let registry = Arc::new(ModelRegistry::new(
-            ClusterEnv::a800(),
-            NodeShape::a800(),
-        ));
-        let scheduler = RubickScheduler::new(Arc::clone(&registry))
-            .with_lazy_profiling(oracle.clone());
+        let registry = Arc::new(ModelRegistry::new(ClusterEnv::a800(), NodeShape::a800()));
+        let scheduler =
+            RubickScheduler::new(Arc::clone(&registry)).with_lazy_profiling(oracle.clone());
         let job = JobSpec {
             id: 1,
             model: ModelSpec::roberta_large(),
@@ -1093,17 +1197,19 @@ mod lazy_profiling_tests {
         // ...and the job waited out the simulated profiling window (~210s+,
         // surfaced at the next scheduling round).
         let start = report.jobs[0].first_start.unwrap();
-        assert!(start >= 200.0, "job started before profiling finished: {start}");
+        assert!(
+            start >= 200.0,
+            "job started before profiling finished: {start}"
+        );
     }
 
     #[test]
     fn preprofiled_types_pay_nothing() {
         let oracle = TestbedOracle::new(41);
-        let registry = Arc::new(
-            ModelRegistry::from_oracle(&oracle, &[ModelSpec::roberta_large()]).unwrap(),
-        );
-        let scheduler = RubickScheduler::new(Arc::clone(&registry))
-            .with_lazy_profiling(oracle.clone());
+        let registry =
+            Arc::new(ModelRegistry::from_oracle(&oracle, &[ModelSpec::roberta_large()]).unwrap());
+        let scheduler =
+            RubickScheduler::new(Arc::clone(&registry)).with_lazy_profiling(oracle.clone());
         let job = JobSpec {
             id: 1,
             model: ModelSpec::roberta_large(),

@@ -1,0 +1,246 @@
+//! Determinism/equivalence suite for scheduling-round parallelism.
+//!
+//! The `parallelism` knob ([`RubickConfig::parallelism`]) must be a pure
+//! performance knob: for ANY job mix, a round computed on worker threads
+//! must produce exactly the same assignments as the sequential round, and
+//! a whole simulation must produce an identical [`SimReport`].
+//!
+//! Each property runs the same input through two schedulers that differ
+//! only in thread count. The schedulers use *mirrored* registries (built
+//! from equal-seed oracles and fed identical observations), because a
+//! shared registry would let the first run's online refits leak into the
+//! second run's predictions and mask (or fake) divergence.
+
+use proptest::prelude::*;
+use rubick_core::rubick::RubickConfig;
+use rubick_core::{ModelRegistry, RubickScheduler};
+use rubick_model::prelude::*;
+use rubick_sim::cluster::Cluster;
+use rubick_sim::engine::{Engine, EngineConfig};
+use rubick_sim::job::{JobClass, JobSpec, JobStatus};
+use rubick_sim::scheduler::{JobSnapshot, Scheduler};
+use rubick_sim::tenant::{Tenant, TenantId};
+use rubick_testbed::TestbedOracle;
+use std::sync::{Arc, OnceLock};
+
+const ORACLE_SEED: u64 = 77;
+
+/// A pair of independently built but identical registries. Operations on
+/// one are mirrored on the other by construction (same oracle seed, and
+/// the equivalence property feeds both scheduler runs the same inputs),
+/// so they stay in lockstep across proptest cases.
+fn registries() -> (Arc<ModelRegistry>, Arc<ModelRegistry>) {
+    static REGS: OnceLock<(Arc<ModelRegistry>, Arc<ModelRegistry>)> = OnceLock::new();
+    let (a, b) = REGS.get_or_init(|| {
+        let build = || {
+            let oracle = TestbedOracle::new(ORACLE_SEED);
+            Arc::new(ModelRegistry::from_oracle(&oracle, &ModelSpec::zoo()).unwrap())
+        };
+        (build(), build())
+    });
+    (Arc::clone(a), Arc::clone(b))
+}
+
+fn job_snapshot(
+    id: u64,
+    model: ModelSpec,
+    gpus: u32,
+    class: JobClass,
+    queued_since: f64,
+) -> Option<JobSnapshot> {
+    let plan = enumerate_plans(
+        &model,
+        gpus,
+        model.default_batch,
+        &NodeShape::a800(),
+        &ClusterEnv::a800(),
+    )
+    .into_iter()
+    .next()?;
+    Some(JobSnapshot {
+        spec: Arc::new(JobSpec {
+            id,
+            global_batch: model.default_batch,
+            submit_time: queued_since,
+            target_batches: 1000,
+            requested: Resources::new(gpus, gpus * 6, gpus as f64 * 100.0),
+            initial_plan: plan,
+            class,
+            tenant: if class == JobClass::Guaranteed {
+                TenantId::new("tenant-a")
+            } else {
+                TenantId::new("tenant-b")
+            },
+            model,
+        }),
+        status: JobStatus::Queued,
+        remaining_batches: 1000.0,
+        queued_since,
+        runtime: 0.0,
+        reconfig_count: 0,
+        baseline_throughput: None,
+    })
+}
+
+/// Arbitrary queued job mixes, sized to straddle the sequential-fallback
+/// threshold (16 jobs) so both code paths are exercised.
+fn any_jobs() -> impl Strategy<Value = Vec<JobSnapshot>> {
+    prop::collection::vec(
+        (
+            0usize..7, // model index into the zoo
+            0u32..3,   // gpus = 2^k (floored per model below)
+            prop::bool::ANY,
+            0.0f64..1000.0,
+        ),
+        1..36,
+    )
+    .prop_map(|raw| {
+        let zoo = ModelSpec::zoo();
+        raw.into_iter()
+            .enumerate()
+            .filter_map(|(i, (m, gp, guaranteed, since))| {
+                let model = zoo[m].clone();
+                let gpus = (1u32 << gp).max(if model.params >= 2.0e10 {
+                    16
+                } else if model.params >= 5.0e9 {
+                    8
+                } else {
+                    1
+                });
+                job_snapshot(
+                    i as u64,
+                    model,
+                    gpus,
+                    if guaranteed {
+                        JobClass::Guaranteed
+                    } else {
+                        JobClass::BestEffort
+                    },
+                    since,
+                )
+            })
+            .collect()
+    })
+}
+
+fn scheduler_with(registry: Arc<ModelRegistry>, parallelism: Option<usize>) -> RubickScheduler {
+    RubickScheduler::with_config(
+        registry,
+        RubickConfig {
+            parallelism,
+            ..RubickConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// One round, any job mix: sequential and multi-threaded context
+    /// builds yield byte-identical assignment lists.
+    #[test]
+    fn round_is_thread_count_invariant(jobs in any_jobs(), threads in 2usize..6) {
+        let (reg_seq, reg_par) = registries();
+        let cluster = Cluster::a800_testbed();
+        let tenants = Tenant::paper_mt_pair();
+        let mut seq = scheduler_with(reg_seq, None);
+        let mut par = scheduler_with(reg_par, Some(threads));
+        let a = seq.schedule(2000.0, &jobs, &cluster, &tenants);
+        let b = par.schedule(2000.0, &jobs, &cluster, &tenants);
+        prop_assert_eq!(
+            &a, &b,
+            "assignments diverge at {} threads over {} jobs",
+            threads, jobs.len()
+        );
+    }
+
+    /// The auto setting (`Some(0)` = all cores) is equivalent too.
+    #[test]
+    fn auto_parallelism_matches_sequential(jobs in any_jobs()) {
+        let (reg_seq, reg_par) = registries();
+        let cluster = Cluster::a800_testbed();
+        let mut seq = scheduler_with(reg_seq, None);
+        let mut auto = scheduler_with(reg_par, Some(0));
+        let a = seq.schedule(2000.0, &jobs, &cluster, &[]);
+        let b = auto.schedule(2000.0, &jobs, &cluster, &[]);
+        prop_assert_eq!(&a, &b, "auto parallelism diverges over {} jobs", jobs.len());
+    }
+}
+
+/// End-to-end: a full simulation (launches, reconfigurations, online
+/// refits, preemptions) produces an identical `SimReport` at any thread
+/// count. Exercised at a scale where rounds really run multi-threaded.
+#[test]
+fn full_simulation_reports_are_identical() {
+    let specs: Vec<JobSpec> = {
+        let zoo = ModelSpec::zoo();
+        (0..24u64)
+            .filter_map(|i| {
+                let model = zoo[i as usize % zoo.len()].clone();
+                let gpus = [1u32, 2, 4, 8][i as usize % 4].max(if model.params >= 2.0e10 {
+                    16
+                } else if model.params >= 5.0e9 {
+                    8
+                } else {
+                    1
+                });
+                let plan = enumerate_plans(
+                    &model,
+                    gpus,
+                    model.default_batch,
+                    &NodeShape::a800(),
+                    &ClusterEnv::a800(),
+                )
+                .into_iter()
+                .next()?;
+                Some(JobSpec {
+                    id: i,
+                    global_batch: model.default_batch,
+                    submit_time: (i as f64) * 120.0,
+                    target_batches: 400,
+                    requested: Resources::new(gpus, gpus * 6, gpus as f64 * 100.0),
+                    initial_plan: plan,
+                    class: if i % 3 == 0 {
+                        JobClass::BestEffort
+                    } else {
+                        JobClass::Guaranteed
+                    },
+                    tenant: TenantId::default(),
+                    model,
+                })
+            })
+            .collect()
+    };
+    assert!(
+        specs.len() >= 20,
+        "workload lost too many jobs to plan floors"
+    );
+
+    let run = |parallelism: Option<usize>| {
+        // Fresh oracle + registry per run: no state leaks between them.
+        let oracle = TestbedOracle::new(ORACLE_SEED);
+        let registry = Arc::new(ModelRegistry::from_oracle(&oracle, &ModelSpec::zoo()).unwrap());
+        let mut engine = Engine::new(
+            &oracle,
+            Box::new(RubickScheduler::new(registry)),
+            Cluster::a800_testbed(),
+            vec![],
+            EngineConfig {
+                parallelism,
+                ..EngineConfig::default()
+            },
+        );
+        engine.run(specs.clone())
+    };
+
+    let sequential = run(None);
+    let parallel = run(Some(4));
+    assert_eq!(
+        sequential, parallel,
+        "SimReport diverges between sequential and 4-thread rounds"
+    );
+    assert!(
+        !sequential.jobs.is_empty(),
+        "degenerate run: nothing finished"
+    );
+}

@@ -6,8 +6,8 @@
 
 use proptest::prelude::*;
 use rubick_core::{
-    pack_gang, rubick_e, rubick_n, rubick_r, AntManScheduler, EqualShareScheduler,
-    ModelRegistry, RubickScheduler, SiaScheduler, SynergyScheduler,
+    pack_gang, rubick_e, rubick_n, rubick_r, AntManScheduler, EqualShareScheduler, ModelRegistry,
+    RubickScheduler, SiaScheduler, SynergyScheduler,
 };
 use rubick_model::prelude::*;
 use rubick_sim::cluster::Cluster;
@@ -72,8 +72,8 @@ fn job_snapshot(
 fn any_jobs() -> impl Strategy<Value = Vec<JobSnapshot>> {
     prop::collection::vec(
         (
-            0usize..7,  // model index
-            0u32..3,    // gpus = 2^k
+            0usize..7, // model index
+            0u32..3,   // gpus = 2^k
             prop::bool::ANY,
             0.0f64..1000.0,
         ),
@@ -135,9 +135,17 @@ fn check_assignments(
     // feasible plan on its placement.
     let mut seen = std::collections::BTreeSet::new();
     for a in assignments {
-        prop_assert!(seen.insert(a.job), "{name}: duplicate assignment for {}", a.job);
+        prop_assert!(
+            seen.insert(a.job),
+            "{name}: duplicate assignment for {}",
+            a.job
+        );
         let snap = jobs.iter().find(|j| j.id() == a.job);
-        prop_assert!(snap.is_some(), "{name}: assignment for unknown job {}", a.job);
+        prop_assert!(
+            snap.is_some(),
+            "{name}: assignment for unknown job {}",
+            a.job
+        );
         let snap = snap.unwrap();
         if a.allocation.is_empty() {
             continue;
@@ -145,7 +153,12 @@ fn check_assignments(
         let placement = a.allocation.to_placement();
         prop_assert!(
             oracle
-                .measure(&snap.spec.model, &a.plan, snap.spec.global_batch, &placement)
+                .measure(
+                    &snap.spec.model,
+                    &a.plan,
+                    snap.spec.global_batch,
+                    &placement
+                )
                 .is_ok(),
             "{name}: infeasible assignment {} on {placement} for job {} ({})",
             a.plan,

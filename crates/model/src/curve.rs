@@ -85,12 +85,7 @@ impl SensitivityCurve {
 
     /// Builds the CPU sensitivity curve at a fixed GPU count: amounts
     /// `0..=max_cpus`, host memory fixed at the packed share.
-    pub fn for_cpus(
-        model: &ThroughputModel,
-        global_batch: u32,
-        gpus: u32,
-        max_cpus: u32,
-    ) -> Self {
+    pub fn for_cpus(model: &ThroughputModel, global_batch: u32, gpus: u32, max_cpus: u32) -> Self {
         let base = Placement::packed(gpus, &model.shape);
         let mut points = Vec::with_capacity(max_cpus as usize + 1);
         points.push(CurvePoint {
@@ -270,18 +265,43 @@ impl CurveCache {
 
     /// Pre-computes GPU curves for many models in parallel using crossbeam
     /// scoped threads — the "computed in parallel or even prior to the
-    /// scheduling" optimization of §5.2.
+    /// scheduling" optimization of §5.2. One thread per model.
     pub fn precompute_gpu_curves(
         &self,
         models: &[ThroughputModel],
         global_batch: impl Fn(&ThroughputModel) -> u32 + Sync,
         max_gpus: u32,
     ) {
-        crossbeam::scope(|scope| {
+        self.precompute_gpu_curves_with(models, global_batch, max_gpus, models.len());
+    }
+
+    /// Like [`precompute_gpu_curves`](CurveCache::precompute_gpu_curves)
+    /// but bounded to at most `threads` worker threads, each computing a
+    /// contiguous chunk of models. Thread count never affects the cache
+    /// contents — curves are pure functions of `(model, batch, max_gpus)`
+    /// and the cache is keyed, so insertion order is irrelevant.
+    pub fn precompute_gpu_curves_with(
+        &self,
+        models: &[ThroughputModel],
+        global_batch: impl Fn(&ThroughputModel) -> u32 + Sync,
+        max_gpus: u32,
+        threads: usize,
+    ) {
+        let threads = threads.clamp(1, models.len().max(1));
+        if threads <= 1 || models.len() <= 1 {
             for model in models {
-                let batch = global_batch(model);
-                scope.spawn(move |_| {
-                    self.gpu_curve(model, batch, max_gpus);
+                self.gpu_curve(model, global_batch(model), max_gpus);
+            }
+            return;
+        }
+        let chunk = models.len().div_ceil(threads);
+        let global_batch = &global_batch;
+        crossbeam::scope(|scope| {
+            for part in models.chunks(chunk) {
+                scope.spawn(move || {
+                    for model in part {
+                        self.gpu_curve(model, global_batch(model), max_gpus);
+                    }
                 });
             }
         })
@@ -330,9 +350,7 @@ mod tests {
         let m = model(ModelSpec::roberta_large());
         let curve = SensitivityCurve::for_gpus(&m, 64, 8);
         for g in 0..8 {
-            assert!(
-                (curve.gain_slope(g) - (curve.value(g + 1) - curve.value(g))).abs() < 1e-12
-            );
+            assert!((curve.gain_slope(g) - (curve.value(g + 1) - curve.value(g))).abs() < 1e-12);
         }
         assert_eq!(curve.loss_slope(0), 0.0);
     }

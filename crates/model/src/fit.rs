@@ -109,12 +109,7 @@ pub struct FitResult {
 }
 
 /// RMSLE between predicted and observed iteration times.
-fn rmsle(
-    params: &PerfParams,
-    spec: &ModelSpec,
-    env: &ClusterEnv,
-    points: &[DataPoint],
-) -> f64 {
+fn rmsle(params: &PerfParams, spec: &ModelSpec, env: &ClusterEnv, points: &[DataPoint]) -> f64 {
     let mut acc = 0.0;
     for p in points {
         let pred = params.iter_time(spec, &p.plan, p.global_batch, &p.placement, env);
@@ -207,8 +202,8 @@ fn nelder_mead<F: FnMut(&[f64; 7]) -> f64>(
                 // Shrink towards the best vertex.
                 let x_best = simplex[0].0;
                 for v in simplex.iter_mut().skip(1) {
-                    for i in 0..N {
-                        v.0[i] = x_best[i] + 0.5 * (v.0[i] - x_best[i]);
+                    for (vi, &xb) in v.0.iter_mut().zip(x_best.iter()) {
+                        *vi = xb + 0.5 * (*vi - xb);
                     }
                     project(&mut v.0);
                     v.1 = eval(&v.0, &mut evals);

@@ -292,7 +292,10 @@ mod tests {
         let spec = ModelSpec::llama2_7b();
         let t1 = est().gpu_mem_gb(&spec, &ExecutionPlan::three_d(1, 1, 1, 1), 32);
         let t8 = est().gpu_mem_gb(&spec, &ExecutionPlan::three_d(1, 8, 1, 1), 32);
-        assert!(t8 < t1 / 4.0, "TP8 should cut memory by roughly 8x: {t1} -> {t8}");
+        assert!(
+            t8 < t1 / 4.0,
+            "TP8 should cut memory by roughly 8x: {t1} -> {t8}"
+        );
     }
 
     #[test]
@@ -319,7 +322,9 @@ mod tests {
         let tight = Placement::single_node(1, 12, 10.0);
         let roomy = Placement::single_node(1, 12, 200.0);
         let env = ClusterEnv::a800();
-        assert!(est().check_feasible(&spec, &plan, &tight, 32, &env).is_err());
+        assert!(est()
+            .check_feasible(&spec, &plan, &tight, 32, &env)
+            .is_err());
         assert!(est().check_feasible(&spec, &plan, &roomy, 32, &env).is_ok());
     }
 

@@ -63,7 +63,11 @@ pub fn volumes(spec: &ModelSpec, plan: &ExecutionPlan, global_batch: u32) -> Com
         // ZeRO-3 all-gathers parameters in the forward and backward passes
         // on top of the gradient reduce-scatter: ~1.5x the ring-allreduce
         // traffic of plain DP / ZeRO-2.
-        let factor = if plan.memory == MemoryMode::Zero3 { 3.0 } else { 2.0 };
+        let factor = if plan.memory == MemoryMode::Zero3 {
+            3.0
+        } else {
+            2.0
+        };
         p_bytes * factor * (d - 1.0) / (d * t * p)
     } else {
         0.0

@@ -35,7 +35,10 @@ impl Parallelism {
     ///
     /// Panics if any degree is zero.
     pub fn new(dp: u32, tp: u32, pp: u32) -> Self {
-        assert!(dp >= 1 && tp >= 1 && pp >= 1, "parallel degrees must be >= 1");
+        assert!(
+            dp >= 1 && tp >= 1 && pp >= 1,
+            "parallel degrees must be >= 1"
+        );
         Parallelism { dp, tp, pp }
     }
 
@@ -214,7 +217,7 @@ impl ExecutionPlan {
                 pp, spec.layers, spec.name
             ));
         }
-        if tp > 1 && spec.hidden % tp != 0 {
+        if tp > 1 && !spec.hidden.is_multiple_of(tp) {
             return invalid(format!(
                 "tp={} does not divide hidden size {}",
                 tp, spec.hidden
@@ -237,7 +240,7 @@ impl ExecutionPlan {
         } else {
             self.ga_steps
         });
-        if splits > global_batch || global_batch % splits != 0 {
+        if splits > global_batch || !global_batch.is_multiple_of(splits) {
             return invalid(format!(
                 "global batch {} does not split evenly into {} device micro-batches",
                 global_batch, splits
@@ -346,7 +349,7 @@ fn tp_candidates(shape: &NodeShape, gpus: u32, spec: &ModelSpec) -> Vec<u32> {
     let mut v = vec![1u32];
     let mut t = 2u32;
     while t <= shape.gpus && t <= gpus {
-        if spec.hidden % t == 0 {
+        if spec.hidden.is_multiple_of(t) {
             v.push(t);
         }
         t *= 2;
@@ -396,12 +399,12 @@ pub fn enumerate_plans(
     };
 
     for t in tp_candidates(shape, gpus, spec) {
-        if gpus % t != 0 {
+        if !gpus.is_multiple_of(t) {
             continue;
         }
         let rest = gpus / t;
         for p in 1..=rest {
-            if rest % p != 0 || p > spec.layers {
+            if !rest.is_multiple_of(p) || p > spec.layers {
                 continue;
             }
             let d = rest / p;
@@ -537,7 +540,10 @@ mod tests {
             ExecutionPlan::three_d(1, 4, 1, 1).kind(),
             PlanKind::TensorParallel
         );
-        assert_eq!(ExecutionPlan::three_d(1, 1, 4, 4).kind(), PlanKind::Pipeline);
+        assert_eq!(
+            ExecutionPlan::three_d(1, 1, 4, 4).kind(),
+            PlanKind::Pipeline
+        );
         assert_eq!(ExecutionPlan::three_d(2, 2, 2, 4).kind(), PlanKind::ThreeD);
     }
 

@@ -134,11 +134,7 @@ impl SubAssign for Resources {
 
 impl fmt::Display for Resources {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}g/{}c/{:.0}GiB",
-            self.gpus, self.cpus, self.mem_gb
-        )
+        write!(f, "{}g/{}c/{:.0}GiB", self.gpus, self.cpus, self.mem_gb)
     }
 }
 

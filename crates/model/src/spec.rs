@@ -262,7 +262,10 @@ mod tests {
             .filter(|m| m.is_large())
             .map(|m| m.name)
             .collect();
-        assert_eq!(large, vec!["llama2-7b".to_string(), "llama-30b".to_string()]);
+        assert_eq!(
+            large,
+            vec!["llama2-7b".to_string(), "llama-30b".to_string()]
+        );
     }
 
     #[test]

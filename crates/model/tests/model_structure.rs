@@ -27,7 +27,13 @@ fn ga_keeps_total_forward_compute_constant() {
         ..params
     };
     let t1 = zeroed.iter_time(&spec, &ExecutionPlan::dp(1), 16, &placement, &env);
-    let t4 = zeroed.iter_time(&spec, &ExecutionPlan::dp(1).with_ga(4), 16, &placement, &env);
+    let t4 = zeroed.iter_time(
+        &spec,
+        &ExecutionPlan::dp(1).with_ga(4),
+        16,
+        &placement,
+        &env,
+    );
     // d=1 ⇒ no sync; GA only reorganizes the same compute.
     assert!(
         (t1 - t4).abs() / t1 < 1e-9,
@@ -108,8 +114,8 @@ fn offload_optimizer_scales_with_dp_and_cpus() {
     let params = PerfParams {
         k_bwd: 0.0,
         k_const: 0.0,
-        k_off: 64.0,  // perfect overlap -> max(comm, off)
-        k_swap: 1.0,  // no overlap -> opt + off
+        k_off: 64.0,     // perfect overlap -> max(comm, off)
+        k_swap: 1.0,     // no overlap -> opt + off
         gpu_flops: 1e30, // compute ~ 0
         ..PerfParams::default()
     };
@@ -127,8 +133,14 @@ fn offload_optimizer_scales_with_dp_and_cpus() {
     let t21 = t(2, 8);
     // The optimizer component halves; the remaining terms differ slightly
     // (offload volume also halves with d), so compare with slack.
-    assert!(t12 < t11 * 0.75, "more CPUs must shrink T_opt: {t12} vs {t11}");
-    assert!(t21 < t11 * 0.75, "more replicas must shrink T_opt: {t21} vs {t11}");
+    assert!(
+        t12 < t11 * 0.75,
+        "more CPUs must shrink T_opt: {t12} vs {t11}"
+    );
+    assert!(
+        t21 < t11 * 0.75,
+        "more replicas must shrink T_opt: {t21} vs {t11}"
+    );
 }
 
 #[test]
@@ -140,12 +152,29 @@ fn loss_trace_is_batch_preserving_by_construction() {
     let sim = LossSimulator::new(&ModelSpec::bert_large(), 3);
     let a = plan_tag(&ExecutionPlan::dp(8));
     let b = plan_tag(&ExecutionPlan::three_d(2, 2, 2, 4));
-    let base = sim.run(1500, 11, &[PlanPhase { from_step: 0, plan_tag: a }]);
-    let other = sim.run(1500, 11, &[PlanPhase { from_step: 0, plan_tag: b }]);
+    let base = sim.run(
+        1500,
+        11,
+        &[PlanPhase {
+            from_step: 0,
+            plan_tag: a,
+        }],
+    );
+    let other = sim.run(
+        1500,
+        11,
+        &[PlanPhase {
+            from_step: 0,
+            plan_tag: b,
+        }],
+    );
     // Same seed, different plan: expectations identical, only the small
     // plan-level jitter differs.
     let max_diff = base.max_diff(&other);
-    assert!(max_diff < 0.1, "plan change perturbed the expectation: {max_diff}");
+    assert!(
+        max_diff < 0.1,
+        "plan change perturbed the expectation: {max_diff}"
+    );
 }
 
 #[test]

@@ -58,7 +58,13 @@ fn zero3_prediction_is_finite_and_slower_than_zero2_on_fast_interconnect() {
         assert!(t3.is_finite() && t3 > 0.0);
         assert!(t3 >= t2, "ZeRO-3 cannot be faster than ZeRO-2 cross-node");
     }
-    let t3 = params.iter_time(&spec, &ExecutionPlan::zero3(8), 16, &single, &ClusterEnv::a800());
+    let t3 = params.iter_time(
+        &spec,
+        &ExecutionPlan::zero3(8),
+        16,
+        &single,
+        &ClusterEnv::a800(),
+    );
     assert!(t3.is_finite() && t3 > 0.0);
 }
 

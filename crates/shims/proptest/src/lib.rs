@@ -1,0 +1,641 @@
+//! Offline drop-in subset of the `proptest` API.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of `proptest` its test suites use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(…)]`, doc comments
+//!   and `#[test]` attributes on each case);
+//! * strategies: numeric ranges, tuples (arity ≤ 8), [`Just`],
+//!   [`collection::vec`], [`bool::ANY`], [`sample::select`];
+//! * combinators: [`Strategy::prop_map`], [`Strategy::boxed`];
+//! * assertions: [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`];
+//! * [`test_runner::ProptestConfig`] (`with_cases`, `PROPTEST_CASES` env
+//!   override) and [`test_runner::TestCaseError`].
+//!
+//! Generation is seeded and deterministic per test name (override with
+//! `PROPTEST_SEED`). Shrinking is greedy and value-based: numeric ranges
+//! shrink toward their lower bound, vectors by element removal and
+//! element-wise shrinking, tuples component-wise. Mapped and selected
+//! strategies do not shrink (the inverse of an arbitrary `prop_map`
+//! closure is unknowable without the upstream value-tree machinery); the
+//! failing input is always reported in full either way.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The RNG driving generation (re-exported for advanced use).
+pub type TestRng = SmallRng;
+
+pub mod test_runner {
+    //! Test-case configuration and error plumbing.
+
+    /// Subset of proptest's run configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases per property.
+        pub cases: u32,
+        /// Budget of shrink attempts after a failure.
+        pub max_shrink_iters: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+
+        /// The effective case count (honors the `PROPTEST_CASES` env var).
+        pub fn effective_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(self.cases)
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps this workspace's heavier
+            // model-enumeration properties fast on small CI runners while
+            // PROPTEST_CASES allows deeper soak runs.
+            ProptestConfig {
+                cases: 64,
+                max_shrink_iters: 256,
+            }
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// The property was violated.
+        Fail(String),
+        /// The input was rejected (counts as a skip, not a failure).
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A property violation carrying `msg`.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// An input rejection carrying `msg`.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+}
+
+use test_runner::{ProptestConfig, TestCaseError};
+
+/// A generator of random values with optional value-based shrinking.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Simpler candidates derived from a failing `value` (may be empty).
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: std::rc::Rc::new(self),
+        }
+    }
+}
+
+/// Object-safe view of a strategy, used by [`BoxedStrategy`].
+trait DynStrategy<V> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> V;
+    fn dyn_shrink(&self, value: &V) -> Vec<V>;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+
+    fn dyn_shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        self.shrink(value)
+    }
+}
+
+/// A type-erased strategy (`Strategy::boxed`).
+pub struct BoxedStrategy<V> {
+    inner: std::rc::Rc<dyn DynStrategy<V>>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: std::rc::Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.inner.dyn_generate(rng)
+    }
+
+    fn shrink(&self, value: &V) -> Vec<V> {
+        self.inner.dyn_shrink(value)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let mut out = Vec::new();
+                let lo = self.start;
+                if *value > lo {
+                    out.push(lo);
+                    let mid = lo + (*value - lo) / 2;
+                    if mid != lo && mid != *value {
+                        out.push(mid);
+                    }
+                    if *value - 1 != lo {
+                        out.push(*value - 1);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u32, u64, usize, i32, i64);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+
+    fn shrink(&self, value: &f64) -> Vec<f64> {
+        let lo = self.start;
+        let mut out = Vec::new();
+        if *value > lo {
+            out.push(lo);
+            let mid = lo + (*value - lo) / 2.0;
+            if mid > lo && mid < *value {
+                out.push(mid);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+),)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone,)+
+        {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!(
+    (A / 0),
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3),
+    (A / 0, B / 1, C / 2, D / 3, E / 4),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6),
+    (A / 0, B / 1, C / 2, D / 3, E / 4, F / 5, G / 6, H / 7),
+);
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Uniformly random booleans; `true` shrinks to `false`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The boolean strategy instance.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.random()
+        }
+
+        fn shrink(&self, value: &bool) -> Vec<bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A `Vec` whose length is drawn from `len` and whose elements come
+    /// from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { elem, len }
+    }
+
+    /// The result of [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.len.clone());
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Remove one element at a time (front-biased), while the
+            // minimum length allows it.
+            if value.len() > self.len.start {
+                for i in 0..value.len().min(8) {
+                    let mut next = value.clone();
+                    next.remove(i);
+                    out.push(next);
+                }
+            }
+            // Shrink individual elements.
+            for (i, v) in value.iter().enumerate().take(8) {
+                for cand in self.elem.shrink(v) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Picks uniformly from a fixed, non-empty set of options.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select { options }
+    }
+
+    /// The result of [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options[rng.random_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+/// Runs one property: `cases` random inputs, greedy shrink on failure.
+///
+/// Panics (like upstream proptest) with the minimal failing input, the
+/// failure message, and the seed to reproduce.
+pub fn run_property<S, F>(config: &ProptestConfig, name: &str, strategy: S, test: F)
+where
+    S: Strategy,
+    S::Value: Clone + std::fmt::Debug,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let seed = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            name.hash(&mut h);
+            0x5eed ^ h.finish()
+        });
+    let mut rng = TestRng::seed_from_u64(seed);
+    let cases = config.effective_cases();
+    for case in 0..cases {
+        let value = strategy.generate(&mut rng);
+        match test(value.clone()) {
+            Ok(()) | Err(TestCaseError::Reject(_)) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                let (min_value, min_msg) = shrink_failure(config, &strategy, &test, value, msg);
+                panic!(
+                    "proptest property '{name}' failed at case {case}/{cases} \
+                     (seed {seed}, set PROPTEST_SEED={seed} to reproduce)\n\
+                     message: {min_msg}\n\
+                     minimal failing input: {min_value:#?}"
+                );
+            }
+        }
+    }
+}
+
+/// Greedy descent through `strategy.shrink` candidates that still fail.
+fn shrink_failure<S, F>(
+    config: &ProptestConfig,
+    strategy: &S,
+    test: &F,
+    mut value: S::Value,
+    mut msg: String,
+) -> (S::Value, String)
+where
+    S: Strategy,
+    S::Value: Clone,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut budget = config.max_shrink_iters;
+    'outer: while budget > 0 {
+        for cand in strategy.shrink(&value) {
+            if budget == 0 {
+                break 'outer;
+            }
+            budget -= 1;
+            if let Err(TestCaseError::Fail(m)) = test(cand.clone()) {
+                value = cand;
+                msg = m;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, msg)
+}
+
+/// Fails the current test case with a formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+), l, r
+        );
+    }};
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+        let _ = r;
+    }};
+}
+
+/// Declares property-based test cases.
+///
+/// Mirrors upstream `proptest!`: an optional
+/// `#![proptest_config(…)]` inner attribute, then test functions whose
+/// parameters are `name in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`] — one wrapper fn per case.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident (
+        $($arg:ident in $strat:expr),+ $(,)?
+    ) $body:block )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::run_property(
+                &config,
+                stringify!($name),
+                ($($strat,)+),
+                |($($arg,)+)| {
+                    $body
+                    Ok(())
+                },
+            );
+        }
+    )*};
+}
+
+pub mod prelude {
+    //! The one-stop import, mirroring `proptest::prelude`.
+
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, BoxedStrategy, Just, Strategy,
+    };
+
+    /// Module-style access (`prop::collection::vec`, `prop::bool::ANY`,
+    /// `prop::sample::select`), mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..10, y in 0.5f64..2.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.5..2.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(0u32..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            for x in &v {
+                prop_assert!(*x < 5);
+            }
+        }
+
+        #[test]
+        fn map_and_select_compose(
+            s in prop::sample::select(vec![2u32, 4, 8]).prop_map(|x| x * 3)
+        ) {
+            prop_assert!(s == 6 || s == 12 || s == 24, "unexpected {s}");
+        }
+
+        #[test]
+        fn just_and_bool(flag in prop::bool::ANY, k in Just(7u32)) {
+            prop_assert_eq!(k, 7);
+            let _ = flag;
+        }
+    }
+
+    #[test]
+    fn failures_shrink_toward_lower_bound() {
+        let config = crate::test_runner::ProptestConfig::with_cases(64);
+        let outcome = std::panic::catch_unwind(|| {
+            crate::run_property(&config, "shrink_demo", (0u32..1000,), |(x,)| {
+                crate::prop_assert!(x < 50, "x too big: {x}");
+                Ok(())
+            });
+        });
+        let msg = *outcome
+            .expect_err("must fail")
+            .downcast::<String>()
+            .unwrap();
+        // Greedy shrinking must land on the boundary value 50.
+        assert!(msg.contains("50"), "unshrunk failure: {msg}");
+    }
+
+    #[test]
+    fn boxed_strategies_erase_types() {
+        let config = crate::test_runner::ProptestConfig::with_cases(16);
+        let s: BoxedStrategy<Option<u32>> = (1u32..4).prop_map(Some).boxed();
+        crate::run_property(&config, "boxed_demo", (s,), |(v,)| {
+            crate::prop_assert!(matches!(v, Some(1..=3)), "bad {v:?}");
+            Ok(())
+        });
+    }
+}

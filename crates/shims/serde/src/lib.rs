@@ -1,0 +1,27 @@
+//! Offline stand-in for `serde`'s derive macros.
+//!
+//! The build environment has no access to crates.io, and nothing in this
+//! workspace actually serializes anything yet — the `Serialize` /
+//! `Deserialize` derives on data types are forward-looking annotations.
+//! This shim accepts those derives (including `#[serde(...)]` helper
+//! attributes) and expands to **nothing**, so the annotations stay in the
+//! source, the workspace builds offline, and swapping the real `serde`
+//! back in later is a one-line change in the workspace manifest.
+//!
+//! If a future change starts *using* the traits (bounds like
+//! `T: Serialize` or calls into a serializer), the build will fail loudly
+//! rather than silently misbehave, because no trait impls exist.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

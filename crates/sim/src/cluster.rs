@@ -144,7 +144,10 @@ impl fmt::Display for ClusterError {
                 node,
                 requested,
                 free,
-            } => write!(f, "node {node} overcommitted: requested {requested}, free {free}"),
+            } => write!(
+                f,
+                "node {node} overcommitted: requested {requested}, free {free}"
+            ),
         }
     }
 }

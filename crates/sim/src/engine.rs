@@ -17,7 +17,7 @@ use crate::tenant::Tenant;
 use rubick_model::Placement;
 use rubick_testbed::TestbedOracle;
 use std::cmp::{Ordering, Reverse};
-use std::collections::{BinaryHeap, BTreeMap};
+use std::collections::{BTreeMap, BinaryHeap};
 use std::sync::Arc;
 
 /// Engine tuning knobs.
@@ -29,6 +29,12 @@ pub struct EngineConfig {
     pub round_interval: Option<f64>,
     /// Hard stop for the simulation clock, seconds.
     pub max_time: f64,
+    /// Worker-thread budget forwarded to
+    /// [`Scheduler::set_parallelism`] at construction: `None` leaves
+    /// the scheduler as configured, `Some(0)` auto-detects, `Some(n)`
+    /// uses at most `n` threads. Never affects scheduling decisions —
+    /// only how fast a round computes.
+    pub parallelism: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -36,6 +42,7 @@ impl Default for EngineConfig {
         EngineConfig {
             round_interval: Some(600.0),
             max_time: 120.0 * 24.0 * 3600.0,
+            parallelism: None,
         }
     }
 }
@@ -131,11 +138,14 @@ impl<'a> Engine<'a> {
     /// Creates an engine.
     pub fn new(
         oracle: &'a TestbedOracle,
-        scheduler: Box<dyn Scheduler + 'a>,
+        mut scheduler: Box<dyn Scheduler + 'a>,
         cluster: Cluster,
         tenants: Vec<Tenant>,
         config: EngineConfig,
     ) -> Self {
+        if config.parallelism.is_some() {
+            scheduler.set_parallelism(config.parallelism);
+        }
         Engine {
             oracle,
             scheduler,
@@ -197,8 +207,12 @@ impl<'a> Engine<'a> {
             spec.requested.cpus,
             spec.requested.mem_gb,
         );
-        self.oracle
-            .throughput(&spec.model, &spec.initial_plan, spec.global_batch, &placement)
+        self.oracle.throughput(
+            &spec.model,
+            &spec.initial_plan,
+            spec.global_batch,
+            &placement,
+        )
     }
 
     fn snapshots(&self) -> Vec<JobSnapshot> {
@@ -224,9 +238,9 @@ impl<'a> Engine<'a> {
         if snaps.is_empty() {
             return;
         }
-        let targets =
-            self.scheduler
-                .schedule(self.now, &snaps, &self.cluster, &self.tenants);
+        let targets = self
+            .scheduler
+            .schedule(self.now, &snaps, &self.cluster, &self.tenants);
         self.apply(targets);
     }
 
@@ -248,9 +262,12 @@ impl<'a> Engine<'a> {
         for id in ids {
             let rt = self.jobs.get_mut(&id).expect("job exists");
             match (&rt.status, target_map.get(&id)) {
-                (JobStatus::Running { allocation, plan, .. }, Some(a))
-                    if a.allocation == *allocation && a.plan == *plan =>
-                {
+                (
+                    JobStatus::Running {
+                        allocation, plan, ..
+                    },
+                    Some(a),
+                ) if a.allocation == *allocation && a.plan == *plan => {
                     // Unchanged: keep running, keep the pending finish event.
                 }
                 (JobStatus::Running { allocation, .. }, Some(_)) => {
@@ -267,7 +284,10 @@ impl<'a> Engine<'a> {
                     rt.status = JobStatus::Queued;
                     rt.queued_since = self.now;
                     rt.epoch += 1;
-                    self.decisions.push(Decision::Preempt { at: self.now, job: id });
+                    self.decisions.push(Decision::Preempt {
+                        at: self.now,
+                        job: id,
+                    });
                 }
                 (JobStatus::Queued, Some(_)) => to_configure.push(id),
                 _ => {}
@@ -311,8 +331,7 @@ impl<'a> Engine<'a> {
                     if restarted {
                         rt.reconfig_count += 1;
                         rt.reconfig_time += delay;
-                        rt.reconfig_gpu_seconds +=
-                            delay * assignment.allocation.gpus() as f64;
+                        rt.reconfig_gpu_seconds += delay * assignment.allocation.gpus() as f64;
                         self.decisions.push(Decision::Reconfigure {
                             at: self.now,
                             job: id,
@@ -338,9 +357,8 @@ impl<'a> Engine<'a> {
                         throughput: m.throughput,
                         resume_at: self.now + delay,
                     };
-                    let finish = self.now
-                        + delay
-                        + remaining * spec.global_batch as f64 / m.throughput;
+                    let finish =
+                        self.now + delay + remaining * spec.global_batch as f64 / m.throughput;
                     self.push_event(finish, EventKind::Finish(id, epoch));
                 }
                 Err(e) => {
@@ -472,7 +490,10 @@ impl<'a> Engine<'a> {
                         }
                         if rt.remaining <= 1e-6 {
                             records.push(self.finalize(id));
-                            self.decisions.push(Decision::Finish { at: self.now, job: id });
+                            self.decisions.push(Decision::Finish {
+                                at: self.now,
+                                job: id,
+                            });
                             need_round = true;
                         } else {
                             // Float drift: re-arm the finish event.
@@ -522,10 +543,7 @@ impl<'a> Engine<'a> {
             .map(|rt| rt.spec.id)
             .chain(pending.keys().copied())
             .collect();
-        let makespan = records
-            .iter()
-            .map(|r| r.finish_time)
-            .fold(0.0f64, f64::max);
+        let makespan = records.iter().map(|r| r.finish_time).fold(0.0f64, f64::max);
         SimReport {
             scheduler: self.scheduler.name().to_string(),
             jobs: records,
@@ -562,11 +580,13 @@ mod tests {
             cluster: &Cluster,
             _tenants: &[Tenant],
         ) -> Vec<Assignment> {
-            let mut free: Vec<Resources> =
-                cluster.nodes().iter().map(|n| n.free).collect();
+            let mut free: Vec<Resources> = cluster.nodes().iter().map(|n| n.free).collect();
             let mut out = Vec::new();
             for job in jobs {
-                if let JobStatus::Running { allocation, plan, .. } = &job.status {
+                if let JobStatus::Running {
+                    allocation, plan, ..
+                } = &job.status
+                {
                     out.push(Assignment {
                         job: job.id(),
                         allocation: allocation.clone(),
@@ -575,8 +595,10 @@ mod tests {
                     continue;
                 }
                 let want = job.spec.requested;
-                if let Some((node, f)) =
-                    free.iter_mut().enumerate().find(|(_, f)| f.dominates(&want))
+                if let Some((node, f)) = free
+                    .iter_mut()
+                    .enumerate()
+                    .find(|(_, f)| f.dominates(&want))
                 {
                     *f -= want;
                     out.push(Assignment {

@@ -255,7 +255,11 @@ impl SimReport {
         if total <= 0.0 {
             0.0
         } else {
-            self.jobs.iter().map(|j| j.reconfig_gpu_seconds).sum::<f64>() / total
+            self.jobs
+                .iter()
+                .map(|j| j.reconfig_gpu_seconds)
+                .sum::<f64>()
+                / total
         }
     }
 

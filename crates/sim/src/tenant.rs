@@ -68,7 +68,10 @@ impl From<&str> for Tenant {
     /// A tenant with an unlimited-for-practical-purposes quota, convenient
     /// for single-tenant experiments.
     fn from(name: &str) -> Self {
-        Tenant::new(name, Resources::new(u32::MAX / 2, u32::MAX / 2, f64::MAX / 2.0))
+        Tenant::new(
+            name,
+            Resources::new(u32::MAX / 2, u32::MAX / 2, f64::MAX / 2.0),
+        )
     }
 }
 

@@ -39,11 +39,15 @@ impl Scheduler for CountingFifo {
         cluster: &Cluster,
         _tenants: &[Tenant],
     ) -> Vec<Assignment> {
-        self.rounds.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.rounds
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let mut free: Vec<Resources> = cluster.nodes().iter().map(|n| n.free).collect();
         let mut out = Vec::new();
         for j in jobs {
-            if let JobStatus::Running { allocation, plan, .. } = &j.status {
+            if let JobStatus::Running {
+                allocation, plan, ..
+            } = &j.status
+            {
                 out.push(Assignment {
                     job: j.id(),
                     allocation: allocation.clone(),

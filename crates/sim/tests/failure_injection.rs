@@ -63,7 +63,10 @@ impl Scheduler for Overcommitter {
         let mut out = Vec::new();
         let mut free: Vec<Resources> = cluster.nodes().iter().map(|n| n.free).collect();
         for j in jobs {
-            if let JobStatus::Running { allocation, plan, .. } = &j.status {
+            if let JobStatus::Running {
+                allocation, plan, ..
+            } = &j.status
+            {
                 out.push(Assignment {
                     job: j.id(),
                     allocation: allocation.clone(),
@@ -104,7 +107,11 @@ fn overcommitted_assignments_are_rejected_and_counted() {
         }),
         vec![job(1, 4, 200)],
     );
-    assert_eq!(report.jobs.len(), 1, "job should finish once sane decisions arrive");
+    assert_eq!(
+        report.jobs.len(),
+        1,
+        "job should finish once sane decisions arrive"
+    );
     assert!(
         report.infeasible_assignments >= 1,
         "bad rounds must be counted: {}",
@@ -131,7 +138,10 @@ impl Scheduler for OomThenRecover {
     ) -> Vec<Assignment> {
         let mut out = Vec::new();
         for j in jobs {
-            if let JobStatus::Running { allocation, plan, .. } = &j.status {
+            if let JobStatus::Running {
+                allocation, plan, ..
+            } = &j.status
+            {
                 out.push(Assignment {
                     job: j.id(),
                     allocation: allocation.clone(),
@@ -206,7 +216,11 @@ fn thrashing_scheduler_still_terminates_with_progress_preserved() {
     let report = run(Box::new(Thrasher), vec![job(1, 2, 6000)]);
     assert_eq!(report.jobs.len(), 1, "unfinished: {:?}", report.unfinished);
     let r = &report.jobs[0];
-    assert!(r.reconfig_count >= 2, "thrashing must reconfigure: {}", r.reconfig_count);
+    assert!(
+        r.reconfig_count >= 2,
+        "thrashing must reconfigure: {}",
+        r.reconfig_count
+    );
     // Checkpoints preserve progress: total work time is bounded by
     // (batches / min-throughput) + overheads, not multiplied by restarts.
     assert!(r.reconfig_time > 0.0);
@@ -302,7 +316,10 @@ fn baseline_measurement_failure_is_tolerated() {
         ) -> Vec<Assignment> {
             let mut out = Vec::new();
             for j in jobs {
-                if let JobStatus::Running { allocation, plan, .. } = &j.status {
+                if let JobStatus::Running {
+                    allocation, plan, ..
+                } = &j.status
+                {
                     out.push(Assignment {
                         job: j.id(),
                         allocation: allocation.clone(),

@@ -101,7 +101,10 @@ impl Scheduler for TestGang {
         let mut free: Vec<Resources> = cluster.nodes().iter().map(|n| n.free).collect();
         let mut out = Vec::new();
         for job in jobs {
-            if let rubick_sim::job::JobStatus::Running { allocation, plan, .. } = &job.status {
+            if let rubick_sim::job::JobStatus::Running {
+                allocation, plan, ..
+            } = &job.status
+            {
                 out.push(Assignment {
                     job: job.id(),
                     allocation: allocation.clone(),

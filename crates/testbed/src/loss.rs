@@ -150,7 +150,10 @@ impl LossSimulator {
     ///
     /// Panics if the schedule is empty or does not start at step 0.
     pub fn run(&self, steps: usize, run_seed: u64, schedule: &[PlanPhase]) -> LossTrace {
-        assert!(!schedule.is_empty(), "schedule must contain at least one phase");
+        assert!(
+            !schedule.is_empty(),
+            "schedule must contain at least one phase"
+        );
         assert_eq!(schedule[0].from_step, 0, "first phase must start at step 0");
         let mut seed_rng = self.stream(&[run_seed, 0x5eed]);
         let mut train = Vec::with_capacity(steps);

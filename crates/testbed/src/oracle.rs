@@ -209,8 +209,7 @@ impl TestbedOracle {
         let (t_fwd, passes) = if plan.parallel.pp > 1 {
             let m = plan.micro_batches as f64;
             let b_dev = b / (d * m);
-            let t_stage =
-                flops * b_dev / (t * p) / (truth.gpu_flops * eff(b_dev)) + launch;
+            let t_stage = flops * b_dev / (t * p) / (truth.gpu_flops * eff(b_dev)) + launch;
             (t_stage * (m + p - 1.0), 1.0)
         } else {
             let a = plan.ga_steps as f64;
@@ -372,7 +371,12 @@ mod tests {
         let spec = ModelSpec::llama2_7b();
         let placement = Placement::single_node(1, 32, 400.0);
         assert!(o
-            .measure(&spec, &ExecutionPlan::zero_offload(1).with_gc(), 32, &placement)
+            .measure(
+                &spec,
+                &ExecutionPlan::zero_offload(1).with_gc(),
+                32,
+                &placement
+            )
             .is_ok());
     }
 
@@ -416,7 +420,9 @@ mod tests {
         o.noise_sigma = 0.0;
         let spec = ModelSpec::vit_base();
         let placement = Placement::single_node(1, 12, 200.0);
-        let m = o.measure(&spec, &ExecutionPlan::dp(1), 128, &placement).unwrap();
+        let m = o
+            .measure(&spec, &ExecutionPlan::dp(1), 128, &placement)
+            .unwrap();
         assert!(m.iter_time > 0.0);
     }
 
@@ -425,7 +431,9 @@ mod tests {
         let o = oracle();
         let spec = ModelSpec::bert_large();
         let placement = Placement::single_node(2, 24, 400.0);
-        let m = o.measure(&spec, &ExecutionPlan::dp(2), 64, &placement).unwrap();
+        let m = o
+            .measure(&spec, &ExecutionPlan::dp(2), 64, &placement)
+            .unwrap();
         assert!(m.fwd_time > 0.0 && m.fwd_time < m.iter_time);
     }
 }

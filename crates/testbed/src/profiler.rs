@@ -61,14 +61,13 @@ impl<'a> Profiler<'a> {
         let env = self.oracle.env();
         let counts = self.probe_counts(spec, global_batch);
         let mut selected: Vec<(ExecutionPlan, Placement)> = Vec::new();
-        let push_unique = |sel: &mut Vec<(ExecutionPlan, Placement)>,
-                               plan: ExecutionPlan,
-                               g: u32| {
-            let placement = Placement::packed(g, shape);
-            if !sel.iter().any(|(p, pl)| *p == plan && *pl == placement) {
-                sel.push((plan, placement));
-            }
-        };
+        let push_unique =
+            |sel: &mut Vec<(ExecutionPlan, Placement)>, plan: ExecutionPlan, g: u32| {
+                let placement = Placement::packed(g, shape);
+                if !sel.iter().any(|(p, pl)| *p == plan && *pl == placement) {
+                    sel.push((plan, placement));
+                }
+            };
 
         // Pass 1: three ZeRO-Offload samples at different scales (when the
         // model can offload at all).
@@ -167,10 +166,9 @@ impl<'a> Profiler<'a> {
             let m = self.oracle.measure(spec, &plan, global_batch, &placement)?;
             if gpu_flops.is_none() && plan.parallel.pp == 1 {
                 // Anchor effective FLOP/s from the framework's forward time.
-                let per_pass_samples = global_batch as f64
-                    / (plan.parallel.dp as f64 * plan.ga_steps as f64);
-                let work = spec.fwd_flops_per_sample() * per_pass_samples
-                    / plan.parallel.tp as f64;
+                let per_pass_samples =
+                    global_batch as f64 / (plan.parallel.dp as f64 * plan.ga_steps as f64);
+                let work = spec.fwd_flops_per_sample() * per_pass_samples / plan.parallel.tp as f64;
                 gpu_flops = Some(work / m.fwd_time);
             }
             points.push(DataPoint::new(plan, placement, global_batch, m.iter_time));
@@ -233,12 +231,7 @@ pub fn profile_and_fit(
         ..FitOptions::default()
     };
     let fit = fit_perf_params(spec, oracle.env(), &report.points, &opts)?;
-    let model = ThroughputModel::new(
-        spec.clone(),
-        fit.params,
-        *oracle.env(),
-        *oracle.shape(),
-    );
+    let model = ThroughputModel::new(spec.clone(), fit.params, *oracle.env(), *oracle.shape());
     Ok((model, report))
 }
 

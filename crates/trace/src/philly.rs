@@ -2,7 +2,7 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use rubick_model::{enumerate_plans, ExecutionPlan, ModelSpec, PlanKind, Placement, Resources};
+use rubick_model::{enumerate_plans, ExecutionPlan, ModelSpec, Placement, PlanKind, Resources};
 use rubick_sim::job::{JobClass, JobSpec};
 use rubick_sim::tenant::TenantId;
 use rubick_testbed::TestbedOracle;
@@ -46,7 +46,9 @@ impl Default for TraceConfig {
 impl TraceConfig {
     /// Number of jobs after applying the load factor.
     pub fn num_jobs(&self) -> usize {
-        ((self.base_jobs as f64) * self.load_factor).round().max(1.0) as usize
+        ((self.base_jobs as f64) * self.load_factor)
+            .round()
+            .max(1.0) as usize
     }
 }
 
@@ -88,7 +90,7 @@ fn sample_duration(rng: &mut SmallRng) -> f64 {
     let u2: f64 = rng.random();
     let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
     // ln N(mu, sigma): median ~18 min, long tail.
-    (18.0 * 60.0) as f64 * (0.9 * z).exp()
+    (18.0 * 60.0) * (0.9 * z).exp()
 }
 
 /// Bursty arrival times: a sinusoidal-intensity process over the span
@@ -264,12 +266,7 @@ pub fn generate_base(config: &TraceConfig, oracle: &TestbedOracle) -> Vec<JobSpe
             (shape.cpus as f64 * raw.gpus as f64 / shape.gpus as f64).round() as u32,
             shape.mem_gb * raw.gpus as f64 / shape.gpus as f64,
         );
-        let placement = Placement::spread(
-            raw.gpus,
-            shape.gpus,
-            requested.cpus,
-            requested.mem_gb,
-        );
+        let placement = Placement::spread(raw.gpus, shape.gpus, requested.cpus, requested.mem_gb);
         let Some(tput) = oracle.throughput(&raw.model, &raw.plan, batch, &placement) else {
             // The sampled plan should be feasible by construction; skip
             // defensively if the oracle disagrees.
@@ -321,7 +318,11 @@ mod tests {
     fn trace_has_requested_job_count_and_sorted_arrivals() {
         let oracle = TestbedOracle::new(1);
         let jobs = generate_base(&small_config(), &oracle);
-        assert!(jobs.len() >= 55, "almost all jobs materialize: {}", jobs.len());
+        assert!(
+            jobs.len() >= 55,
+            "almost all jobs materialize: {}",
+            jobs.len()
+        );
         for w in jobs.windows(2) {
             assert!(w[0].submit_time <= w[1].submit_time);
         }

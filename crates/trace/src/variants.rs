@@ -25,8 +25,7 @@ pub fn best_plan_trace(config: &TraceConfig, oracle: &TestbedOracle) -> Vec<JobS
         );
         let mut best: Option<(rubick_model::ExecutionPlan, f64)> = None;
         for plan in candidate_plans(oracle, &job.model, job.requested.gpus, job.global_batch) {
-            if let Some(tput) = oracle.throughput(&job.model, &plan, job.global_batch, &placement)
-            {
+            if let Some(tput) = oracle.throughput(&job.model, &plan, job.global_batch, &placement) {
                 if best.as_ref().map(|(_, b)| tput > *b).unwrap_or(true) {
                     best = Some((plan, tput));
                 }
@@ -38,8 +37,7 @@ pub fn best_plan_trace(config: &TraceConfig, oracle: &TestbedOracle) -> Vec<JobS
             let old_placement_tput = oracle
                 .throughput(&job.model, &job.initial_plan, job.global_batch, &placement)
                 .unwrap_or(tput);
-            let duration = job.target_batches as f64 * job.global_batch as f64
-                / old_placement_tput;
+            let duration = job.target_batches as f64 * job.global_batch as f64 / old_placement_tput;
             job.initial_plan = plan;
             job.target_batches =
                 ((duration * tput / job.global_batch as f64).round() as u64).max(10);
@@ -96,9 +94,12 @@ pub fn with_large_model_fraction(
             job.requested.cpus,
             job.requested.mem_gb,
         );
-        let Some(old_tput) =
-            oracle.throughput(&job.model, &job.initial_plan, job.global_batch, &old_placement)
-        else {
+        let Some(old_tput) = oracle.throughput(
+            &job.model,
+            &job.initial_plan,
+            job.global_batch,
+            &old_placement,
+        ) else {
             return false;
         };
         let old_duration = job.target_batches as f64 * job.global_batch as f64 / old_tput;
@@ -163,7 +164,7 @@ pub fn with_large_model_fraction(
             ModelSpec::roberta_large(),
             ModelSpec::bert_large(),
             ModelSpec::gpt2_xl(),
-        ][rng.random_range(0..4)]
+        ][rng.random_range(0..4usize)]
         .clone();
         let _ = reassign(&mut jobs[idx], model, &mut rng);
     }
@@ -237,10 +238,7 @@ mod tests {
             let jobs = with_large_model_fraction(&cfg(), &oracle, frac);
             let large = jobs.iter().filter(|j| j.model.is_large()).count() as f64;
             let actual = large / jobs.len() as f64;
-            assert!(
-                (actual - frac).abs() < 0.12,
-                "target {frac}, got {actual}"
-            );
+            assert!((actual - frac).abs() < 0.12, "target {frac}, got {actual}");
         }
     }
 

@@ -24,14 +24,8 @@ fn main() -> Result<(), ModelError> {
 
     // The staged resource limits of Fig. 7.
     let stages: Vec<(&str, Placement)> = vec![
-        (
-            "4 servers x 8 GPUs",
-            Placement::spread(32, 8, 384, 6400.0),
-        ),
-        (
-            "4 servers x 4 GPUs",
-            Placement::spread(16, 4, 192, 3200.0),
-        ),
+        ("4 servers x 8 GPUs", Placement::spread(32, 8, 384, 6400.0)),
+        ("4 servers x 4 GPUs", Placement::spread(16, 4, 192, 3200.0)),
         ("1 server, 4 GPUs", Placement::single_node(4, 48, 800.0)),
         ("1 GPU, 12 CPUs", Placement::single_node(1, 12, 400.0)),
         ("1 GPU, 24 CPUs", Placement::single_node(1, 24, 400.0)),
@@ -60,7 +54,10 @@ fn main() -> Result<(), ModelError> {
                 prev_measured = Some(measured);
             }
             None => {
-                println!("{label:<22} | {:<28} | {:>12} | {:>12}", "(infeasible)", "-", "-");
+                println!(
+                    "{label:<22} | {:<28} | {:>12} | {:>12}",
+                    "(infeasible)", "-", "-"
+                );
                 prev_measured = None;
             }
         }

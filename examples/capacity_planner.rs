@@ -72,7 +72,10 @@ fn main() -> Result<(), ModelError> {
     let spec = ModelSpec::llama2_7b();
     let batch = spec.default_batch;
     let commodity = TestbedOracle::with_env(77, ClusterEnv::commodity(), NodeShape::a800());
-    for (label, oracle) in [("A800 (100 GB/s RDMA)", &oracle), ("commodity (3 GB/s)", &commodity)] {
+    for (label, oracle) in [
+        ("A800 (100 GB/s RDMA)", &oracle),
+        ("commodity (3 GB/s)", &commodity),
+    ] {
         let placement = Placement::spread(32, 8, 384, 6400.0);
         match oracle.best_plan(&spec, batch, &placement) {
             Some((plan, tput)) => println!(

@@ -60,8 +60,8 @@ fn main() -> Result<(), ModelError> {
         ] {
             let filt = |j: &rubick::sim::JobRecord| class.map(|c| j.class == c).unwrap_or(true);
             let avg = report.avg_jct_where(filt) / 3600.0;
-            let p99 = report.p99_jct_where(|j| class.map(|c| j.class == c).unwrap_or(true))
-                / 3600.0;
+            let p99 =
+                report.p99_jct_where(|j| class.map(|c| j.class == c).unwrap_or(true)) / 3600.0;
             let sla = if label == "guar." {
                 format!("{:>7.0}%", report.sla_attainment() * 100.0)
             } else {

@@ -49,7 +49,6 @@ pub mod prelude {
     };
     pub use rubick_testbed::{profile_and_fit, LossSimulator, TestbedOracle};
     pub use rubick_trace::{
-        best_plan_trace, generate_base, multi_tenant_trace, with_large_model_fraction,
-        TraceConfig,
+        best_plan_trace, generate_base, multi_tenant_trace, with_large_model_fraction, TraceConfig,
     };
 }

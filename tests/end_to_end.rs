@@ -56,7 +56,12 @@ fn rubick_completes_a_base_trace_and_beats_synergy() {
         trace,
         vec![],
     );
-    assert_eq!(synergy.jobs.len(), n, "unfinished: {:?}", synergy.unfinished);
+    assert_eq!(
+        synergy.jobs.len(),
+        n,
+        "unfinished: {:?}",
+        synergy.unfinished
+    );
 
     assert!(
         rubick.avg_jct() < synergy.avg_jct(),
@@ -72,12 +77,7 @@ fn multi_tenant_trace_preserves_guaranteed_sla() {
     let reg = registry(&oracle);
     let (trace, tenants) = multi_tenant_trace(&small_trace_config(40), &oracle);
     let n = trace.len();
-    let report = run(
-        &oracle,
-        Box::new(RubickScheduler::new(reg)),
-        trace,
-        tenants,
-    );
+    let report = run(&oracle, Box::new(RubickScheduler::new(reg)), trace, tenants);
     assert_eq!(report.jobs.len(), n, "unfinished: {:?}", report.unfinished);
     assert!(
         report.sla_attainment() >= 0.9,
@@ -93,7 +93,11 @@ fn reconfiguration_overhead_stays_small() {
     let reg = registry(&oracle);
     let trace = generate_base(&small_trace_config(40), &oracle);
     let report = run(&oracle, Box::new(RubickScheduler::new(reg)), trace, vec![]);
-    assert!(report.reconfig_share() < 0.10, "share {}", report.reconfig_share());
+    assert!(
+        report.reconfig_share() < 0.10,
+        "share {}",
+        report.reconfig_share()
+    );
     if report.total_reconfig_time() > 0.0 {
         let avg = report.avg_reconfig_time();
         assert!((30.0..150.0).contains(&avg), "avg reconfig {avg}");
@@ -115,8 +119,18 @@ fn ablation_ordering_holds_on_average() {
         trace.clone(),
         vec![],
     );
-    let e = run(&oracle, Box::new(rubick_e(Arc::clone(&reg))), trace.clone(), vec![]);
-    let n = run(&oracle, Box::new(rubick_n(Arc::clone(&reg))), trace.clone(), vec![]);
+    let e = run(
+        &oracle,
+        Box::new(rubick_e(Arc::clone(&reg))),
+        trace.clone(),
+        vec![],
+    );
+    let n = run(
+        &oracle,
+        Box::new(rubick_n(Arc::clone(&reg))),
+        trace.clone(),
+        vec![],
+    );
 
     assert!(
         full.avg_jct() <= e.avg_jct() * 1.15,
