@@ -23,3 +23,4 @@ build:
 
 bench:
 	cargo bench -p rubick-bench --bench scheduling
+	cargo bench -p rubick-bench --bench modeling

@@ -8,6 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rubick_model::fit::{fit_perf_params, DataPoint, FitOptions};
 use rubick_model::prelude::*;
+use rubick_model::reference;
 use std::hint::black_box;
 
 fn bench_iter_time(c: &mut Criterion) {
@@ -59,6 +60,73 @@ fn bench_curve(c: &mut Criterion) {
     group.finish();
 }
 
+/// Cold vs warm `best_plan`: the naive reference re-enumerates and
+/// re-checks feasibility per plan on every call; the optimized path pays
+/// enumeration once into a [`PlanSetCache`] and then scores the cached set
+/// through the unchecked throughput fast path.
+fn bench_best_plan(c: &mut Criterion) {
+    let batch = 32u32;
+    let mut group = c.benchmark_group("model/best_plan");
+    // llama2-7b has a wide feasible set (scoring-bound); llama-30b is
+    // memory-constrained, so most of the naive call is enumeration and
+    // feasibility checking that the warm cache skips entirely.
+    for (spec, gpus) in [
+        (ModelSpec::llama2_7b(), 8u32),
+        (ModelSpec::llama2_7b(), 16),
+        (ModelSpec::llama_30b(), 16),
+    ] {
+        let model = ThroughputModel::new(
+            spec,
+            PerfParams::default(),
+            ClusterEnv::a800(),
+            NodeShape::a800(),
+        );
+        let tag = format!("{}/{gpus}", model.spec.name);
+        let placement = Placement::packed(gpus, &model.shape);
+        group.bench_with_input(BenchmarkId::new("naive_cold", &tag), &gpus, |b, _| {
+            b.iter(|| black_box(reference::best_plan_naive(&model, batch, &placement)))
+        });
+        group.bench_with_input(BenchmarkId::new("planset_cold", &tag), &gpus, |b, _| {
+            b.iter(|| {
+                let cache = PlanSetCache::new();
+                black_box(model.best_plan_in(&cache, batch, &placement))
+            })
+        });
+        let warm = PlanSetCache::new();
+        model.best_plan_in(&warm, batch, &placement);
+        group.bench_with_input(BenchmarkId::new("planset_warm", &tag), &gpus, |b, _| {
+            b.iter(|| black_box(model.best_plan_in(&warm, batch, &placement)))
+        });
+    }
+    group.finish();
+}
+
+/// Cold vs warm GPU-curve construction: the naive reference runs the full
+/// re-enumerating `best_plan` at every point; the optimized build hits the
+/// global plan-set cache at every point after the first pass warms it.
+fn bench_curve_build(c: &mut Criterion) {
+    let model = ThroughputModel::new(
+        ModelSpec::gpt2_xl(),
+        PerfParams::default(),
+        ClusterEnv::a800(),
+        NodeShape::a800(),
+    );
+    let batch = 16u32;
+    let max_gpus = 16u32;
+    let mut group = c.benchmark_group("model/curve_build");
+    group.sample_size(20);
+    group.bench_function("naive", |b| {
+        b.iter(|| black_box(reference::for_gpus_naive(&model, batch, max_gpus)))
+    });
+    // Warm the global plan-set cache once so the measured build is the
+    // steady-state scheduler path (plan sets cached, unchecked scoring).
+    SensitivityCurve::for_gpus(&model, batch, max_gpus);
+    group.bench_function("warm", |b| {
+        b.iter(|| black_box(SensitivityCurve::for_gpus(&model, batch, max_gpus)))
+    });
+    group.finish();
+}
+
 fn bench_fit(c: &mut Criterion) {
     let spec = ModelSpec::roberta_large();
     let env = ClusterEnv::a800();
@@ -93,6 +161,8 @@ criterion_group!(
     bench_iter_time,
     bench_enumerate,
     bench_curve,
+    bench_best_plan,
+    bench_curve_build,
     bench_fit
 );
 criterion_main!(benches);

@@ -85,12 +85,20 @@ impl PlanSearch {
 
     /// The best (plan, predicted throughput) on a placement under this
     /// search mode — `GetBestPlan` of Algorithm 1, restricted per policy.
+    ///
+    /// Full search delegates to the model's cached, unchecked fast path
+    /// ([`ThroughputModel::best_plan`]), which scores the same candidates in
+    /// the same order; the restricted modes have at most one candidate and
+    /// keep the checked scoring.
     pub fn best_plan(
         &self,
         model: &ThroughputModel,
         global_batch: u32,
         placement: &Placement,
     ) -> Option<(ExecutionPlan, f64)> {
+        if let PlanSearch::Full = self {
+            return model.best_plan(global_batch, placement);
+        }
         let mut best: Option<(ExecutionPlan, f64)> = None;
         for plan in self.candidates(model, placement.total_gpus(), global_batch) {
             if let Ok(tput) = model.throughput(&plan, global_batch, placement) {
@@ -112,32 +120,14 @@ impl PlanSearch {
     ) -> SensitivityCurve {
         match self {
             PlanSearch::Full => SensitivityCurve::for_gpus(model, global_batch, max_gpus),
-            _ => {
-                let mut points = Vec::with_capacity(max_gpus as usize + 1);
-                points.push(CurvePoint {
-                    amount: 0,
-                    raw_throughput: 0.0,
-                    envelope: 0.0,
-                    plan: None,
-                });
-                let mut env_best = 0.0f64;
-                for g in 1..=max_gpus {
+            _ => SensitivityCurve::from_fn(
+                rubick_model::resources::ResourceKind::Gpu,
+                max_gpus,
+                |g| {
                     let placement = Placement::packed(g, &model.shape);
-                    let best = self.best_plan(model, global_batch, &placement);
-                    let raw = best.as_ref().map(|(_, t)| *t).unwrap_or(0.0);
-                    env_best = env_best.max(raw);
-                    points.push(CurvePoint {
-                        amount: g,
-                        raw_throughput: raw,
-                        envelope: env_best,
-                        plan: best.map(|(p, _)| p),
-                    });
-                }
-                SensitivityCurve {
-                    kind: rubick_model::resources::ResourceKind::Gpu,
-                    points,
-                }
-            }
+                    self.best_plan(model, global_batch, &placement)
+                },
+            ),
         }
     }
 }

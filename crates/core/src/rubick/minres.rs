@@ -25,11 +25,16 @@ use rubick_sim::scheduler::JobSnapshot;
 ///   not exceed the original in each dimension").
 /// * If no amount reaches the baseline (or the model is unknown), fall back
 ///   to the original request and plan.
+///
+/// `estimator` is the round's hoisted [`MemoryEstimator`] (a cheap `Copy`
+/// of the cluster's GPU memory capacity), built once per round instead of
+/// once per job.
 pub fn min_res(
     registry: &ModelRegistry,
     snap: &JobSnapshot,
     search: &PlanSearch,
     resource_realloc: bool,
+    estimator: MemoryEstimator,
 ) -> Resources {
     if snap.spec.class == JobClass::BestEffort {
         return Resources::zero();
@@ -65,7 +70,6 @@ pub fn min_res(
     let Some((plan, _)) = curve.best_plan_at(g_min) else {
         return requested;
     };
-    let estimator = MemoryEstimator::new(registry.shape().gpu_mem_gb);
     let demand = estimator.demand(&snap.spec.model, &plan, snap.spec.global_batch);
     Resources::new(
         g_min,
@@ -111,6 +115,10 @@ mod tests {
         ModelRegistry::from_oracle(&oracle, &[ModelSpec::gpt2_xl()]).unwrap()
     }
 
+    fn est(reg: &ModelRegistry) -> MemoryEstimator {
+        MemoryEstimator::new(reg.shape().gpu_mem_gb)
+    }
+
     #[test]
     fn best_effort_min_is_zero() {
         let reg = registry();
@@ -119,7 +127,7 @@ mod tests {
             Resources::new(8, 16, 100.0),
             ExecutionPlan::dp(8),
         );
-        assert!(min_res(&reg, &s, &PlanSearch::Full, true).is_zero());
+        assert!(min_res(&reg, &s, &PlanSearch::Full, true, est(&reg)).is_zero());
     }
 
     #[test]
@@ -127,7 +135,7 @@ mod tests {
         let reg = registry();
         let req = Resources::new(8, 16, 100.0);
         let s = snap(JobClass::Guaranteed, req, ExecutionPlan::dp(8));
-        let m = min_res(&reg, &s, &PlanSearch::Full, true);
+        let m = min_res(&reg, &s, &PlanSearch::Full, true, est(&reg));
         assert!(req.dominates(&m), "minRes {m} exceeds request {req}");
         assert!(m.gpus >= 1);
     }
@@ -143,7 +151,7 @@ mod tests {
             req,
             ExecutionPlan::dp(8), // deliberately not the best 8-GPU plan
         );
-        let m = min_res(&reg, &s, &PlanSearch::Full, true);
+        let m = min_res(&reg, &s, &PlanSearch::Full, true, est(&reg));
         assert!(m.gpus <= 8);
     }
 
@@ -152,7 +160,7 @@ mod tests {
         let reg = registry();
         let req = Resources::new(8, 16, 100.0);
         let s = snap(JobClass::Guaranteed, req, ExecutionPlan::dp(8));
-        assert_eq!(min_res(&reg, &s, &PlanSearch::Full, false), req);
+        assert_eq!(min_res(&reg, &s, &PlanSearch::Full, false, est(&reg)), req);
     }
 
     #[test]
@@ -161,6 +169,6 @@ mod tests {
         let reg = ModelRegistry::from_oracle(&oracle, &[ModelSpec::vit_base()]).unwrap();
         let req = Resources::new(4, 8, 50.0);
         let s = snap(JobClass::Guaranteed, req, ExecutionPlan::dp(4));
-        assert_eq!(min_res(&reg, &s, &PlanSearch::Full, true), req);
+        assert_eq!(min_res(&reg, &s, &PlanSearch::Full, true, est(&reg)), req);
     }
 }

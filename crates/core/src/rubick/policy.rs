@@ -211,7 +211,12 @@ struct JobCtxParts {
 /// curve, SLA baseline, minimum demand, and penalty-gate state. Pure in
 /// (snapshot, registry) — full-search curves go through the shared keyed
 /// cache, whose hit/miss pattern cannot change the values.
-fn build_job_parts(sched: &RubickScheduler, snap: &JobSnapshot, total_gpus: u32) -> JobCtxParts {
+fn build_job_parts(
+    sched: &RubickScheduler,
+    snap: &JobSnapshot,
+    total_gpus: u32,
+    estimator: MemoryEstimator,
+) -> JobCtxParts {
     let cfg = &sched.config;
     let search = if cfg.plan_reconfig {
         PlanSearch::Full
@@ -229,7 +234,13 @@ fn build_job_parts(sched: &RubickScheduler, snap: &JobSnapshot, total_gpus: u32)
             total_gpus,
         ),
         baseline: job_baseline(&sched.registry, snap),
-        minimum: super::minres::min_res(&sched.registry, snap, &search, cfg.resource_realloc),
+        minimum: super::minres::min_res(
+            &sched.registry,
+            snap,
+            &search,
+            cfg.resource_realloc,
+            estimator,
+        ),
         frozen: snap.status.is_running() && !snap.reconfig_allowed(cfg.reconfig_threshold),
         search,
     }
@@ -304,6 +315,10 @@ pub(super) fn run_round(
     // function of (snapshot, registry). Entries are computed on worker
     // threads and merged into `JobId`-keyed BTreeMaps, so the result is
     // byte-identical to the sequential build at any thread count.
+    // One estimator per round (it is a cheap `Copy` of the cluster's GPU
+    // memory capacity), shared by every per-job minimum-demand search and
+    // the allocation passes below.
+    let estimator = MemoryEstimator::new(cluster.shape().gpu_mem_gb);
     let mut ctx = Ctx {
         sched,
         snaps: BTreeMap::new(),
@@ -312,13 +327,13 @@ pub(super) fn run_round(
         baselines: BTreeMap::new(),
         curves: BTreeMap::new(),
         frozen: BTreeSet::new(),
-        estimator: MemoryEstimator::new(cluster.shape().gpu_mem_gb),
+        estimator,
         total_gpus,
     };
     let threads = effective_threads(cfg.parallelism, jobs.len());
     let parts: Vec<JobCtxParts> = if threads <= 1 {
         jobs.iter()
-            .map(|snap| build_job_parts(sched, snap, total_gpus))
+            .map(|snap| build_job_parts(sched, snap, total_gpus, estimator))
             .collect()
     } else {
         let chunk = jobs.len().div_ceil(threads);
@@ -328,7 +343,7 @@ pub(super) fn run_round(
                 .map(|part| {
                     scope.spawn(move || {
                         part.iter()
-                            .map(|snap| build_job_parts(sched, snap, total_gpus))
+                            .map(|snap| build_job_parts(sched, snap, total_gpus, estimator))
                             .collect::<Vec<_>>()
                     })
                 })

@@ -91,7 +91,11 @@ fn check_golden(name: &str, actual: &str) {
     );
 }
 
-fn run_rubick(jobs: Vec<rubick_sim::job::JobSpec>, tenants: Vec<Tenant>) -> SimReport {
+fn run_rubick(
+    jobs: Vec<rubick_sim::job::JobSpec>,
+    tenants: Vec<Tenant>,
+    parallelism: Option<usize>,
+) -> SimReport {
     let oracle = TestbedOracle::new(ORACLE_SEED);
     let registry = Arc::new(ModelRegistry::from_oracle(&oracle, &ModelSpec::zoo()).unwrap());
     let mut engine = Engine::new(
@@ -100,7 +104,7 @@ fn run_rubick(jobs: Vec<rubick_sim::job::JobSpec>, tenants: Vec<Tenant>) -> SimR
         Cluster::a800_testbed(),
         tenants,
         EngineConfig {
-            parallelism: Some(2),
+            parallelism,
             ..EngineConfig::default()
         },
     );
@@ -112,7 +116,19 @@ fn base_trace_summary_is_stable() {
     let oracle = TestbedOracle::new(ORACLE_SEED);
     let jobs = generate_base(&trace_config(), &oracle);
     assert!(!jobs.is_empty());
-    let report = run_rubick(jobs, vec![]);
+    let report = run_rubick(jobs, vec![], Some(2));
+    check_golden("base_trace.txt", &summarize(&report));
+}
+
+/// The sequential round path must reproduce the *same* golden summary as
+/// the parallel one: with the cached plan sets and unchecked scoring in
+/// play, scheduling output stays bit-identical at any thread count.
+#[test]
+fn base_trace_summary_is_stable_sequential() {
+    let oracle = TestbedOracle::new(ORACLE_SEED);
+    let jobs = generate_base(&trace_config(), &oracle);
+    assert!(!jobs.is_empty());
+    let report = run_rubick(jobs, vec![], None);
     check_golden("base_trace.txt", &summarize(&report));
 }
 
@@ -122,6 +138,6 @@ fn multi_tenant_trace_summary_is_stable() {
     let (jobs, tenants) = multi_tenant_trace(&trace_config(), &oracle);
     assert!(!jobs.is_empty());
     assert!(!tenants.is_empty());
-    let report = run_rubick(jobs, tenants);
+    let report = run_rubick(jobs, tenants, Some(2));
     check_golden("multi_tenant.txt", &summarize(&report));
 }

@@ -211,6 +211,7 @@ proptest! {
                     snap,
                     &rubick_core::PlanSearch::Full,
                     true,
+                    rubick_model::MemoryEstimator::new(registry.shape().gpu_mem_gb),
                 );
                 // The GPU floor is the binding part of the minimum: the
                 // chosen plan may legitimately demand fewer CPUs / less

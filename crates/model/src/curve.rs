@@ -24,7 +24,7 @@ use crate::resources::ResourceKind;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// One point of a sensitivity curve: the best plan and throughput at a
 /// given resource amount (plan is `None` when no plan is feasible there).
@@ -40,6 +40,11 @@ pub struct CurvePoint {
     pub envelope: f64,
     /// The plan achieving `raw_throughput`.
     pub plan: Option<ExecutionPlan>,
+    /// Index (== amount) of the point achieving `envelope` — the latest
+    /// point `j <= amount` whose raw throughput equals the envelope, so
+    /// [`SensitivityCurve::best_plan_at`] is O(1) instead of a float-equality
+    /// walk-back. 0 in the infeasible prefix where the envelope is still 0.
+    pub envelope_idx: u32,
 }
 
 /// A job's throughput as a function of one resource amount, best plan
@@ -53,67 +58,71 @@ pub struct SensitivityCurve {
 }
 
 impl SensitivityCurve {
-    /// Builds the GPU sensitivity curve: amounts `0..=max_gpus`, with CPUs
-    /// and host memory scaling proportionally to a packed placement
-    /// (matching how the scheduler packs jobs onto nodes).
-    pub fn for_gpus(model: &ThroughputModel, global_batch: u32, max_gpus: u32) -> Self {
-        let mut points = Vec::with_capacity(max_gpus as usize + 1);
+    /// Builds a curve from a per-amount best-plan oracle: `best(a)` is
+    /// evaluated for `1..=max_amount` (amount 0 is always the zero point)
+    /// and the monotone envelope plus its achieving index are tracked in the
+    /// same pass.
+    ///
+    /// This is the single construction path for every curve, so the
+    /// `envelope_idx` bookkeeping that makes
+    /// [`best_plan_at`](SensitivityCurve::best_plan_at) O(1) lives in
+    /// exactly one place.
+    pub fn from_fn(
+        kind: ResourceKind,
+        max_amount: u32,
+        mut best: impl FnMut(u32) -> Option<(ExecutionPlan, f64)>,
+    ) -> Self {
+        let mut points = Vec::with_capacity(max_amount as usize + 1);
         points.push(CurvePoint {
             amount: 0,
             raw_throughput: 0.0,
             envelope: 0.0,
             plan: None,
+            envelope_idx: 0,
         });
         let mut env_best = 0.0f64;
-        for g in 1..=max_gpus {
-            let placement = Placement::packed(g, &model.shape);
-            let best = model.best_plan(global_batch, &placement);
-            let raw = best.as_ref().map(|(_, t)| *t).unwrap_or(0.0);
+        let mut env_idx = 0u32;
+        for a in 1..=max_amount {
+            let found = best(a);
+            let raw = found.as_ref().map(|(_, t)| *t).unwrap_or(0.0);
+            let plan = found.map(|(p, _)| p);
             env_best = env_best.max(raw);
+            // A positive raw equal to the envelope always comes with a plan,
+            // so the stored index points at the latest envelope-achieving
+            // plan — matching the walk-back this replaces.
+            if plan.is_some() && (raw - env_best).abs() < 1e-12 {
+                env_idx = a;
+            }
             points.push(CurvePoint {
-                amount: g,
+                amount: a,
                 raw_throughput: raw,
                 envelope: env_best,
-                plan: best.map(|(p, _)| p),
+                plan,
+                envelope_idx: env_idx,
             });
         }
-        SensitivityCurve {
-            kind: ResourceKind::Gpu,
-            points,
-        }
+        SensitivityCurve { kind, points }
+    }
+
+    /// Builds the GPU sensitivity curve: amounts `0..=max_gpus`, with CPUs
+    /// and host memory scaling proportionally to a packed placement
+    /// (matching how the scheduler packs jobs onto nodes).
+    pub fn for_gpus(model: &ThroughputModel, global_batch: u32, max_gpus: u32) -> Self {
+        SensitivityCurve::from_fn(ResourceKind::Gpu, max_gpus, |g| {
+            let placement = Placement::packed(g, &model.shape);
+            model.best_plan(global_batch, &placement)
+        })
     }
 
     /// Builds the CPU sensitivity curve at a fixed GPU count: amounts
     /// `0..=max_cpus`, host memory fixed at the packed share.
     pub fn for_cpus(model: &ThroughputModel, global_batch: u32, gpus: u32, max_cpus: u32) -> Self {
-        let base = Placement::packed(gpus, &model.shape);
-        let mut points = Vec::with_capacity(max_cpus as usize + 1);
-        points.push(CurvePoint {
-            amount: 0,
-            raw_throughput: 0.0,
-            envelope: 0.0,
-            plan: None,
-        });
-        let mut env_best = 0.0f64;
-        for c in 1..=max_cpus {
-            let placement = Placement {
-                cpus: c,
-                ..base.clone()
-            };
-            let best = model.best_plan(global_batch, &placement);
-            let raw = best.as_ref().map(|(_, t)| *t).unwrap_or(0.0);
-            env_best = env_best.max(raw);
-            points.push(CurvePoint {
-                amount: c,
-                raw_throughput: raw,
-                envelope: env_best,
-                plan: best.map(|(p, _)| p),
-            });
-        }
-        SensitivityCurve {
-            kind: ResourceKind::Cpu,
-            points,
-        }
+        // One packed placement reused across points; only `cpus` varies.
+        let mut placement = Placement::packed(gpus, &model.shape);
+        SensitivityCurve::from_fn(ResourceKind::Cpu, max_cpus, move |c| {
+            placement.cpus = c;
+            model.best_plan(global_batch, &placement)
+        })
     }
 
     /// The largest amount the curve covers.
@@ -130,18 +139,18 @@ impl SensitivityCurve {
 
     /// The best plan using at most `amount` of the resource, together with
     /// its throughput.
+    ///
+    /// O(1): the envelope-achieving index is precomputed at construction
+    /// ([`CurvePoint::envelope_idx`]) instead of walked back to on every
+    /// query.
     pub fn best_plan_at(&self, amount: u32) -> Option<(ExecutionPlan, f64)> {
         let idx = (amount as usize).min(self.points.len().saturating_sub(1));
-        let target = self.points.get(idx)?.envelope;
-        if target <= 0.0 {
+        let point = self.points.get(idx)?;
+        if point.envelope <= 0.0 {
             return None;
         }
-        // Walk back to the point achieving the envelope.
-        self.points[..=idx]
-            .iter()
-            .rev()
-            .find(|p| p.plan.is_some() && (p.raw_throughput - target).abs() < 1e-12)
-            .and_then(|p| p.plan.map(|plan| (plan, p.raw_throughput)))
+        let achieving = &self.points[point.envelope_idx as usize];
+        achieving.plan.map(|plan| (plan, achieving.raw_throughput))
     }
 
     /// Marginal gain of adding one unit at `amount`:
@@ -186,9 +195,18 @@ struct CurveKey {
 ///
 /// Curves only depend on the model type (not the individual job), so all
 /// jobs of one type share cached curves across scheduling rounds.
+///
+/// Each entry is a per-key [`OnceLock`] cell: on a miss the cell is inserted
+/// under the write lock (double-checked by `entry().or_insert_with`) and the
+/// curve is computed *outside* the map lock inside the cell. Two threads
+/// racing on the same key therefore never compute the curve twice — the
+/// loser blocks on the cell — while threads computing *different* keys stay
+/// fully parallel, which is what makes
+/// [`precompute_gpu_curves`](CurveCache::precompute_gpu_curves) scale.
+#[must_use = "a cache that is never queried does nothing"]
 #[derive(Debug, Default)]
 pub struct CurveCache {
-    curves: RwLock<HashMap<CurveKey, Arc<SensitivityCurve>>>,
+    curves: RwLock<HashMap<CurveKey, Arc<OnceLock<Arc<SensitivityCurve>>>>>,
 }
 
 impl CurveCache {
@@ -227,12 +245,9 @@ impl CurveCache {
             kind: ResourceKind::Gpu,
             context: (0, max_gpus),
         };
-        if let Some(c) = self.curves.read().get(&key) {
-            return Arc::clone(c);
-        }
-        let curve = Arc::new(SensitivityCurve::for_gpus(model, global_batch, max_gpus));
-        self.curves.write().insert(key, Arc::clone(&curve));
-        curve
+        self.get_or_compute(key, || {
+            Arc::new(SensitivityCurve::for_gpus(model, global_batch, max_gpus))
+        })
     }
 
     /// Returns the CPU curve for `model` at a fixed GPU count, computing
@@ -250,17 +265,36 @@ impl CurveCache {
             kind: ResourceKind::Cpu,
             context: (gpus, max_cpus),
         };
-        if let Some(c) = self.curves.read().get(&key) {
-            return Arc::clone(c);
-        }
-        let curve = Arc::new(SensitivityCurve::for_cpus(
-            model,
-            global_batch,
-            gpus,
-            max_cpus,
-        ));
-        self.curves.write().insert(key, Arc::clone(&curve));
-        curve
+        self.get_or_compute(key, || {
+            Arc::new(SensitivityCurve::for_cpus(
+                model,
+                global_batch,
+                gpus,
+                max_cpus,
+            ))
+        })
+    }
+
+    /// The shared lookup path: fast read-locked hit, double-checked cell
+    /// insert on miss, curve computation inside the per-key cell (outside
+    /// the map lock).
+    fn get_or_compute(
+        &self,
+        key: CurveKey,
+        compute: impl FnOnce() -> Arc<SensitivityCurve>,
+    ) -> Arc<SensitivityCurve> {
+        // `read()` must be released before `write()` is taken; binding the
+        // lookup result first ends the guard temporary's lifetime (in an
+        // `if let`/`else` the scrutinee temporary would live through the
+        // `else` block and deadlock on the write lock).
+        let existing = self.curves.read().get(&key).map(Arc::clone);
+        let cell = if let Some(cell) = existing {
+            cell
+        } else {
+            let mut curves = self.curves.write();
+            Arc::clone(curves.entry(key).or_default())
+        };
+        Arc::clone(cell.get_or_init(compute))
     }
 
     /// Pre-computes GPU curves for many models in parallel using crossbeam

@@ -55,6 +55,8 @@ pub mod memory;
 pub mod perf;
 pub mod placement;
 pub mod plan;
+pub mod planset;
+pub mod reference;
 pub mod resources;
 pub mod spec;
 
@@ -65,7 +67,8 @@ pub use fit::{fit_perf_params, DataPoint, FitOptions, FitResult};
 pub use memory::{MemoryEstimator, ResourceDemand};
 pub use perf::{PerfParams, ThroughputModel};
 pub use placement::{CommTopology, Placement};
-pub use plan::{enumerate_plans, ExecutionPlan, MemoryMode, Parallelism, PlanKind};
+pub use plan::{enumerate_plans, ExecutionPlan, MemoryMode, Parallelism, PlanEnumerator, PlanKind};
+pub use planset::PlanSetCache;
 pub use resources::{NodeShape, Resources};
 pub use spec::{ModelFamily, ModelSpec};
 
@@ -78,7 +81,10 @@ pub mod prelude {
     pub use crate::memory::{MemoryEstimator, ResourceDemand};
     pub use crate::perf::{PerfParams, ThroughputModel};
     pub use crate::placement::{CommTopology, Placement};
-    pub use crate::plan::{enumerate_plans, ExecutionPlan, MemoryMode, Parallelism, PlanKind};
+    pub use crate::plan::{
+        enumerate_plans, ExecutionPlan, MemoryMode, Parallelism, PlanEnumerator, PlanKind,
+    };
+    pub use crate::planset::PlanSetCache;
     pub use crate::resources::{NodeShape, Resources};
     pub use crate::spec::{ModelFamily, ModelSpec};
 }

@@ -14,7 +14,8 @@ use crate::env::ClusterEnv;
 use crate::error::ModelError;
 use crate::memory::MemoryEstimator;
 use crate::placement::{CommTopology, Placement};
-use crate::plan::{enumerate_plans, ExecutionPlan, MemoryMode};
+use crate::plan::{ExecutionPlan, MemoryMode};
+use crate::planset::PlanSetCache;
 use crate::resources::NodeShape;
 use crate::spec::ModelSpec;
 use serde::{Deserialize, Serialize};
@@ -359,12 +360,66 @@ impl ThroughputModel {
         Ok(global_batch as f64 / self.iter_time(plan, global_batch, placement)?)
     }
 
+    /// Unchecked iteration time: the raw model prediction with no plan
+    /// validation or memory feasibility check.
+    ///
+    /// Contract: only meaningful for plans that already passed
+    /// [`ExecutionPlan::validate`] and
+    /// [`MemoryEstimator::check_feasible`] for this `(spec, shape,
+    /// global_batch)` — e.g. plans out of [`PlanSetCache::plans`]. External
+    /// callers with unvetted plans must use the checked
+    /// [`iter_time`](ThroughputModel::iter_time).
+    pub fn iter_time_unchecked(
+        &self,
+        plan: &ExecutionPlan,
+        global_batch: u32,
+        placement: &Placement,
+    ) -> f64 {
+        self.params
+            .iter_time(&self.spec, plan, global_batch, placement, &self.env)
+    }
+
+    /// Unchecked throughput in samples/second: `b / T_iter` with no
+    /// validation. Same contract as
+    /// [`iter_time_unchecked`](ThroughputModel::iter_time_unchecked).
+    pub fn throughput_unchecked(
+        &self,
+        plan: &ExecutionPlan,
+        global_batch: u32,
+        placement: &Placement,
+    ) -> f64 {
+        global_batch as f64 / self.iter_time_unchecked(plan, global_batch, placement)
+    }
+
     /// Searches all feasible plans on this placement and returns the best
     /// `(plan, throughput)` — `GetBestPlan` of Algorithm 1.
     ///
     /// Returns `None` when no plan fits (e.g. LLaMA-30B on 1 GPU).
+    ///
+    /// Uses the process-wide [`PlanSetCache`], so repeated calls at the same
+    /// `(model, gpus, batch)` point enumerate once and score plans through
+    /// the unchecked fast path.
     pub fn best_plan(
         &self,
+        global_batch: u32,
+        placement: &Placement,
+    ) -> Option<(ExecutionPlan, f64)> {
+        self.best_plan_in(PlanSetCache::global(), global_batch, placement)
+    }
+
+    /// [`best_plan`](ThroughputModel::best_plan) against an explicit cache
+    /// (tests and benches use private caches to control warm-up).
+    ///
+    /// Every cached plan already passed validate + feasibility against the
+    /// *packed* placement for this GPU count. Validation and the GPU-memory
+    /// check are placement-independent, so the only condition to re-check is
+    /// host memory — and only when this placement has *less* host memory
+    /// than the packed share the enumeration assumed. This reproduces the
+    /// checked filtering of `throughput` exactly, without re-running it per
+    /// plan.
+    pub fn best_plan_in(
+        &self,
+        cache: &PlanSetCache,
         global_batch: u32,
         placement: &Placement,
     ) -> Option<(ExecutionPlan, f64)> {
@@ -372,12 +427,17 @@ impl ThroughputModel {
         if gpus == 0 {
             return None;
         }
+        let plans = cache.plans(&self.spec, gpus, global_batch, &self.shape, &self.env);
+        let recheck_host = placement.host_mem_gb < self.shape.packed_host_mem_gb(gpus);
+        let estimator = MemoryEstimator::new(self.shape.gpu_mem_gb);
         let mut best: Option<(ExecutionPlan, f64)> = None;
-        for plan in enumerate_plans(&self.spec, gpus, global_batch, &self.shape, &self.env) {
-            if let Ok(tput) = self.throughput(&plan, global_batch, placement) {
-                if best.as_ref().map(|(_, b)| tput > *b).unwrap_or(true) {
-                    best = Some((plan, tput));
-                }
+        for plan in plans.iter() {
+            if recheck_host && estimator.host_mem_gb(&self.spec, plan) > placement.host_mem_gb {
+                continue;
+            }
+            let tput = self.throughput_unchecked(plan, global_batch, placement);
+            if best.as_ref().map(|(_, b)| tput > *b).unwrap_or(true) {
+                best = Some((*plan, tput));
             }
         }
         best

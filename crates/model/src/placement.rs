@@ -75,7 +75,9 @@ impl Placement {
             gpus,
             shape.gpus,
             frac(shape.cpus as f64).round() as u32,
-            frac(shape.mem_gb),
+            // Must stay bit-identical to `NodeShape::packed_host_mem_gb`,
+            // which replays this share for the unchecked best-plan path.
+            shape.packed_host_mem_gb(gpus),
         )
     }
 

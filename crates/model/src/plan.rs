@@ -344,17 +344,306 @@ impl fmt::Display for PlanKind {
     }
 }
 
-/// Candidate TP degrees: powers of two up to a node's width.
-fn tp_candidates(shape: &NodeShape, gpus: u32, spec: &ModelSpec) -> Vec<u32> {
-    let mut v = vec![1u32];
-    let mut t = 2u32;
-    while t <= shape.gpus && t <= gpus {
-        if spec.hidden.is_multiple_of(t) {
-            v.push(t);
+/// Maximum TP candidates: 1 plus powers of two up to a 64-GPU node.
+const MAX_TP: usize = 8;
+/// Pure-DP gradient-accumulation candidates.
+const DP_GAS: [u32; 4] = [1, 2, 4, 8];
+/// TP-family gradient-accumulation candidates.
+const TP_GAS: [u32; 3] = [1, 2, 4];
+/// Pure-DP memory-mode candidates, in enumeration order.
+const DP_MEMS: [MemoryMode; 4] = [
+    MemoryMode::Plain,
+    MemoryMode::Zero2,
+    MemoryMode::Zero3,
+    MemoryMode::ZeroOffload,
+];
+
+/// Per-`(t, p)` inner enumeration state of [`PlanEnumerator`].
+#[derive(Debug, Clone, Copy)]
+enum Inner {
+    /// The `(t, p)` cell has not been entered yet.
+    Fresh,
+    /// Pure DP family: memory mode × GA × GC counters.
+    PureDp { mem: u8, ga: u8, gc: u8 },
+    /// TP (+DP) family: GA × GC counters.
+    Tp { ga: u8, gc: u8 },
+    /// Pipeline / 3D family: fixed micro-batch candidates × GC counters.
+    Pp {
+        ms: [u32; 4],
+        m_len: u8,
+        mi: u8,
+        gc: u8,
+    },
+}
+
+/// Allocation-free lazy enumeration of feasible execution plans.
+///
+/// Yields exactly the plans (and exactly the order) of
+/// [`enumerate_plans`], but one at a time: candidates are generated from a
+/// small counter state machine and filtered through
+/// [`ExecutionPlan::validate`] + [`MemoryEstimator::check_feasible`] against
+/// the packed placement, with no intermediate `Vec`. The only allocation is
+/// the packed [`Placement`] built once at construction.
+///
+/// ```
+/// use rubick_model::prelude::*;
+/// let spec = ModelSpec::roberta_large();
+/// let (shape, env) = (NodeShape::a800(), ClusterEnv::a800());
+/// let lazy: Vec<_> = PlanEnumerator::new(&spec, 2, 64, &shape, &env).collect();
+/// assert_eq!(lazy, enumerate_plans(&spec, 2, 64, &shape, &env));
+/// ```
+#[must_use = "iterators are lazy and do nothing unless consumed"]
+#[derive(Debug, Clone)]
+pub struct PlanEnumerator<'a> {
+    spec: &'a ModelSpec,
+    gpus: u32,
+    global_batch: u32,
+    env: &'a ClusterEnv,
+    placement: Placement,
+    estimator: MemoryEstimator,
+    /// Candidate TP degrees (1 plus valid powers of two), fixed-size.
+    tps: [u32; MAX_TP],
+    tp_len: u8,
+    /// Index into `tps` of the TP degree currently being expanded.
+    ti: u8,
+    /// Pipeline degree currently being expanded (`1..=gpus/t`).
+    pp: u32,
+    inner: Inner,
+}
+
+impl<'a> PlanEnumerator<'a> {
+    /// Starts a lazy enumeration for `spec` on exactly `gpus` GPUs.
+    pub fn new(
+        spec: &'a ModelSpec,
+        gpus: u32,
+        global_batch: u32,
+        shape: &NodeShape,
+        env: &'a ClusterEnv,
+    ) -> Self {
+        // Candidate TP degrees: powers of two up to a node's width that
+        // divide the hidden size.
+        let mut tps = [0u32; MAX_TP];
+        let mut tp_len = 0u8;
+        if gpus > 0 {
+            tps[0] = 1;
+            tp_len = 1;
+            let mut t = 2u32;
+            while t <= shape.gpus && t <= gpus {
+                if spec.hidden.is_multiple_of(t) {
+                    tps[tp_len as usize] = t;
+                    tp_len += 1;
+                }
+                t *= 2;
+            }
         }
-        t *= 2;
+        PlanEnumerator {
+            spec,
+            gpus,
+            global_batch,
+            env,
+            placement: Placement::packed(gpus, shape),
+            estimator: MemoryEstimator::new(shape.gpu_mem_gb),
+            tps,
+            tp_len,
+            ti: 0,
+            pp: 1,
+            inner: Inner::Fresh,
+        }
     }
-    v
+
+    /// Advances to the next `(t, p)` cell.
+    fn next_cell(&mut self, exhausted_tp: bool) {
+        if exhausted_tp {
+            self.ti += 1;
+            self.pp = 1;
+        } else {
+            self.pp += 1;
+        }
+        self.inner = Inner::Fresh;
+    }
+
+    /// The next structurally-plausible candidate, before the
+    /// validate + feasibility gate. Mirrors the nested loops of the naive
+    /// enumeration exactly (same candidates, same order).
+    fn next_candidate(&mut self) -> Option<ExecutionPlan> {
+        loop {
+            if self.ti >= self.tp_len {
+                return None;
+            }
+            let t = self.tps[self.ti as usize];
+            if !self.gpus.is_multiple_of(t) {
+                self.next_cell(true);
+                continue;
+            }
+            let rest = self.gpus / t;
+            if self.pp > rest {
+                self.next_cell(true);
+                continue;
+            }
+            let p = self.pp;
+            if !rest.is_multiple_of(p) || p > self.spec.layers {
+                self.next_cell(false);
+                continue;
+            }
+            let d = rest / p;
+            if d > self.global_batch {
+                self.next_cell(false);
+                continue;
+            }
+            if let Inner::Fresh = self.inner {
+                self.inner = if t == 1 && p == 1 {
+                    Inner::PureDp {
+                        mem: 0,
+                        ga: 0,
+                        gc: 0,
+                    }
+                } else if p == 1 {
+                    Inner::Tp { ga: 0, gc: 0 }
+                } else {
+                    // Pipeline / 3D: micro-batch counts around the stage
+                    // count (1F1B wants m >= p to fill the pipeline),
+                    // sorted and deduplicated in place.
+                    let max_m = self.global_batch / d;
+                    let mut ms = [0u32; 4];
+                    let mut m_len = 0u8;
+                    for m in [p, 2 * p, 4 * p, max_m] {
+                        if m >= 1 && m <= max_m {
+                            ms[m_len as usize] = m;
+                            m_len += 1;
+                        }
+                    }
+                    ms[..m_len as usize].sort_unstable();
+                    let mut uniq = 0u8;
+                    for i in 0..m_len as usize {
+                        if uniq == 0 || ms[uniq as usize - 1] != ms[i] {
+                            ms[uniq as usize] = ms[i];
+                            uniq += 1;
+                        }
+                    }
+                    Inner::Pp {
+                        ms,
+                        m_len: uniq,
+                        mi: 0,
+                        gc: 0,
+                    }
+                };
+            }
+            let base = Parallelism::new(d, t, p);
+            match &mut self.inner {
+                Inner::Fresh => unreachable!("inner state initialized above"),
+                Inner::PureDp { mem, ga, gc } => {
+                    if *mem as usize >= DP_MEMS.len() {
+                        self.next_cell(false);
+                        continue;
+                    }
+                    let memory = DP_MEMS[*mem as usize];
+                    // ZeRO-3 at d == 1 degenerates to plain DP.
+                    if memory == MemoryMode::Zero3 && d == 1 {
+                        *mem += 1;
+                        *ga = 0;
+                        *gc = 0;
+                        continue;
+                    }
+                    if *ga as usize >= DP_GAS.len() {
+                        *mem += 1;
+                        *ga = 0;
+                        *gc = 0;
+                        continue;
+                    }
+                    let ga_steps = DP_GAS[*ga as usize];
+                    if d.saturating_mul(ga_steps) > self.global_batch {
+                        *ga += 1;
+                        *gc = 0;
+                        continue;
+                    }
+                    if *gc >= 2 {
+                        *ga += 1;
+                        *gc = 0;
+                        continue;
+                    }
+                    let plan = ExecutionPlan {
+                        parallel: base,
+                        memory,
+                        ga_steps,
+                        micro_batches: 1,
+                        gc: *gc == 1,
+                    };
+                    *gc += 1;
+                    return Some(plan);
+                }
+                Inner::Tp { ga, gc } => {
+                    if *ga as usize >= TP_GAS.len() {
+                        self.next_cell(false);
+                        continue;
+                    }
+                    let ga_steps = TP_GAS[*ga as usize];
+                    if d.saturating_mul(ga_steps) > self.global_batch {
+                        *ga += 1;
+                        *gc = 0;
+                        continue;
+                    }
+                    if *gc >= 2 {
+                        *ga += 1;
+                        *gc = 0;
+                        continue;
+                    }
+                    let plan = ExecutionPlan {
+                        parallel: base,
+                        memory: MemoryMode::Plain,
+                        ga_steps,
+                        micro_batches: 1,
+                        gc: *gc == 1,
+                    };
+                    *gc += 1;
+                    return Some(plan);
+                }
+                Inner::Pp { ms, m_len, mi, gc } => {
+                    if mi >= m_len {
+                        self.next_cell(false);
+                        continue;
+                    }
+                    if *gc >= 2 {
+                        *mi += 1;
+                        *gc = 0;
+                        continue;
+                    }
+                    let plan = ExecutionPlan {
+                        parallel: base,
+                        memory: MemoryMode::Plain,
+                        ga_steps: 1,
+                        micro_batches: ms[*mi as usize],
+                        gc: *gc == 1,
+                    };
+                    *gc += 1;
+                    return Some(plan);
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for PlanEnumerator<'_> {
+    type Item = ExecutionPlan;
+
+    fn next(&mut self) -> Option<ExecutionPlan> {
+        while let Some(plan) = self.next_candidate() {
+            if plan.validate(self.spec, self.global_batch).is_ok()
+                && self
+                    .estimator
+                    .check_feasible(
+                        self.spec,
+                        &plan,
+                        &self.placement,
+                        self.global_batch,
+                        self.env,
+                    )
+                    .is_ok()
+            {
+                return Some(plan);
+            }
+        }
+        None
+    }
 }
 
 /// Enumerates every structurally valid, memory-feasible execution plan for
@@ -365,7 +654,10 @@ fn tp_candidates(shape: &NodeShape, gpus: u32, spec: &ModelSpec) -> Vec<u32> {
 /// receives a node-proportional share of CPUs and host memory. The
 /// scheduler re-checks feasibility against the real placement it finds.
 ///
-/// Returned plans are deduplicated; ordering is deterministic.
+/// Returned plans are deduplicated; ordering is deterministic. This is the
+/// collecting wrapper around the lazy [`PlanEnumerator`]; hot paths that
+/// call it repeatedly at the same point should go through
+/// [`crate::planset::PlanSetCache`] instead.
 ///
 /// ```
 /// use rubick_model::prelude::*;
@@ -382,103 +674,7 @@ pub fn enumerate_plans(
     shape: &NodeShape,
     env: &ClusterEnv,
 ) -> Vec<ExecutionPlan> {
-    if gpus == 0 {
-        return Vec::new();
-    }
-    let placement = Placement::packed(gpus, shape);
-    let estimator = MemoryEstimator::new(shape.gpu_mem_gb);
-    let mut plans = Vec::new();
-    let mut push_if_feasible = |plan: ExecutionPlan| {
-        if plan.validate(spec, global_batch).is_ok()
-            && estimator
-                .check_feasible(spec, &plan, &placement, global_batch, env)
-                .is_ok()
-        {
-            plans.push(plan);
-        }
-    };
-
-    for t in tp_candidates(shape, gpus, spec) {
-        if !gpus.is_multiple_of(t) {
-            continue;
-        }
-        let rest = gpus / t;
-        for p in 1..=rest {
-            if !rest.is_multiple_of(p) || p > spec.layers {
-                continue;
-            }
-            let d = rest / p;
-            if d > global_batch {
-                continue;
-            }
-            let base = Parallelism::new(d, t, p);
-            if t == 1 && p == 1 {
-                // Pure DP family: plain / ZeRO-2 / ZeRO-3 / ZeRO-Offload,
-                // with GA and GC. ZeRO-3 only matters beyond one replica.
-                for memory in [
-                    MemoryMode::Plain,
-                    MemoryMode::Zero2,
-                    MemoryMode::Zero3,
-                    MemoryMode::ZeroOffload,
-                ] {
-                    if memory == MemoryMode::Zero3 && d == 1 {
-                        continue; // degenerates to plain DP
-                    }
-                    for ga in [1u32, 2, 4, 8] {
-                        if d.saturating_mul(ga) > global_batch {
-                            continue;
-                        }
-                        for gc in [false, true] {
-                            push_if_feasible(ExecutionPlan {
-                                parallel: base,
-                                memory,
-                                ga_steps: ga,
-                                micro_batches: 1,
-                                gc,
-                            });
-                        }
-                    }
-                }
-            } else if p == 1 {
-                // TP (+DP): GA and GC still apply.
-                for ga in [1u32, 2, 4] {
-                    if d.saturating_mul(ga) > global_batch {
-                        continue;
-                    }
-                    for gc in [false, true] {
-                        push_if_feasible(ExecutionPlan {
-                            parallel: base,
-                            memory: MemoryMode::Plain,
-                            ga_steps: ga,
-                            micro_batches: 1,
-                            gc,
-                        });
-                    }
-                }
-            } else {
-                // Pipeline / 3D: choose micro-batch counts around the stage
-                // count (1F1B wants m >= p to fill the pipeline).
-                let max_m = global_batch / d;
-                let mut candidates = vec![p, 2 * p, 4 * p, max_m];
-                candidates.retain(|&m| m >= 1 && m <= max_m);
-                candidates.sort_unstable();
-                candidates.dedup();
-                for m in candidates {
-                    for gc in [false, true] {
-                        push_if_feasible(ExecutionPlan {
-                            parallel: base,
-                            memory: MemoryMode::Plain,
-                            ga_steps: 1,
-                            micro_batches: m,
-                            gc,
-                        });
-                    }
-                }
-            }
-        }
-    }
-    plans.dedup();
-    plans
+    PlanEnumerator::new(spec, gpus, global_batch, shape, env).collect()
 }
 
 #[cfg(test)]

@@ -1,0 +1,260 @@
+//! Retained naive reference implementations of the plan-search pipeline.
+//!
+//! These are the pre-optimization code paths, kept verbatim so the
+//! allocation-free [`PlanEnumerator`](crate::plan::PlanEnumerator), the
+//! [`PlanSetCache`](crate::planset::PlanSetCache)-backed
+//! [`best_plan`](crate::perf::ThroughputModel::best_plan) fast path and the
+//! O(1) curve envelopes can be *proven* output-identical by property tests
+//! (`crates/model/tests/plan_search_equiv.rs`) and benchmarked against as
+//! the cold/naive side in `crates/bench/benches/modeling.rs`.
+//!
+//! Nothing in the scheduler calls these; they are the spec, not the
+//! implementation.
+
+use crate::curve::{CurvePoint, SensitivityCurve};
+use crate::env::ClusterEnv;
+use crate::memory::MemoryEstimator;
+use crate::perf::ThroughputModel;
+use crate::placement::Placement;
+use crate::plan::{ExecutionPlan, MemoryMode, Parallelism};
+use crate::resources::{NodeShape, ResourceKind};
+use crate::spec::ModelSpec;
+
+/// Candidate TP degrees: powers of two up to a node's width (the original
+/// allocating helper).
+fn tp_candidates_naive(shape: &NodeShape, gpus: u32, spec: &ModelSpec) -> Vec<u32> {
+    let mut v = vec![1u32];
+    let mut t = 2u32;
+    while t <= shape.gpus && t <= gpus {
+        if spec.hidden.is_multiple_of(t) {
+            v.push(t);
+        }
+        t *= 2;
+    }
+    v
+}
+
+/// The original eager `enumerate_plans`: nested loops pushing into a `Vec`,
+/// with per-candidate validate + feasibility checks against the packed
+/// placement.
+pub fn enumerate_plans_naive(
+    spec: &ModelSpec,
+    gpus: u32,
+    global_batch: u32,
+    shape: &NodeShape,
+    env: &ClusterEnv,
+) -> Vec<ExecutionPlan> {
+    if gpus == 0 {
+        return Vec::new();
+    }
+    let placement = Placement::packed(gpus, shape);
+    let estimator = MemoryEstimator::new(shape.gpu_mem_gb);
+    let mut plans = Vec::new();
+    let mut push_if_feasible = |plan: ExecutionPlan| {
+        if plan.validate(spec, global_batch).is_ok()
+            && estimator
+                .check_feasible(spec, &plan, &placement, global_batch, env)
+                .is_ok()
+        {
+            plans.push(plan);
+        }
+    };
+
+    for t in tp_candidates_naive(shape, gpus, spec) {
+        if !gpus.is_multiple_of(t) {
+            continue;
+        }
+        let rest = gpus / t;
+        for p in 1..=rest {
+            if !rest.is_multiple_of(p) || p > spec.layers {
+                continue;
+            }
+            let d = rest / p;
+            if d > global_batch {
+                continue;
+            }
+            let base = Parallelism::new(d, t, p);
+            if t == 1 && p == 1 {
+                for memory in [
+                    MemoryMode::Plain,
+                    MemoryMode::Zero2,
+                    MemoryMode::Zero3,
+                    MemoryMode::ZeroOffload,
+                ] {
+                    if memory == MemoryMode::Zero3 && d == 1 {
+                        continue; // degenerates to plain DP
+                    }
+                    for ga in [1u32, 2, 4, 8] {
+                        if d.saturating_mul(ga) > global_batch {
+                            continue;
+                        }
+                        for gc in [false, true] {
+                            push_if_feasible(ExecutionPlan {
+                                parallel: base,
+                                memory,
+                                ga_steps: ga,
+                                micro_batches: 1,
+                                gc,
+                            });
+                        }
+                    }
+                }
+            } else if p == 1 {
+                for ga in [1u32, 2, 4] {
+                    if d.saturating_mul(ga) > global_batch {
+                        continue;
+                    }
+                    for gc in [false, true] {
+                        push_if_feasible(ExecutionPlan {
+                            parallel: base,
+                            memory: MemoryMode::Plain,
+                            ga_steps: ga,
+                            micro_batches: 1,
+                            gc,
+                        });
+                    }
+                }
+            } else {
+                let max_m = global_batch / d;
+                let mut candidates = vec![p, 2 * p, 4 * p, max_m];
+                candidates.retain(|&m| m >= 1 && m <= max_m);
+                candidates.sort_unstable();
+                candidates.dedup();
+                for m in candidates {
+                    for gc in [false, true] {
+                        push_if_feasible(ExecutionPlan {
+                            parallel: base,
+                            memory: MemoryMode::Plain,
+                            ga_steps: 1,
+                            micro_batches: m,
+                            gc,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    plans.dedup();
+    plans
+}
+
+/// The original `best_plan`: re-enumerates every call and scores candidates
+/// through the *checked* `throughput` (which re-runs validate +
+/// `check_feasible` per plan).
+pub fn best_plan_naive(
+    model: &ThroughputModel,
+    global_batch: u32,
+    placement: &Placement,
+) -> Option<(ExecutionPlan, f64)> {
+    let gpus = placement.total_gpus();
+    if gpus == 0 {
+        return None;
+    }
+    let mut best: Option<(ExecutionPlan, f64)> = None;
+    for plan in enumerate_plans_naive(&model.spec, gpus, global_batch, &model.shape, &model.env) {
+        if let Ok(tput) = model.throughput(&plan, global_batch, placement) {
+            if best.as_ref().map(|(_, b)| tput > *b).unwrap_or(true) {
+                best = Some((plan, tput));
+            }
+        }
+    }
+    best
+}
+
+/// Computes `envelope_idx` for each point by the original O(n) walk-back
+/// that [`SensitivityCurve::best_plan_at`] used to perform per query: the
+/// latest point `j <= idx` whose raw throughput float-equals the envelope
+/// at `idx` and that carries a plan (0 while the envelope is still 0).
+fn backfill_envelope_idx(points: &mut [CurvePoint]) {
+    for idx in 0..points.len() {
+        let target = points[idx].envelope;
+        points[idx].envelope_idx = if target <= 0.0 {
+            0
+        } else {
+            points[..=idx]
+                .iter()
+                .rev()
+                .find(|p| p.plan.is_some() && (p.raw_throughput - target).abs() < 1e-12)
+                .map(|p| p.amount)
+                .expect("positive envelope implies an achieving plan point")
+        };
+    }
+}
+
+/// The original GPU-curve construction: a fresh packed placement and a full
+/// naive `best_plan` per point, with `envelope_idx` derived by the original
+/// walk-back so full-struct equality validates the O(1) index too.
+pub fn for_gpus_naive(
+    model: &ThroughputModel,
+    global_batch: u32,
+    max_gpus: u32,
+) -> SensitivityCurve {
+    let mut points = Vec::with_capacity(max_gpus as usize + 1);
+    points.push(CurvePoint {
+        amount: 0,
+        raw_throughput: 0.0,
+        envelope: 0.0,
+        plan: None,
+        envelope_idx: 0,
+    });
+    let mut env_best = 0.0f64;
+    for g in 1..=max_gpus {
+        let placement = Placement::packed(g, &model.shape);
+        let best = best_plan_naive(model, global_batch, &placement);
+        let raw = best.as_ref().map(|(_, t)| *t).unwrap_or(0.0);
+        env_best = env_best.max(raw);
+        points.push(CurvePoint {
+            amount: g,
+            raw_throughput: raw,
+            envelope: env_best,
+            plan: best.map(|(p, _)| p),
+            envelope_idx: 0,
+        });
+    }
+    backfill_envelope_idx(&mut points);
+    SensitivityCurve {
+        kind: ResourceKind::Gpu,
+        points,
+    }
+}
+
+/// The original CPU-curve construction: clones the base placement per point
+/// and runs the full naive `best_plan` at each CPU amount.
+pub fn for_cpus_naive(
+    model: &ThroughputModel,
+    global_batch: u32,
+    gpus: u32,
+    max_cpus: u32,
+) -> SensitivityCurve {
+    let base = Placement::packed(gpus, &model.shape);
+    let mut points = Vec::with_capacity(max_cpus as usize + 1);
+    points.push(CurvePoint {
+        amount: 0,
+        raw_throughput: 0.0,
+        envelope: 0.0,
+        plan: None,
+        envelope_idx: 0,
+    });
+    let mut env_best = 0.0f64;
+    for c in 1..=max_cpus {
+        let placement = Placement {
+            cpus: c,
+            ..base.clone()
+        };
+        let best = best_plan_naive(model, global_batch, &placement);
+        let raw = best.as_ref().map(|(_, t)| *t).unwrap_or(0.0);
+        env_best = env_best.max(raw);
+        points.push(CurvePoint {
+            amount: c,
+            raw_throughput: raw,
+            envelope: env_best,
+            plan: best.map(|(p, _)| p),
+            envelope_idx: 0,
+        });
+    }
+    backfill_envelope_idx(&mut points);
+    SensitivityCurve {
+        kind: ResourceKind::Cpu,
+        points,
+    }
+}

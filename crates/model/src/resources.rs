@@ -201,6 +201,17 @@ impl NodeShape {
     pub fn capacity(&self) -> Resources {
         Resources::new(self.gpus, self.cpus, self.mem_gb)
     }
+
+    /// Host memory (GiB) of the node-proportional share a packed placement
+    /// of `gpus` GPUs receives.
+    ///
+    /// This is the exact expression `Placement::packed` evaluates, so
+    /// feasibility decisions made against the packed placement can be
+    /// reproduced bit-for-bit without rebuilding it (see
+    /// `ThroughputModel::best_plan`).
+    pub fn packed_host_mem_gb(&self, gpus: u32) -> f64 {
+        self.mem_gb * gpus as f64 / self.gpus as f64
+    }
 }
 
 impl Default for NodeShape {

@@ -1,0 +1,127 @@
+//! Equivalence proofs for the allocation-free plan-search rewrite.
+//!
+//! Every optimized path — the lazy [`PlanEnumerator`], the
+//! [`PlanSetCache`]-backed unchecked `best_plan`, and the O(1)
+//! `envelope_idx` curve lookups — must produce output *bit-identical* to
+//! the retained naive reference in [`rubick_model::reference`]. These
+//! property tests sweep the full seven-model zoo and 1..=16 GPUs so any
+//! divergence in plan ordering, feasibility filtering, float scoring or
+//! envelope bookkeeping fails loudly.
+
+use proptest::prelude::*;
+use rubick_model::prelude::*;
+use rubick_model::reference;
+
+fn any_model() -> impl Strategy<Value = ModelSpec> {
+    prop::sample::select(ModelSpec::zoo())
+}
+
+fn model_for(spec: ModelSpec) -> ThroughputModel {
+    ThroughputModel::new(
+        spec,
+        PerfParams::default(),
+        ClusterEnv::a800(),
+        NodeShape::a800(),
+    )
+}
+
+proptest! {
+    /// The lazy enumerator yields exactly the naive eager sequence: same
+    /// plans, same order, nothing extra, nothing missing.
+    #[test]
+    fn enumerator_matches_naive(
+        spec in any_model(),
+        gpus in 0u32..17,
+        batch in prop::sample::select(vec![8u32, 16, 64, 256]),
+    ) {
+        let shape = NodeShape::a800();
+        let env = ClusterEnv::a800();
+        let lazy: Vec<ExecutionPlan> =
+            PlanEnumerator::new(&spec, gpus, batch, &shape, &env).collect();
+        let naive = reference::enumerate_plans_naive(&spec, gpus, batch, &shape, &env);
+        prop_assert_eq!(lazy, naive);
+    }
+
+    /// The cached + unchecked `best_plan` picks the same plan with the same
+    /// throughput bits as the naive re-enumerate-and-recheck loop, on the
+    /// packed placement the plan sets were built against.
+    #[test]
+    fn best_plan_matches_naive_on_packed(
+        spec in any_model(),
+        gpus in 1u32..17,
+        batch in prop::sample::select(vec![8u32, 16, 64]),
+    ) {
+        let model = model_for(spec);
+        let placement = Placement::packed(gpus, &model.shape);
+        let cache = PlanSetCache::new();
+        let fast = model.best_plan_in(&cache, batch, &placement);
+        let naive = reference::best_plan_naive(&model, batch, &placement);
+        prop_assert_eq!(
+            fast.map(|(p, t)| (p, t.to_bits())),
+            naive.map(|(p, t)| (p, t.to_bits()))
+        );
+        // A warm second call must be identical too (cache hit path).
+        let warm = model.best_plan_in(&cache, batch, &placement);
+        prop_assert_eq!(
+            warm.map(|(p, t)| (p, t.to_bits())),
+            fast.map(|(p, t)| (p, t.to_bits()))
+        );
+    }
+
+    /// On a placement with *less* host memory than the packed one the fast
+    /// path must re-apply the per-plan host-memory check and still agree
+    /// with the naive checked loop exactly.
+    #[test]
+    fn best_plan_matches_naive_on_reduced_host(
+        spec in any_model(),
+        gpus in 1u32..17,
+        frac in prop::sample::select(vec![0.0f64, 0.05, 0.25, 0.5, 0.9]),
+    ) {
+        let model = model_for(spec);
+        let batch = 16u32;
+        let mut placement = Placement::packed(gpus, &model.shape);
+        placement.host_mem_gb *= frac;
+        let fast = model.best_plan(batch, &placement);
+        let naive = reference::best_plan_naive(&model, batch, &placement);
+        prop_assert_eq!(
+            fast.map(|(p, t)| (p, t.to_bits())),
+            naive.map(|(p, t)| (p, t.to_bits()))
+        );
+    }
+
+    /// GPU curves match the naive construction as full structs — including
+    /// the precomputed `envelope_idx`, which the reference derives by the
+    /// original per-query walk-back.
+    #[test]
+    fn gpu_curve_matches_naive(
+        spec in any_model(),
+        max_gpus in 1u32..17,
+        batch in prop::sample::select(vec![16u32, 64]),
+    ) {
+        let model = model_for(spec);
+        let fast = SensitivityCurve::for_gpus(&model, batch, max_gpus);
+        let naive = reference::for_gpus_naive(&model, batch, max_gpus);
+        prop_assert_eq!(&fast, &naive);
+        // And the O(1) lookup agrees with walking the naive points.
+        for amount in 0..=max_gpus {
+            prop_assert_eq!(
+                fast.best_plan_at(amount).map(|(p, t)| (p, t.to_bits())),
+                naive.best_plan_at(amount).map(|(p, t)| (p, t.to_bits()))
+            );
+        }
+    }
+
+    /// CPU curves match the naive construction as full structs, proving the
+    /// hoisted-placement loop changes nothing.
+    #[test]
+    fn cpu_curve_matches_naive(
+        spec in any_model(),
+        gpus in 1u32..9,
+        max_cpus in 1u32..33,
+    ) {
+        let model = model_for(spec);
+        let fast = SensitivityCurve::for_cpus(&model, 16, gpus, max_cpus);
+        let naive = reference::for_cpus_naive(&model, 16, gpus, max_cpus);
+        prop_assert_eq!(fast, naive);
+    }
+}
