@@ -9,18 +9,6 @@ fn any_model() -> impl Strategy<Value = ModelSpec> {
     prop::sample::select(ModelSpec::zoo())
 }
 
-/// A structurally valid parallelism shape for a spec/batch, as generated by
-/// the public enumeration (so memory-feasible too).
-fn any_plan_for(spec: ModelSpec, gpus: u32) -> impl Strategy<Value = Option<ExecutionPlan>> {
-    let batch = spec.default_batch;
-    let plans = enumerate_plans(&spec, gpus, batch, &NodeShape::a800(), &ClusterEnv::a800());
-    if plans.is_empty() {
-        Just(None).boxed()
-    } else {
-        prop::sample::select(plans).prop_map(Some).boxed()
-    }
-}
-
 proptest! {
     /// `f_overlap` always lies in `[max(x,y), x+y]` and is monotone
     /// non-increasing in `k`.

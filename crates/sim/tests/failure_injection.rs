@@ -189,7 +189,7 @@ impl Scheduler for Thrasher {
         &mut self,
         _now: f64,
         jobs: &[JobSnapshot],
-        cluster: &Cluster,
+        _cluster: &Cluster,
         _tenants: &[Tenant],
     ) -> Vec<Assignment> {
         // Alternate each job between node 0 and node 1 so the allocation
