@@ -11,6 +11,11 @@ verify: fmt lint test
 fmt:
 	cargo fmt --check
 
+# Print policy: every library crate carries
+# `#![deny(clippy::print_stdout, clippy::print_stderr)]` at the crate
+# root — all human-readable output flows through rubick-cli (the one
+# exempt crate, where src/output.rs and src/main.rs are the only print
+# sites). `-D warnings` below promotes any violation to a build error.
 lint:
 	cargo clippy --all-targets -- -D warnings
 

@@ -2,6 +2,7 @@
 
 use super::{build_registry, oracle_from, scheduler_by_name, workload_from, CliError};
 use crate::args::Args;
+use crate::output::{compare_header, compare_row, Logger};
 use rubick_sim::{Cluster, Engine, EngineConfig};
 
 const SCHEDULERS: [&str; 7] = [
@@ -18,28 +19,22 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
         "seed",
         "csv",
         "parallelism",
+        "log-level",
     ])?;
+    let log = Logger::from_args(args)?;
     let parallelism = args.parallelism()?;
     let oracle = oracle_from(args)?;
-    eprintln!("profiling model zoo...");
+    log.info("profiling model zoo...");
     let registry = build_registry(&oracle)?;
     let (jobs, tenants) = workload_from(args, &oracle)?;
-    eprintln!(
+    log.info(&format!(
         "comparing {} schedulers on {} jobs...",
         SCHEDULERS.len(),
         jobs.len()
-    );
+    ));
 
     let csv = args.flag("csv");
-    if csv {
-        println!("scheduler,avg_jct_s,p99_jct_s,makespan_s,reconfigs,unfinished");
-    } else {
-        println!(
-            "{:<10} | {:>10} | {:>10} | {:>12} | {:>9} | {:>10}",
-            "scheduler", "avg JCT(h)", "p99 JCT(h)", "makespan(h)", "reconfigs", "unfinished"
-        );
-        println!("{}", "-".repeat(76));
-    }
+    println!("{}", compare_header(csv));
     let mut rubick_avg = None;
     for name in SCHEDULERS {
         let scheduler = scheduler_by_name(name, &registry)?;
@@ -54,30 +49,11 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
             },
         );
         let report = engine.run(jobs.clone());
-        let reconfigs: u32 = report.jobs.iter().map(|j| j.reconfig_count).sum();
-        if csv {
-            println!(
-                "{name},{:.1},{:.1},{:.1},{reconfigs},{}",
-                report.avg_jct(),
-                report.p99_jct(),
-                report.makespan,
-                report.unfinished.len()
-            );
-        } else {
-            let avg = report.avg_jct() / 3600.0;
-            if name == "rubick" {
-                rubick_avg = Some(avg);
-            }
-            let ratio = rubick_avg
-                .map(|r| format!(" ({:.2}x)", avg / r))
-                .unwrap_or_default();
-            println!(
-                "{name:<10} | {avg:>6.2}{ratio:<4} | {:>10.2} | {:>12.2} | {reconfigs:>9} | {:>10}",
-                report.p99_jct() / 3600.0,
-                report.makespan / 3600.0,
-                report.unfinished.len()
-            );
+        log.debug(&format!("{name}: {} rounds", report.rounds));
+        if name == "rubick" {
+            rubick_avg = Some(report.avg_jct());
         }
+        println!("{}", compare_row(name, &report, rubick_avg, csv));
     }
     Ok(())
 }

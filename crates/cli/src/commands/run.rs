@@ -2,7 +2,9 @@
 
 use super::{build_registry, oracle_from, scheduler_by_name, workload_from, CliError};
 use crate::args::Args;
-use rubick_sim::{Cluster, Engine, EngineConfig, JobClass};
+use crate::output::{render_decisions, render_report, render_report_csv, Logger};
+use rubick_obs::{EventSink, JsonlSink};
+use rubick_sim::{Cluster, Engine, EngineConfig};
 
 /// Executes the `run` subcommand.
 pub fn execute(args: &Args) -> Result<(), CliError> {
@@ -16,15 +18,18 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
         "csv",
         "verbose",
         "parallelism",
+        "events",
+        "log-level",
     ])?;
+    let log = Logger::from_args(args)?;
     let parallelism = args.parallelism()?;
     let oracle = oracle_from(args)?;
     let scheduler_name = args.str_or("scheduler", "rubick");
-    eprintln!("profiling model zoo...");
+    log.info("profiling model zoo...");
     let registry = build_registry(&oracle)?;
     let (jobs, tenants) = workload_from(args, &oracle)?;
     let n = jobs.len();
-    eprintln!("running {n} jobs through {scheduler_name}...");
+    log.info(&format!("running {n} jobs through {scheduler_name}..."));
     let scheduler = scheduler_by_name(&scheduler_name, &registry)?;
     let mut engine = Engine::new(
         &oracle,
@@ -36,80 +41,31 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
             ..EngineConfig::default()
         },
     );
-    let report = engine.run(jobs);
+    let report = match args.get("events") {
+        Some(path) => {
+            let mut sink = JsonlSink::create(path)
+                .map_err(|e| format!("cannot create events file '{path}': {e}"))?;
+            let report = engine.run_with_sink(jobs, &mut sink);
+            sink.flush()
+                .map_err(|e| format!("failed writing events file '{path}': {e}"))?;
+            log.info(&format!("wrote {} events to {path}", sink.events_written()));
+            report
+        }
+        None => engine.run(jobs),
+    };
+    log.debug(&format!(
+        "{} scheduling rounds, {} decisions",
+        report.rounds,
+        report.decisions.len()
+    ));
 
     if args.flag("csv") {
-        println!("metric,value");
-        println!("scheduler,{}", report.scheduler);
-        println!("jobs,{}", report.jobs.len());
-        println!("unfinished,{}", report.unfinished.len());
-        println!("avg_jct_s,{:.1}", report.avg_jct());
-        println!("p99_jct_s,{:.1}", report.p99_jct());
-        println!("makespan_s,{:.1}", report.makespan);
-        println!("gpu_hours,{:.1}", report.gpu_hours());
-        println!("reconfig_share,{:.4}", report.reconfig_share());
-        println!("sla_attainment,{:.4}", report.sla_attainment());
+        print!("{}", render_report_csv(&report));
         return Ok(());
     }
-
-    println!(
-        "\n=== {} on {} jobs ===",
-        report.scheduler,
-        report.jobs.len()
-    );
-    println!("avg JCT        : {:.2} h", report.avg_jct() / 3600.0);
-    println!("P99 JCT        : {:.2} h", report.p99_jct() / 3600.0);
-    println!("makespan       : {:.2} h", report.makespan / 3600.0);
-    println!("GPU-hours      : {:.0}", report.gpu_hours());
-    println!(
-        "reconfig       : {} events, {:.0} s avg, {:.2}% of GPU-hours",
-        report.jobs.iter().map(|j| j.reconfig_count).sum::<u32>(),
-        report.avg_reconfig_time(),
-        report.reconfig_share() * 100.0
-    );
-    let guaranteed = report
-        .jobs
-        .iter()
-        .filter(|j| j.class == JobClass::Guaranteed)
-        .count();
-    if guaranteed > 0 && guaranteed < report.jobs.len() {
-        println!(
-            "guaranteed     : {:.2} h avg JCT, SLA {:.0}%",
-            report.avg_jct_class(JobClass::Guaranteed) / 3600.0,
-            report.sla_attainment() * 100.0
-        );
-        println!(
-            "best-effort    : {:.2} h avg JCT",
-            report.avg_jct_class(JobClass::BestEffort) / 3600.0
-        );
-    }
-    if !report.unfinished.is_empty() {
-        println!("UNFINISHED     : {:?}", report.unfinished);
-    }
+    print!("{}", render_report(&report));
     if args.flag("verbose") {
-        use rubick_sim::metrics::Decision;
-        println!("\ndecision log ({} entries):", report.decisions.len());
-        for d in &report.decisions {
-            match d {
-                Decision::Launch { at, job, gpus, plan, throughput } => println!(
-                    "  [{:>8.0}s] launch   job {job:<4} {gpus:>2} GPUs  {plan:<26} {throughput:>8.1} samples/s",
-                    at
-                ),
-                Decision::Reconfigure { at, job, gpus, plan, delay } => println!(
-                    "  [{:>8.0}s] reconfig job {job:<4} {gpus:>2} GPUs  {plan:<26} (+{delay:.0}s checkpoint)",
-                    at
-                ),
-                Decision::Preempt { at, job } => {
-                    println!("  [{:>8.0}s] preempt  job {job}", at)
-                }
-                Decision::Reject { at, job, reason } => {
-                    println!("  [{:>8.0}s] reject   job {job}: {reason}", at)
-                }
-                Decision::Finish { at, job } => {
-                    println!("  [{:>8.0}s] finish   job {job}", at)
-                }
-            }
-        }
+        print!("{}", render_decisions(&report));
     }
     Ok(())
 }

@@ -13,6 +13,7 @@
 
 mod args;
 mod commands;
+mod output;
 
 use args::Args;
 use std::process::ExitCode;
@@ -44,7 +45,11 @@ RUN / COMPARE FLAGS:
     --large-frac <f64>   Override the large-model fraction of the mix
     --parallelism <n>    Worker threads per scheduling round: 'auto' or a
                          count (default: sequential; never changes results)
+    --log-level <lvl>    Stderr progress verbosity: error|info|debug
+                         (default info; stdout output is unaffected)
     --verbose            (run) print the full decision log
+    --events <path>      (run) stream every simulation event to <path> as
+                         JSON Lines (one event per line)
 
 PLANS FLAGS:
     --model <name>       Zoo model name (vit-86m, roberta-355m, bert-336m,

@@ -128,3 +128,107 @@ fn runs_are_deterministic() {
     assert!(a.status.success() && b.status.success());
     assert_eq!(stdout(&a), stdout(&b));
 }
+
+#[test]
+fn invalid_log_level_fails_listing_choices() {
+    let out = rubick(&["run", "--jobs", "5", "--log-level", "chatty"]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(
+        err.contains("invalid --log-level 'chatty'"),
+        "stderr: {err}"
+    );
+    assert!(err.contains("error|info|debug"), "stderr: {err}");
+}
+
+#[test]
+fn log_level_error_silences_progress() {
+    let out = rubick(&[
+        "run",
+        "--jobs",
+        "5",
+        "--scheduler",
+        "synergy",
+        "--csv",
+        "--log-level",
+        "error",
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(
+        stderr(&out).is_empty(),
+        "no progress at level error: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn unwritable_events_path_fails_with_path() {
+    let out = rubick(&[
+        "run",
+        "--jobs",
+        "5",
+        "--events",
+        "/nonexistent-dir/events.jsonl",
+    ]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(
+        err.contains("/nonexistent-dir/events.jsonl"),
+        "stderr: {err}"
+    );
+}
+
+#[test]
+fn events_stream_parses_and_folds_to_the_printed_report() {
+    use rubick_obs::{EventSink, SimEvent};
+    use rubick_sim::ReportSink;
+
+    let path = std::env::temp_dir().join(format!("rubick-cli-events-{}.jsonl", std::process::id()));
+    let path_str = path.to_str().unwrap();
+    let out = rubick(&[
+        "run",
+        "--jobs",
+        "12",
+        "--seed",
+        "9",
+        "--scheduler",
+        "synergy",
+        "--csv",
+        "--events",
+        path_str,
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+
+    // Every line parses back into a typed event...
+    let text = std::fs::read_to_string(&path).expect("events file written");
+    let events: Vec<SimEvent> = text
+        .lines()
+        .map(|l| SimEvent::from_jsonl(l).expect("valid JSONL event"))
+        .collect();
+    assert!(!events.is_empty());
+
+    // ...and folding the stream reproduces the metrics the CLI printed.
+    let mut fold = ReportSink::new();
+    for event in &events {
+        fold.on_event(event);
+    }
+    let report = fold.take_report("synergy");
+    let csv = stdout(&out);
+    assert!(
+        csv.contains(&format!("jobs,{}", report.jobs.len())),
+        "{csv}"
+    );
+    assert!(
+        csv.contains(&format!("unfinished,{}", report.unfinished.len())),
+        "{csv}"
+    );
+    assert!(
+        csv.contains(&format!("avg_jct_s,{:.1}", report.avg_jct())),
+        "{csv}"
+    );
+    assert!(
+        csv.contains(&format!("makespan_s,{:.1}", report.makespan)),
+        "{csv}"
+    );
+    std::fs::remove_file(&path).ok();
+}

@@ -7,14 +7,13 @@
 //! are preempted whenever a guaranteed job needs the space. No execution
 //! plan is ever touched.
 
-use super::free_after_keeps;
-use crate::common::pack_gang;
+use crate::round::RoundContext;
 use rubick_model::Resources;
 use rubick_sim::cluster::Cluster;
-use rubick_sim::job::{JobClass, JobStatus};
+use rubick_sim::job::{JobClass, JobId};
 use rubick_sim::scheduler::{Assignment, JobSnapshot, Scheduler};
 use rubick_sim::tenant::Tenant;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The AntMan baseline scheduler.
 #[derive(Debug, Default)]
@@ -45,58 +44,24 @@ impl Scheduler for AntManScheduler {
 
         // Pass 1: keep running guaranteed jobs; admit queued guaranteed
         // jobs FIFO within quota.
-        let mut out: Vec<Assignment> = Vec::new();
-        for job in jobs {
-            if job.spec.class != JobClass::Guaranteed {
-                continue;
-            }
-            if let JobStatus::Running {
-                allocation, plan, ..
-            } = &job.status
-            {
+        let mut ctx = RoundContext::new(cluster, jobs);
+        for job in ctx.jobs() {
+            if job.spec.class == JobClass::Guaranteed && ctx.keep(job) {
                 *quota_used
                     .entry(&job.spec.tenant)
                     .or_insert_with(Resources::zero) += job.spec.requested;
-                out.push(Assignment {
-                    job: job.id(),
-                    allocation: allocation.clone(),
-                    plan: *plan,
-                });
             }
         }
-        let mut free = free_after_keeps(cluster, &out);
         // Tentatively keep running best-effort jobs; they may be evicted
         // below if a guaranteed job needs the space.
-        let mut be_running: Vec<Assignment> = jobs
-            .iter()
-            .filter(|j| j.spec.class == JobClass::BestEffort)
-            .filter_map(|j| match &j.status {
-                JobStatus::Running {
-                    allocation, plan, ..
-                } => Some(Assignment {
-                    job: j.id(),
-                    allocation: allocation.clone(),
-                    plan: *plan,
-                }),
-                _ => None,
-            })
-            .collect();
-        for a in &be_running {
-            for (node, res) in &a.allocation.per_node {
-                free[*node] -= *res;
+        let mut be_ids: BTreeSet<JobId> = BTreeSet::new();
+        for job in ctx.jobs() {
+            if job.spec.class == JobClass::BestEffort && ctx.keep(job) {
+                be_ids.insert(job.id());
             }
         }
 
-        let mut queued_guaranteed: Vec<&JobSnapshot> = jobs
-            .iter()
-            .filter(|j| j.status.is_queued() && j.spec.class == JobClass::Guaranteed)
-            .collect();
-        queued_guaranteed.sort_by(|a, b| {
-            a.queued_since
-                .total_cmp(&b.queued_since)
-                .then(a.id().cmp(&b.id()))
-        });
-        for job in queued_guaranteed {
+        for job in ctx.queued_fifo(|j| j.spec.class == JobClass::Guaranteed) {
             let within_quota = match tenants.iter().find(|t| t.id == job.spec.tenant) {
                 Some(t) => {
                     let used = quota_used
@@ -112,14 +77,11 @@ impl Scheduler for AntManScheduler {
             }
             // Try to fit; evict best-effort jobs (largest first) if needed.
             loop {
-                if let Some(alloc) = pack_gang(&free, job.spec.requested) {
-                    for (node, res) in &alloc.per_node {
-                        free[*node] -= *res;
-                    }
+                if let Some(alloc) = ctx.try_pack(job.spec.requested) {
                     *quota_used
                         .entry(&job.spec.tenant)
                         .or_insert_with(Resources::zero) += job.spec.requested;
-                    out.push(Assignment {
+                    ctx.commit(Assignment {
                         job: job.id(),
                         allocation: alloc,
                         plan: job.spec.initial_plan,
@@ -127,45 +89,31 @@ impl Scheduler for AntManScheduler {
                     break;
                 }
                 // Evict the best-effort job holding the most GPUs.
-                let Some(idx) = be_running
+                let Some(victim) = ctx
+                    .committed()
                     .iter()
-                    .enumerate()
-                    .max_by_key(|(_, a)| a.allocation.gpus())
-                    .map(|(i, _)| i)
+                    .filter(|a| be_ids.contains(&a.job))
+                    .max_by_key(|a| a.allocation.gpus())
+                    .map(|a| a.job)
                 else {
                     break;
                 };
-                let evicted = be_running.swap_remove(idx);
-                for (node, res) in &evicted.allocation.per_node {
-                    free[*node] += *res;
-                }
+                be_ids.remove(&victim);
+                ctx.evict(victim);
             }
         }
 
         // Pass 2: opportunistically admit queued best-effort jobs.
-        let mut queued_be: Vec<&JobSnapshot> = jobs
-            .iter()
-            .filter(|j| j.status.is_queued() && j.spec.class == JobClass::BestEffort)
-            .collect();
-        queued_be.sort_by(|a, b| {
-            a.queued_since
-                .total_cmp(&b.queued_since)
-                .then(a.id().cmp(&b.id()))
-        });
-        for job in queued_be {
-            if let Some(alloc) = pack_gang(&free, job.spec.requested) {
-                for (node, res) in &alloc.per_node {
-                    free[*node] -= *res;
-                }
-                be_running.push(Assignment {
+        for job in ctx.queued_fifo(|j| j.spec.class == JobClass::BestEffort) {
+            if let Some(alloc) = ctx.try_pack(job.spec.requested) {
+                ctx.commit(Assignment {
                     job: job.id(),
                     allocation: alloc,
                     plan: job.spec.initial_plan,
                 });
             }
         }
-        out.extend(be_running);
-        out
+        ctx.into_assignments()
     }
 }
 

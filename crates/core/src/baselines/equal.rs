@@ -7,9 +7,9 @@
 //! two-job example this allocates 2+2 GPUs (total speedup 0.78) where
 //! Rubick picks 3+1 (total speedup 1.44).
 
-use super::free_after_keeps;
-use crate::common::{pack_gang, PlanSearch};
+use crate::common::PlanSearch;
 use crate::registry::ModelRegistry;
+use crate::round::RoundContext;
 use rubick_model::Resources;
 use rubick_sim::cluster::Cluster;
 use rubick_sim::job::JobStatus;
@@ -41,32 +41,22 @@ impl Scheduler for EqualShareScheduler {
         cluster: &Cluster,
         _tenants: &[Tenant],
     ) -> Vec<Assignment> {
-        let active: Vec<&JobSnapshot> = jobs.iter().collect();
-        if active.is_empty() {
+        if jobs.is_empty() {
             return Vec::new();
         }
         let total = cluster.total_capacity();
-        let share = (total.gpus / active.len() as u32).max(1);
+        let share = (total.gpus / jobs.len() as u32).max(1);
+        let at_share = |job: &JobSnapshot| {
+            matches!(
+                &job.status,
+                JobStatus::Running { allocation, .. } if allocation.gpus() == share
+            )
+        };
 
         // Keep running jobs already at their share.
-        let mut keeps: Vec<Assignment> = Vec::new();
-        let mut to_place: Vec<&JobSnapshot> = Vec::new();
-        for job in &active {
-            match &job.status {
-                JobStatus::Running {
-                    allocation, plan, ..
-                } if allocation.gpus() == share => {
-                    keeps.push(Assignment {
-                        job: job.id(),
-                        allocation: allocation.clone(),
-                        plan: *plan,
-                    });
-                }
-                _ => to_place.push(job),
-            }
-        }
-        let mut free = free_after_keeps(cluster, &keeps);
-        let mut out = keeps;
+        let mut ctx = RoundContext::new(cluster, jobs);
+        ctx.keep_running_where(at_share);
+        let to_place: Vec<&JobSnapshot> = ctx.jobs().iter().filter(|j| !at_share(j)).collect();
         for job in to_place {
             let Some(model) = self.registry.model(&job.spec.model.name) else {
                 continue;
@@ -77,7 +67,7 @@ impl Scheduler for EqualShareScheduler {
                 (total.cpus as f64 * frac).round() as u32,
                 total.mem_gb * frac,
             );
-            let Some(alloc) = pack_gang(&free, want) else {
+            let Some(alloc) = ctx.try_pack(want) else {
                 continue;
             };
             let Some((plan, _)) =
@@ -85,16 +75,13 @@ impl Scheduler for EqualShareScheduler {
             else {
                 continue;
             };
-            for (node, res) in &alloc.per_node {
-                free[*node] -= *res;
-            }
-            out.push(Assignment {
+            ctx.commit(Assignment {
                 job: job.id(),
                 allocation: alloc,
                 plan,
             });
         }
-        out
+        ctx.into_assignments()
     }
 }
 

@@ -14,6 +14,10 @@
 //! * [`EqualShareScheduler`] — the "simple scheduler" of the Fig. 8
 //!   micro-benchmark: equal GPU split, but with Rubick-style plan
 //!   reconfiguration enabled.
+//!
+//! All four run through the shared [`crate::RoundContext`] pipeline: the
+//! keep/preempt sets, the free-resource ledger and the placement packing
+//! live there, so each baseline is only its actual policy.
 
 mod antman;
 mod equal;
@@ -24,40 +28,3 @@ pub use antman::AntManScheduler;
 pub use equal::EqualShareScheduler;
 pub use sia::SiaScheduler;
 pub use synergy::SynergyScheduler;
-
-use rubick_model::Resources;
-use rubick_sim::cluster::Cluster;
-use rubick_sim::scheduler::{Assignment, JobSnapshot};
-
-/// Free resources per node after subtracting the running jobs' allocations
-/// that the policy wants to keep.
-pub(crate) fn free_after_keeps(cluster: &Cluster, keeps: &[Assignment]) -> Vec<Resources> {
-    let mut free: Vec<Resources> = cluster.nodes().iter().map(|n| n.shape.capacity()).collect();
-    for a in keeps {
-        for (node, res) in &a.allocation.per_node {
-            free[*node] -= *res;
-        }
-    }
-    free
-}
-
-/// Reproduces the current assignment of every running job verbatim
-/// (FIFO-style baselines never touch running jobs).
-pub(crate) fn keep_running(jobs: &[JobSnapshot]) -> Vec<Assignment> {
-    jobs.iter()
-        .filter_map(|j| {
-            if let rubick_sim::job::JobStatus::Running {
-                allocation, plan, ..
-            } = &j.status
-            {
-                Some(Assignment {
-                    job: j.id(),
-                    allocation: allocation.clone(),
-                    plan: *plan,
-                })
-            } else {
-                None
-            }
-        })
-        .collect()
-}

@@ -13,9 +13,9 @@
 //! * ZeRO/GA/GC behaviors are whatever the initial plan already had; Sia
 //!   never switches strategies.
 
-use super::free_after_keeps;
-use crate::common::{job_baseline, job_gpu_curve, pack_gang, PlanSearch};
+use crate::common::{job_baseline, job_gpu_curve, PlanSearch};
 use crate::registry::ModelRegistry;
+use crate::round::RoundContext;
 use rubick_model::Resources;
 use rubick_sim::cluster::Cluster;
 use rubick_sim::job::JobStatus;
@@ -122,14 +122,12 @@ impl Scheduler for SiaScheduler {
 
         // Keep running jobs whose target matches their current GPU count
         // (or whose change is not worth a restart).
-        let mut keeps: Vec<Assignment> = Vec::new();
+        let mut ctx = RoundContext::new(cluster, jobs);
         let mut to_place: Vec<&JobSnapshot> = Vec::new();
-        for job in jobs {
+        for job in ctx.jobs() {
             let tgt = target[&job.id()];
             match &job.status {
-                JobStatus::Running {
-                    allocation, plan, ..
-                } => {
+                JobStatus::Running { allocation, .. } => {
                     let cur = allocation.gpus();
                     let keep = if tgt == cur || tgt == 0 {
                         true
@@ -140,11 +138,7 @@ impl Scheduler for SiaScheduler {
                         true
                     };
                     if keep {
-                        keeps.push(Assignment {
-                            job: job.id(),
-                            allocation: allocation.clone(),
-                            plan: *plan,
-                        });
+                        ctx.keep(job);
                     } else {
                         to_place.push(job);
                     }
@@ -155,8 +149,6 @@ impl Scheduler for SiaScheduler {
         }
 
         // Place rescaled/new jobs with GPU-proportional CPU/memory.
-        let mut free = free_after_keeps(cluster, &keeps);
-        let mut out = keeps;
         // Larger targets first (gang placement is harder for them).
         to_place.sort_by_key(|j| std::cmp::Reverse(target[&j.id()]));
         for job in to_place {
@@ -182,14 +174,11 @@ impl Scheduler for SiaScheduler {
                     (shape.cpus as f64 * frac).round() as u32,
                     shape.mem_gb * frac,
                 );
-                if let Some(alloc) = pack_gang(&free, want) {
+                if let Some(alloc) = ctx.try_pack(want) {
                     if let Some((plan, _)) =
                         search.best_plan(&model, job.spec.global_batch, &alloc.to_placement())
                     {
-                        for (node, res) in &alloc.per_node {
-                            free[*node] -= *res;
-                        }
-                        out.push(Assignment {
+                        ctx.commit(Assignment {
                             job: id,
                             allocation: alloc,
                             plan,
@@ -201,21 +190,14 @@ impl Scheduler for SiaScheduler {
                 g -= 1;
             }
             if !placed {
-                // Leave queued; preserved progress will retry next round.
-                if let JobStatus::Running {
-                    allocation, plan, ..
-                } = &job.status
-                {
-                    // Could not improve: keep the old configuration.
-                    out.push(Assignment {
-                        job: id,
-                        allocation: allocation.clone(),
-                        plan: *plan,
-                    });
-                }
+                // Could not improve: a running job keeps its old
+                // configuration (uncharged — its resources were already
+                // treated as reclaimable this round); a queued job stays
+                // queued and retries with preserved progress next round.
+                ctx.keep_uncharged(job);
             }
         }
-        out
+        ctx.into_assignments()
     }
 }
 

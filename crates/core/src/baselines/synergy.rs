@@ -7,9 +7,8 @@
 //! itself as a black box: the GPU count and the execution plan the user
 //! submitted are never changed. That is exactly the gap Rubick exploits.
 
-use super::{free_after_keeps, keep_running};
-use crate::common::pack_gang;
 use crate::registry::ModelRegistry;
+use crate::round::RoundContext;
 use rubick_model::{MemoryEstimator, Resources};
 use rubick_sim::cluster::Cluster;
 use rubick_sim::scheduler::{Assignment, JobSnapshot, Scheduler};
@@ -57,20 +56,14 @@ impl Scheduler for SynergyScheduler {
         cluster: &Cluster,
         _tenants: &[Tenant],
     ) -> Vec<Assignment> {
-        let mut out = keep_running(jobs);
-        let mut free = free_after_keeps(cluster, &out);
+        let mut ctx = RoundContext::new(cluster, jobs);
+        ctx.keep_running_where(|_| true);
         let estimator = MemoryEstimator::new(self.registry.shape().gpu_mem_gb);
 
         // FIFO over the queue, gang-scheduling the *requested* GPU count
         // with workload-aware CPU/memory amounts.
-        let mut queued: Vec<&JobSnapshot> = jobs.iter().filter(|j| j.status.is_queued()).collect();
-        queued.sort_by(|a, b| {
-            a.queued_since
-                .total_cmp(&b.queued_since)
-                .then(a.id().cmp(&b.id()))
-        });
         let mut blocked = 0usize;
-        for job in queued {
+        for job in ctx.queued_fifo(|_| true) {
             let plan = job.spec.initial_plan;
             let demand = estimator.demand(&job.spec.model, &plan, job.spec.global_batch);
             // Workload-aware sizing: CPU/memory follow the job's actual
@@ -83,7 +76,7 @@ impl Scheduler for SynergyScheduler {
                     .max(job.spec.requested.cpus.min(demand.cpus * 2)),
                 demand.host_mem_gb.max(job.spec.requested.mem_gb.min(512.0)),
             );
-            let Some(alloc) = pack_gang(&free, want) else {
+            let Some(alloc) = ctx.try_pack(want) else {
                 // Gang scheduling with bounded backfill: a blocked request
                 // lets a limited window of later jobs jump ahead, then the
                 // queue stalls (the §2.2 delay — "a job may be delayed due
@@ -108,17 +101,14 @@ impl Scheduler for SynergyScheduler {
                 )
                 .is_ok()
             {
-                for (node, res) in &alloc.per_node {
-                    free[*node] -= *res;
-                }
-                out.push(Assignment {
+                ctx.commit(Assignment {
                     job: job.id(),
                     allocation: alloc,
                     plan,
                 });
             }
         }
-        out
+        ctx.into_assignments()
     }
 }
 

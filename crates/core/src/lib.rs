@@ -10,6 +10,9 @@
 //! * [`common`] — policy building blocks: gang packing, plan-search modes
 //!   (full reconfiguration vs. Sia-style DP rescaling vs. fixed plans) and
 //!   job-level sensitivity curves.
+//! * [`round`] — [`RoundContext`]: the shared per-round pipeline (keep
+//!   sets, free-resource ledger, gang packing, commit/evict) that every
+//!   policy builds its `schedule` on.
 //! * [`rubick`] — the Rubick scheduler: SLA `minRes` search, privileged
 //!   admission by quota, slope-sorted allocation with
 //!   shrink-the-least-sensitive reallocation, best-plan selection, memory
@@ -22,15 +25,18 @@
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod baselines;
 pub mod common;
 pub mod registry;
+pub mod round;
 pub mod rubick;
 pub mod variants;
 
 pub use baselines::{AntManScheduler, EqualShareScheduler, SiaScheduler, SynergyScheduler};
 pub use common::{pack_gang, PlanSearch};
 pub use registry::ModelRegistry;
+pub use round::RoundContext;
 pub use rubick::{RubickConfig, RubickScheduler};
 pub use variants::{rubick_e, rubick_n, rubick_r};

@@ -2,6 +2,7 @@
 
 use super::RubickScheduler;
 use crate::common::{job_baseline, job_gpu_curve, PlanSearch};
+use crate::round::RoundContext;
 use rubick_model::{ExecutionPlan, MemoryEstimator, Placement, Resources, SensitivityCurve};
 use rubick_sim::cluster::{Allocation, Cluster};
 use rubick_sim::job::{JobClass, JobId, JobStatus};
@@ -33,10 +34,15 @@ struct Ctx<'a> {
     total_gpus: u32,
 }
 
-/// Mutable round state: free capacity and tentative assignments.
+/// Mutable round state: the shared [`RoundContext`] ledger plus Rubick's
+/// tentative allocation table. Unlike the baselines, Rubick does not
+/// commit assignments incrementally — its passes move resources between
+/// jobs until the round settles, so it keeps the table here and emits the
+/// final list at the end. Cloning snapshots the whole state for the
+/// per-job accept-or-roll-back decision in [`schedule_job`].
 #[derive(Clone)]
-struct State {
-    free: Vec<Resources>,
+struct State<'a> {
+    round: RoundContext<'a>,
     alloc: BTreeMap<JobId, Allocation>,
     changed: BTreeSet<JobId>,
 }
@@ -373,31 +379,21 @@ pub(super) fn run_round(
 
     // ---- initial state: current allocations applied --------------------
     let mut state = State {
-        free: cluster.nodes().iter().map(|n| n.shape.capacity()).collect(),
+        round: RoundContext::new(cluster, jobs),
         alloc: BTreeMap::new(),
         changed: BTreeSet::new(),
     };
-    for snap in jobs {
-        if let JobStatus::Running { allocation, .. } = &snap.status {
-            for (node, res) in &allocation.per_node {
-                state.free[*node] -= *res;
-            }
-            state.alloc.insert(snap.id(), allocation.clone());
-        }
+    for (id, alloc) in state.round.charge_running() {
+        state.alloc.insert(id, alloc);
     }
 
     // ---- pass 1: privileged guaranteed jobs within quota ---------------
-    let mut queued_guaranteed: Vec<JobId> = jobs
+    let queued_guaranteed: Vec<JobId> = state
+        .round
+        .queued_fifo(|s| s.spec.class == JobClass::Guaranteed)
         .iter()
-        .filter(|s| s.status.is_queued() && s.spec.class == JobClass::Guaranteed)
         .map(|s| s.id())
         .collect();
-    queued_guaranteed.sort_by(|a, b| {
-        ctx.snap(*a)
-            .queued_since
-            .total_cmp(&ctx.snap(*b).queued_since)
-            .then(a.cmp(b))
-    });
     for id in queued_guaranteed {
         if quota_allows(&ctx, &state, tenants, id) {
             schedule_job(&ctx, &mut state, id);
@@ -405,21 +401,14 @@ pub(super) fn run_round(
     }
 
     // ---- pass 1b: starving best-effort jobs get priority ---------------
-    let mut starving: Vec<JobId> = jobs
-        .iter()
-        .filter(|s| {
-            s.status.is_queued()
-                && s.spec.class == JobClass::BestEffort
-                && now - s.queued_since > cfg.starvation_timeout
+    let starving: Vec<JobId> = state
+        .round
+        .queued_fifo(|s| {
+            s.spec.class == JobClass::BestEffort && now - s.queued_since > cfg.starvation_timeout
         })
+        .iter()
         .map(|s| s.id())
         .collect();
-    starving.sort_by(|a, b| {
-        ctx.snap(*a)
-            .queued_since
-            .total_cmp(&ctx.snap(*b).queued_since)
-            .then(a.cmp(b))
-    });
     for id in starving {
         schedule_job(&ctx, &mut state, id);
     }
@@ -440,7 +429,7 @@ pub(super) fn run_round(
     // Sort by jump-aware slope with queue aging: a job's priority rises as
     // it waits, smoothly generalizing the hard starvation promotion so
     // large lumpy-curve jobs (low slope-per-GPU) still get scheduled.
-    let priority = |ctx: &Ctx<'_>, state: &State, id: &JobId| -> f64 {
+    let priority = |ctx: &Ctx<'_>, state: &State<'_>, id: &JobId| -> f64 {
         let gpus = state.alloc.get(id).map(|x| x.gpus()).unwrap_or(0);
         let slope = ctx.jump_gain(*id, gpus);
         let snap = ctx.snap(*id);
@@ -467,7 +456,7 @@ pub(super) fn run_round(
 /// Remaining-quota check for a guaranteed job: the sum of minimum demands
 /// of this tenant's already-assigned guaranteed jobs plus this job's must
 /// fit the quota. Unknown tenants are unconstrained.
-fn quota_allows(ctx: &Ctx<'_>, state: &State, tenants: &[Tenant], id: JobId) -> bool {
+fn quota_allows(ctx: &Ctx<'_>, state: &State<'_>, tenants: &[Tenant], id: JobId) -> bool {
     let snap = ctx.snap(id);
     let Some(tenant) = tenants.iter().find(|t| t.id == snap.spec.tenant) else {
         return true;
@@ -488,7 +477,7 @@ fn quota_allows(ctx: &Ctx<'_>, state: &State, tenants: &[Tenant], id: JobId) -> 
 
 /// `ScheduleJob` of Algorithm 1: grow `id` using free resources and, where
 /// justified by slopes, resources reclaimed from the least sensitive jobs.
-fn schedule_job(ctx: &Ctx<'_>, state: &mut State, id: JobId) -> bool {
+fn schedule_job(ctx: &Ctx<'_>, state: &mut State<'_>, id: JobId) -> bool {
     // The reconfiguration-penalty gate (§5.2) deters churn, but it must not
     // hard-block a clear win: a gated job may still absorb *free* capacity
     // (no victims disturbed) when the predicted saving clears a stricter
@@ -547,7 +536,7 @@ fn schedule_job(ctx: &Ctx<'_>, state: &mut State, id: JobId) -> bool {
 
     // Node order: nodes the job already occupies first (consolidation),
     // then descending free GPUs.
-    let mut order: Vec<usize> = (0..state.free.len()).collect();
+    let mut order: Vec<usize> = (0..state.round.free().len()).collect();
     order.sort_by_key(|&n| {
         let mine = tentative
             .per_node
@@ -557,7 +546,7 @@ fn schedule_job(ctx: &Ctx<'_>, state: &mut State, id: JobId) -> bool {
             .unwrap_or(0);
         (
             std::cmp::Reverse(mine),
-            std::cmp::Reverse(state.free[n].gpus),
+            std::cmp::Reverse(state.round.free()[n].gpus),
             n,
         )
     });
@@ -568,13 +557,14 @@ fn schedule_job(ctx: &Ctx<'_>, state: &mut State, id: JobId) -> bool {
             break;
         }
         // Grab free resources (capped at what the job can use).
+        let avail = state.round.free()[n];
         let take = Resources::new(
-            cap_gpus.saturating_sub(total.gpus).min(state.free[n].gpus),
-            cap_cpus.saturating_sub(total.cpus).min(state.free[n].cpus),
-            (cap_mem - total.mem_gb).clamp(0.0, state.free[n].mem_gb),
+            cap_gpus.saturating_sub(total.gpus).min(avail.gpus),
+            cap_cpus.saturating_sub(total.cpus).min(avail.cpus),
+            (cap_mem - total.mem_gb).clamp(0.0, avail.mem_gb),
         );
         if take.any_positive() {
-            state.free[n] -= take;
+            state.round.free_mut()[n] -= take;
             tentative.merge(&Allocation::on_node(n, take));
         }
         // Reclaim GPUs from the least sensitive job on this node.
@@ -624,7 +614,7 @@ fn schedule_job(ctx: &Ctx<'_>, state: &mut State, id: JobId) -> bool {
         let envelope = curve.value(total.gpus);
         if envelope > tput * 1.005 {
             if let Some(target) = curve.min_amount_reaching(envelope) {
-                shrink_alloc_to(&mut state.free, &mut tentative, target);
+                shrink_alloc_to(state.round.free_mut(), &mut tentative, target);
                 let placement = tentative.to_placement();
                 if let Some((p2, t2)) = search.best_plan(&model, snap.spec.global_batch, &placement)
                 {
@@ -683,7 +673,7 @@ fn schedule_job(ctx: &Ctx<'_>, state: &mut State, id: JobId) -> bool {
 
 /// `GetLowestSlopeOverMinJob`: the job on node `n` (other than `id`, not
 /// frozen, shrinkable) with the lowest normalized GPU loss slope.
-fn lowest_slope_victim(ctx: &Ctx<'_>, state: &State, n: usize, id: JobId) -> Option<JobId> {
+fn lowest_slope_victim(ctx: &Ctx<'_>, state: &State<'_>, n: usize, id: JobId) -> Option<JobId> {
     // Note: the reconfiguration-penalty gate deliberately does NOT protect
     // victims here. The gate (§5.2) limits how often a job reconfigures
     // *for its own benefit*; being shrunk by a higher-slope job or
@@ -729,7 +719,7 @@ fn lowest_slope_victim(ctx: &Ctx<'_>, state: &State, n: usize, id: JobId) -> Opt
 
 /// Moves one GPU (with a proportional CPU share) from `victim`'s grant on
 /// node `n` into `tentative`.
-fn transfer_gpu(state: &mut State, victim: JobId, n: usize, tentative: &mut Allocation) {
+fn transfer_gpu(state: &mut State<'_>, victim: JobId, n: usize, tentative: &mut Allocation) {
     let alloc = state.alloc.get_mut(&victim).expect("victim allocated");
     let entry = alloc
         .per_node
@@ -752,7 +742,7 @@ fn transfer_gpu(state: &mut State, victim: JobId, n: usize, tentative: &mut Allo
 /// plan, driven by direct model slope comparisons.
 fn reclaim_cpus(
     ctx: &Ctx<'_>,
-    state: &mut State,
+    state: &mut State<'_>,
     n: usize,
     id: JobId,
     tentative: &mut Allocation,
@@ -849,7 +839,7 @@ fn shrink_alloc_to(free: &mut [Resources], tentative: &mut Allocation, target: u
 /// `AllocMem` (lines 19–23): size the job's CPU and host-memory grant to
 /// the chosen plan's demand, returning the excess to the free pool.
 fn trim_to_demand(
-    state: &mut State,
+    state: &mut State<'_>,
     tentative: &mut Allocation,
     demand: &rubick_model::ResourceDemand,
 ) {
@@ -860,13 +850,13 @@ fn trim_to_demand(
         if excess_cpus > 0 {
             let back = excess_cpus.min(res.cpus.saturating_sub(res.gpus)); // keep ≥1 cpu/gpu
             res.cpus -= back;
-            state.free[*node] += Resources::new(0, back, 0.0);
+            state.round.free_mut()[*node] += Resources::new(0, back, 0.0);
             excess_cpus -= back;
         }
         if excess_mem > 0.0 {
             let back = excess_mem.min(res.mem_gb);
             res.mem_gb -= back;
-            state.free[*node] += Resources::new(0, 0, back);
+            state.round.free_mut()[*node] += Resources::new(0, 0, back);
             excess_mem -= back;
         }
     }
@@ -875,7 +865,7 @@ fn trim_to_demand(
 
 /// Builds the final assignment list: recompute plans for changed jobs,
 /// reproduce current configs verbatim for untouched ones.
-fn emit(ctx: &Ctx<'_>, mut state: State) -> Vec<Assignment> {
+fn emit(ctx: &Ctx<'_>, mut state: State<'_>) -> Vec<Assignment> {
     let mut out = Vec::new();
     let ids: Vec<JobId> = state.alloc.keys().copied().collect();
     for id in ids {
@@ -911,7 +901,7 @@ fn emit(ctx: &Ctx<'_>, mut state: State) -> Vec<Assignment> {
                 // preempting the job outright.
                 let curve = ctx.curves.get(&id)?;
                 let (plan, _) = curve.best_plan_at(alloc.gpus())?;
-                shrink_alloc_to(&mut state.free, &mut alloc, plan.gpus());
+                shrink_alloc_to(state.round.free_mut(), &mut alloc, plan.gpus());
                 ctx.searches[&id].best_plan(&model, snap.spec.global_batch, &alloc.to_placement())
             });
         let Some((plan, _)) = best else {

@@ -1,0 +1,1131 @@
+//! # rubick-obs
+//!
+//! The **event spine** of the Rubick reproduction: a typed vocabulary of
+//! simulation events ([`SimEvent`]) plus pluggable consumers
+//! ([`EventSink`]).
+//!
+//! Every state transition inside the simulation engine emits exactly one
+//! event; everything downstream — the [`SimReport`]-style summaries, the
+//! decision audit trail, JSONL logs, per-policy counters — is a *fold* over
+//! this stream, so metrics have a single source of truth.
+//!
+//! Design constraints:
+//!
+//! * **Primitives only.** Events carry `f64` times, `u64` job ids and plain
+//!   strings, never simulator types, so this crate sits below `rubick-sim`
+//!   with no dependency cycle.
+//! * **Deterministic.** Events never contain wall-clock time; host-side
+//!   round latencies travel through the separate
+//!   [`EventSink::on_round_latency`] hook so JSONL logs of a deterministic
+//!   run are byte-identical across machines and thread counts.
+//! * **Lossless JSONL.** [`SimEvent::to_jsonl`] prints floats with Rust's
+//!   shortest round-trip formatting and [`SimEvent::from_jsonl`] parses the
+//!   raw token back, so `serialize ∘ parse` is the identity on the values
+//!   the engine produces.
+//!
+//! `SimReport` here refers to `rubick_sim::metrics::SimReport`, the fold
+//! implemented by `rubick_sim::report::ReportSink` on top of this crate.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// What kind of placement decision a [`SimEvent::DecisionApplied`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionKind {
+    /// A queued job was granted resources for the first time.
+    Launch,
+    /// A running job was preempted back to the queue.
+    Preempt,
+}
+
+impl DecisionKind {
+    /// Stable wire label used in the JSONL encoding.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DecisionKind::Launch => "launch",
+            DecisionKind::Preempt => "preempt",
+        }
+    }
+}
+
+/// One typed simulation event.
+///
+/// The engine emits exactly one event per state transition, in
+/// deterministic order; sinks observe the same sequence the engine's own
+/// report fold sees.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimEvent {
+    /// A job arrived and entered the queue.
+    JobSubmitted {
+        /// Simulation time, s.
+        at: f64,
+        /// Job id.
+        job: u64,
+        /// Owning tenant name (empty for the default tenant).
+        tenant: String,
+        /// Scheduling class label (`guaranteed` / `best-effort`).
+        class: String,
+        /// Model type name.
+        model: String,
+        /// GPUs requested by the user.
+        gpus: u32,
+        /// CPUs requested by the user.
+        cpus: u32,
+        /// Host memory requested by the user, GB.
+        mem_gb: f64,
+        /// User-chosen execution-plan label.
+        plan: String,
+    },
+    /// A scheduling round ran over a non-empty job snapshot.
+    RoundStarted {
+        /// Simulation time, s.
+        at: f64,
+        /// 1-based round number (shared with [`SimEvent::TickSkipped`]).
+        round: u64,
+        /// Unfinished jobs visible to the policy this round.
+        active_jobs: u64,
+    },
+    /// A launch or preemption took effect.
+    DecisionApplied {
+        /// Simulation time, s.
+        at: f64,
+        /// Job id.
+        job: u64,
+        /// Launch or preempt.
+        kind: DecisionKind,
+        /// GPUs granted (launch) or released (preempt).
+        gpus: u32,
+        /// Execution-plan label granted (launch) or vacated (preempt).
+        plan: String,
+        /// Measured throughput in samples/s (0 for preemptions).
+        throughput: f64,
+    },
+    /// A running job moved to a new allocation and/or execution plan.
+    Reconfigured {
+        /// Simulation time, s.
+        at: f64,
+        /// Job id.
+        job: u64,
+        /// GPUs granted after the change.
+        gpus: u32,
+        /// New execution-plan label.
+        plan: String,
+        /// Checkpoint-resume delay charged, s.
+        delay: f64,
+    },
+    /// An assignment could not take effect (overcommit or testbed OOM).
+    LaunchFailed {
+        /// Simulation time, s.
+        at: f64,
+        /// Job id.
+        job: u64,
+        /// Why the launch failed.
+        reason: String,
+    },
+    /// A job completed; carries the full per-job accounting record.
+    JobFinished {
+        /// Completion time, s.
+        at: f64,
+        /// Job id.
+        job: u64,
+        /// Owning tenant name (empty for the default tenant).
+        tenant: String,
+        /// Scheduling class label (`guaranteed` / `best-effort`).
+        class: String,
+        /// Model type name.
+        model: String,
+        /// Submission time, s.
+        submit_time: f64,
+        /// First launch time, s (absent if the job never ran).
+        first_start: Option<f64>,
+        /// Checkpoint-resume cycles after the first launch.
+        reconfig_count: u32,
+        /// Seconds spent in checkpoint-resume windows.
+        reconfig_time: f64,
+        /// GPU-seconds lost to checkpoint-resume windows.
+        reconfig_gpu_seconds: f64,
+        /// GPU-seconds consumed while holding resources.
+        gpu_seconds: f64,
+        /// Seconds spent holding resources.
+        runtime: f64,
+        /// Mini-batches completed.
+        target_batches: u64,
+        /// Throughput of the user-requested configuration, samples/s.
+        baseline_throughput: Option<f64>,
+        /// Average achieved throughput, samples/s.
+        avg_throughput: f64,
+    },
+    /// A scheduling round fired with no unfinished jobs to consider.
+    TickSkipped {
+        /// Simulation time, s.
+        at: f64,
+        /// 1-based round number (shared with [`SimEvent::RoundStarted`]).
+        round: u64,
+    },
+}
+
+impl SimEvent {
+    /// The simulation time the event occurred at, seconds.
+    pub fn at(&self) -> f64 {
+        match self {
+            SimEvent::JobSubmitted { at, .. }
+            | SimEvent::RoundStarted { at, .. }
+            | SimEvent::DecisionApplied { at, .. }
+            | SimEvent::Reconfigured { at, .. }
+            | SimEvent::LaunchFailed { at, .. }
+            | SimEvent::JobFinished { at, .. }
+            | SimEvent::TickSkipped { at, .. } => *at,
+        }
+    }
+
+    /// Stable wire label of the event's variant (the JSONL `type` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimEvent::JobSubmitted { .. } => "job_submitted",
+            SimEvent::RoundStarted { .. } => "round_started",
+            SimEvent::DecisionApplied { .. } => "decision_applied",
+            SimEvent::Reconfigured { .. } => "reconfigured",
+            SimEvent::LaunchFailed { .. } => "launch_failed",
+            SimEvent::JobFinished { .. } => "job_finished",
+            SimEvent::TickSkipped { .. } => "tick_skipped",
+        }
+    }
+
+    /// Serializes the event as one flat JSON object (no trailing newline).
+    ///
+    /// Floats use Rust's shortest round-trip formatting, so parsing the
+    /// line back with [`SimEvent::from_jsonl`] reproduces the value
+    /// bit-exactly.
+    pub fn to_jsonl(&self) -> String {
+        let mut w = JsonWriter::new(self.kind());
+        match self {
+            SimEvent::JobSubmitted {
+                at,
+                job,
+                tenant,
+                class,
+                model,
+                gpus,
+                cpus,
+                mem_gb,
+                plan,
+            } => {
+                w.num("at", *at);
+                w.uint("job", *job);
+                w.str("tenant", tenant);
+                w.str("class", class);
+                w.str("model", model);
+                w.uint("gpus", u64::from(*gpus));
+                w.uint("cpus", u64::from(*cpus));
+                w.num("mem_gb", *mem_gb);
+                w.str("plan", plan);
+            }
+            SimEvent::RoundStarted {
+                at,
+                round,
+                active_jobs,
+            } => {
+                w.num("at", *at);
+                w.uint("round", *round);
+                w.uint("active_jobs", *active_jobs);
+            }
+            SimEvent::DecisionApplied {
+                at,
+                job,
+                kind,
+                gpus,
+                plan,
+                throughput,
+            } => {
+                w.num("at", *at);
+                w.uint("job", *job);
+                w.str("kind", kind.label());
+                w.uint("gpus", u64::from(*gpus));
+                w.str("plan", plan);
+                w.num("throughput", *throughput);
+            }
+            SimEvent::Reconfigured {
+                at,
+                job,
+                gpus,
+                plan,
+                delay,
+            } => {
+                w.num("at", *at);
+                w.uint("job", *job);
+                w.uint("gpus", u64::from(*gpus));
+                w.str("plan", plan);
+                w.num("delay", *delay);
+            }
+            SimEvent::LaunchFailed { at, job, reason } => {
+                w.num("at", *at);
+                w.uint("job", *job);
+                w.str("reason", reason);
+            }
+            SimEvent::JobFinished {
+                at,
+                job,
+                tenant,
+                class,
+                model,
+                submit_time,
+                first_start,
+                reconfig_count,
+                reconfig_time,
+                reconfig_gpu_seconds,
+                gpu_seconds,
+                runtime,
+                target_batches,
+                baseline_throughput,
+                avg_throughput,
+            } => {
+                w.num("at", *at);
+                w.uint("job", *job);
+                w.str("tenant", tenant);
+                w.str("class", class);
+                w.str("model", model);
+                w.num("submit_time", *submit_time);
+                w.opt_num("first_start", *first_start);
+                w.uint("reconfig_count", u64::from(*reconfig_count));
+                w.num("reconfig_time", *reconfig_time);
+                w.num("reconfig_gpu_seconds", *reconfig_gpu_seconds);
+                w.num("gpu_seconds", *gpu_seconds);
+                w.num("runtime", *runtime);
+                w.uint("target_batches", *target_batches);
+                w.opt_num("baseline_throughput", *baseline_throughput);
+                w.num("avg_throughput", *avg_throughput);
+            }
+            SimEvent::TickSkipped { at, round } => {
+                w.num("at", *at);
+                w.uint("round", *round);
+            }
+        }
+        w.finish()
+    }
+
+    /// Parses one JSONL line produced by [`SimEvent::to_jsonl`].
+    pub fn from_jsonl(line: &str) -> Result<SimEvent, EventParseError> {
+        let f = Fields::parse(line)?;
+        let ev = match f.str("type")? {
+            "job_submitted" => SimEvent::JobSubmitted {
+                at: f.num("at")?,
+                job: f.uint("job")?,
+                tenant: f.str("tenant")?.to_string(),
+                class: f.str("class")?.to_string(),
+                model: f.str("model")?.to_string(),
+                gpus: f.uint32("gpus")?,
+                cpus: f.uint32("cpus")?,
+                mem_gb: f.num("mem_gb")?,
+                plan: f.str("plan")?.to_string(),
+            },
+            "round_started" => SimEvent::RoundStarted {
+                at: f.num("at")?,
+                round: f.uint("round")?,
+                active_jobs: f.uint("active_jobs")?,
+            },
+            "decision_applied" => SimEvent::DecisionApplied {
+                at: f.num("at")?,
+                job: f.uint("job")?,
+                kind: match f.str("kind")? {
+                    "launch" => DecisionKind::Launch,
+                    "preempt" => DecisionKind::Preempt,
+                    other => {
+                        return Err(EventParseError::new(format!(
+                            "unknown decision kind {other:?}"
+                        )))
+                    }
+                },
+                gpus: f.uint32("gpus")?,
+                plan: f.str("plan")?.to_string(),
+                throughput: f.num("throughput")?,
+            },
+            "reconfigured" => SimEvent::Reconfigured {
+                at: f.num("at")?,
+                job: f.uint("job")?,
+                gpus: f.uint32("gpus")?,
+                plan: f.str("plan")?.to_string(),
+                delay: f.num("delay")?,
+            },
+            "launch_failed" => SimEvent::LaunchFailed {
+                at: f.num("at")?,
+                job: f.uint("job")?,
+                reason: f.str("reason")?.to_string(),
+            },
+            "job_finished" => SimEvent::JobFinished {
+                at: f.num("at")?,
+                job: f.uint("job")?,
+                tenant: f.str("tenant")?.to_string(),
+                class: f.str("class")?.to_string(),
+                model: f.str("model")?.to_string(),
+                submit_time: f.num("submit_time")?,
+                first_start: f.opt_num("first_start")?,
+                reconfig_count: f.uint32("reconfig_count")?,
+                reconfig_time: f.num("reconfig_time")?,
+                reconfig_gpu_seconds: f.num("reconfig_gpu_seconds")?,
+                gpu_seconds: f.num("gpu_seconds")?,
+                runtime: f.num("runtime")?,
+                target_batches: f.uint("target_batches")?,
+                baseline_throughput: f.opt_num("baseline_throughput")?,
+                avg_throughput: f.num("avg_throughput")?,
+            },
+            "tick_skipped" => SimEvent::TickSkipped {
+                at: f.num("at")?,
+                round: f.uint("round")?,
+            },
+            other => {
+                return Err(EventParseError::new(format!(
+                    "unknown event type {other:?}"
+                )))
+            }
+        };
+        Ok(ev)
+    }
+}
+
+/// Error produced when a JSONL line cannot be parsed back into a
+/// [`SimEvent`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventParseError {
+    message: String,
+}
+
+impl EventParseError {
+    fn new(message: impl Into<String>) -> Self {
+        EventParseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for EventParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid event line: {}", self.message)
+    }
+}
+
+impl std::error::Error for EventParseError {}
+
+// ---------------------------------------------------------------------------
+// JSON encoding / decoding (flat objects only; no external dependency).
+// ---------------------------------------------------------------------------
+
+struct JsonWriter {
+    out: String,
+}
+
+impl JsonWriter {
+    fn new(ty: &str) -> Self {
+        let mut w = JsonWriter {
+            out: String::with_capacity(128),
+        };
+        w.out.push('{');
+        w.key("type");
+        push_json_str(&mut w.out, ty);
+        w
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.out.ends_with('{') {
+            self.out.push(',');
+        }
+        push_json_str(&mut self.out, k);
+        self.out.push(':');
+    }
+
+    fn str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        push_json_str(&mut self.out, v);
+    }
+
+    fn num(&mut self, k: &str, v: f64) {
+        self.key(k);
+        push_json_f64(&mut self.out, v);
+    }
+
+    fn opt_num(&mut self, k: &str, v: Option<f64>) {
+        self.key(k);
+        match v {
+            Some(v) => push_json_f64(&mut self.out, v),
+            None => self.out.push_str("null"),
+        }
+    }
+
+    fn uint(&mut self, k: &str, v: u64) {
+        self.key(k);
+        use fmt::Write as _;
+        let _ = write!(self.out, "{v}");
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `{}` on `f64` is Rust's shortest string that round-trips to the same
+/// bits, which keeps the log both compact and lossless. Non-finite values
+/// never occur in simulation output (times and throughputs are finite), but
+/// encode them as `null` rather than emitting invalid JSON.
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        use fmt::Write as _;
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// A parsed scalar: the raw number token is kept as text so integers larger
+/// than 2^53 survive the trip untruncated.
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Null,
+    Num(String),
+    Str(String),
+}
+
+struct Fields {
+    map: BTreeMap<String, JsonValue>,
+}
+
+impl Fields {
+    fn parse(line: &str) -> Result<Fields, EventParseError> {
+        let mut p = Parser { rest: line.trim() };
+        let map = p.object()?;
+        if !p.rest.trim().is_empty() {
+            return Err(EventParseError::new("trailing data after object"));
+        }
+        Ok(Fields { map })
+    }
+
+    fn get(&self, key: &str) -> Result<&JsonValue, EventParseError> {
+        self.map
+            .get(key)
+            .ok_or_else(|| EventParseError::new(format!("missing field {key:?}")))
+    }
+
+    fn str(&self, key: &str) -> Result<&str, EventParseError> {
+        match self.get(key)? {
+            JsonValue::Str(s) => Ok(s),
+            _ => Err(EventParseError::new(format!(
+                "field {key:?} is not a string"
+            ))),
+        }
+    }
+
+    fn num(&self, key: &str) -> Result<f64, EventParseError> {
+        match self.get(key)? {
+            JsonValue::Num(raw) => raw
+                .parse::<f64>()
+                .map_err(|_| EventParseError::new(format!("field {key:?}: bad number {raw:?}"))),
+            _ => Err(EventParseError::new(format!(
+                "field {key:?} is not a number"
+            ))),
+        }
+    }
+
+    fn opt_num(&self, key: &str) -> Result<Option<f64>, EventParseError> {
+        match self.get(key)? {
+            JsonValue::Null => Ok(None),
+            JsonValue::Num(_) => Ok(Some(self.num(key)?)),
+            _ => Err(EventParseError::new(format!(
+                "field {key:?} is not a number or null"
+            ))),
+        }
+    }
+
+    fn uint(&self, key: &str) -> Result<u64, EventParseError> {
+        match self.get(key)? {
+            JsonValue::Num(raw) => raw
+                .parse::<u64>()
+                .map_err(|_| EventParseError::new(format!("field {key:?}: bad integer {raw:?}"))),
+            _ => Err(EventParseError::new(format!(
+                "field {key:?} is not a number"
+            ))),
+        }
+    }
+
+    fn uint32(&self, key: &str) -> Result<u32, EventParseError> {
+        u32::try_from(self.uint(key)?)
+            .map_err(|_| EventParseError::new(format!("field {key:?} overflows u32")))
+    }
+}
+
+/// A minimal parser for the flat JSON objects this crate emits: one object
+/// per line, scalar values only (string, number, null).
+struct Parser<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start();
+    }
+
+    fn eat(&mut self, c: char) -> Result<(), EventParseError> {
+        self.skip_ws();
+        if let Some(r) = self.rest.strip_prefix(c) {
+            self.rest = r;
+            Ok(())
+        } else {
+            Err(EventParseError::new(format!(
+                "expected {c:?} at {:?}",
+                truncate(self.rest)
+            )))
+        }
+    }
+
+    fn object(&mut self) -> Result<BTreeMap<String, JsonValue>, EventParseError> {
+        self.eat('{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.rest.starts_with('}') {
+            self.rest = &self.rest[1..];
+            return Ok(map);
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            if let Some(r) = self.rest.strip_prefix(',') {
+                self.rest = r;
+            } else {
+                self.eat('}')?;
+                return Ok(map);
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, EventParseError> {
+        self.skip_ws();
+        if self.rest.starts_with('"') {
+            return Ok(JsonValue::Str(self.string()?));
+        }
+        if let Some(r) = self.rest.strip_prefix("null") {
+            self.rest = r;
+            return Ok(JsonValue::Null);
+        }
+        let end = self
+            .rest
+            .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+            .unwrap_or(self.rest.len());
+        if end == 0 {
+            return Err(EventParseError::new(format!(
+                "expected scalar at {:?}",
+                truncate(self.rest)
+            )));
+        }
+        let (tok, rest) = self.rest.split_at(end);
+        self.rest = rest;
+        Ok(JsonValue::Num(tok.to_string()))
+    }
+
+    fn string(&mut self) -> Result<String, EventParseError> {
+        self.eat('"')?;
+        let mut out = String::new();
+        let mut chars = self.rest.char_indices();
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    self.rest = &self.rest[i + 1..];
+                    return Ok(out);
+                }
+                '\\' => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((j, 'u')) => {
+                        let hex = self
+                            .rest
+                            .get(j + 1..j + 5)
+                            .ok_or_else(|| EventParseError::new("truncated \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| EventParseError::new("bad \\u escape"))?;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| EventParseError::new("bad \\u code point"))?,
+                        );
+                        // Skip the four hex digits just consumed.
+                        for _ in 0..4 {
+                            chars.next();
+                        }
+                    }
+                    _ => return Err(EventParseError::new("bad escape sequence")),
+                },
+                c => out.push(c),
+            }
+        }
+        Err(EventParseError::new("unterminated string"))
+    }
+}
+
+fn truncate(s: &str) -> &str {
+    let end = s.char_indices().nth(24).map(|(i, _)| i).unwrap_or(s.len());
+    &s[..end]
+}
+
+// ---------------------------------------------------------------------------
+// Sinks.
+// ---------------------------------------------------------------------------
+
+/// A consumer of the simulation event stream.
+///
+/// The engine calls [`EventSink::on_event`] once per state transition, in
+/// deterministic order; implementations must not reorder or drop events if
+/// they intend to reconstruct engine state. Host-side wall-clock
+/// measurements arrive through [`EventSink::on_round_latency`] and are
+/// deliberately kept out of the event stream so event logs stay
+/// deterministic.
+pub trait EventSink {
+    /// Observes one event. Called synchronously from the engine loop.
+    fn on_event(&mut self, event: &SimEvent);
+
+    /// Observes the wall-clock latency of one scheduling round, in
+    /// nanoseconds. Non-deterministic by nature; default is to ignore it.
+    fn on_round_latency(&mut self, nanos: u64) {
+        let _ = nanos;
+    }
+
+    /// Flushes any buffered output. The engine never calls this; owners of
+    /// I/O-backed sinks should call it once the run completes.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A sink that discards everything: the default for `Engine::run`, and the
+/// baseline the event-overhead bench compares against.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn on_event(&mut self, _event: &SimEvent) {}
+}
+
+/// A sink that buffers every event in memory, mainly for tests and
+/// replay-style analysis.
+#[derive(Debug, Default, Clone)]
+pub struct VecSink {
+    /// The observed events, in emission order.
+    pub events: Vec<SimEvent>,
+}
+
+impl EventSink for VecSink {
+    fn on_event(&mut self, event: &SimEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// A sink that streams events as JSON Lines to any writer.
+///
+/// I/O errors are sticky: the first error is remembered and reported by
+/// [`EventSink::flush`] (writes after an error become no-ops), so a broken
+/// pipe halfway through a run cannot pass silently.
+pub struct JsonlSink<W: Write> {
+    writer: BufWriter<W>,
+    written: u64,
+    error: Option<io::Error>,
+}
+
+impl JsonlSink<File> {
+    /// Creates (truncating) the file at `path` and streams events into it.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<JsonlSink<File>> {
+        Ok(JsonlSink::new(File::create(path)?))
+    }
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps an arbitrary writer (buffered internally).
+    pub fn new(writer: W) -> JsonlSink<W> {
+        JsonlSink {
+            writer: BufWriter::new(writer),
+            written: 0,
+            error: None,
+        }
+    }
+
+    /// Number of event lines successfully handed to the writer.
+    pub fn events_written(&self) -> u64 {
+        self.written
+    }
+}
+
+impl<W: Write> EventSink for JsonlSink<W> {
+    fn on_event(&mut self, event: &SimEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = event.to_jsonl();
+        line.push('\n');
+        match self.writer.write_all(line.as_bytes()) {
+            Ok(()) => self.written += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.flush()
+    }
+}
+
+/// Number of buckets in [`LatencyHistogram`]: powers of ten from 1 ns up.
+pub const LATENCY_BUCKETS: usize = 10;
+
+/// A decimal-log histogram of scheduling-round wall-clock latencies.
+///
+/// Bucket `i` counts rounds whose latency was in `[10^i, 10^(i+1))`
+/// nanoseconds; the last bucket absorbs everything ≥ 1 s.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; LATENCY_BUCKETS],
+    count: u64,
+    sum_ns: u128,
+    max_ns: u64,
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample, nanoseconds.
+    pub fn record(&mut self, nanos: u64) {
+        let idx = (nanos.max(1).ilog10() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum_ns += u128::from(nanos);
+        self.max_ns = self.max_ns.max(nanos);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample seen, nanoseconds.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// The raw bucket counts; bucket `i` covers `[10^i, 10^(i+1))` ns.
+    pub fn buckets(&self) -> &[u64; LATENCY_BUCKETS] {
+        &self.buckets
+    }
+}
+
+/// A sink that folds the stream into per-event-type counters plus a
+/// round-latency histogram — cheap enough to leave on in every run, rich
+/// enough to compare policies ("how often does Sia preempt vs Rubick?").
+#[derive(Debug, Default, Clone)]
+pub struct CountersSink {
+    /// Jobs submitted.
+    pub submitted: u64,
+    /// Scheduling rounds that saw a non-empty snapshot.
+    pub rounds: u64,
+    /// Rounds skipped because no job was active.
+    pub ticks_skipped: u64,
+    /// First launches applied.
+    pub launches: u64,
+    /// Preemptions applied.
+    pub preempts: u64,
+    /// Reconfigurations applied.
+    pub reconfigs: u64,
+    /// Failed launches (overcommit / testbed OOM).
+    pub launch_failures: u64,
+    /// Jobs completed.
+    pub finished: u64,
+    /// Wall-clock latency distribution of scheduling rounds.
+    pub round_latency: LatencyHistogram,
+}
+
+impl CountersSink {
+    /// Total events observed.
+    pub fn total_events(&self) -> u64 {
+        self.submitted
+            + self.rounds
+            + self.ticks_skipped
+            + self.launches
+            + self.preempts
+            + self.reconfigs
+            + self.launch_failures
+            + self.finished
+    }
+
+    /// Renders the counters as stable `key=value` lines (used by the CLI's
+    /// debug output).
+    pub fn summary(&self) -> String {
+        format!(
+            "submitted={} rounds={} ticks_skipped={} launches={} preempts={} \
+             reconfigs={} launch_failures={} finished={} round_latency_mean_us={:.1}",
+            self.submitted,
+            self.rounds,
+            self.ticks_skipped,
+            self.launches,
+            self.preempts,
+            self.reconfigs,
+            self.launch_failures,
+            self.finished,
+            self.round_latency.mean_ns() / 1e3,
+        )
+    }
+}
+
+impl EventSink for CountersSink {
+    fn on_event(&mut self, event: &SimEvent) {
+        match event {
+            SimEvent::JobSubmitted { .. } => self.submitted += 1,
+            SimEvent::RoundStarted { .. } => self.rounds += 1,
+            SimEvent::TickSkipped { .. } => self.ticks_skipped += 1,
+            SimEvent::DecisionApplied { kind, .. } => match kind {
+                DecisionKind::Launch => self.launches += 1,
+                DecisionKind::Preempt => self.preempts += 1,
+            },
+            SimEvent::Reconfigured { .. } => self.reconfigs += 1,
+            SimEvent::LaunchFailed { .. } => self.launch_failures += 1,
+            SimEvent::JobFinished { .. } => self.finished += 1,
+        }
+    }
+
+    fn on_round_latency(&mut self, nanos: u64) {
+        self.round_latency.record(nanos);
+    }
+}
+
+/// Fans one event stream out to two sinks (e.g. counters + JSONL file).
+pub struct TeeSink<'a> {
+    first: &'a mut dyn EventSink,
+    second: &'a mut dyn EventSink,
+}
+
+impl<'a> TeeSink<'a> {
+    /// Wraps two sinks; both observe every event in order.
+    pub fn new(first: &'a mut dyn EventSink, second: &'a mut dyn EventSink) -> TeeSink<'a> {
+        TeeSink { first, second }
+    }
+}
+
+impl EventSink for TeeSink<'_> {
+    fn on_event(&mut self, event: &SimEvent) {
+        self.first.on_event(event);
+        self.second.on_event(event);
+    }
+
+    fn on_round_latency(&mut self, nanos: u64) {
+        self.first.on_round_latency(nanos);
+        self.second.on_round_latency(nanos);
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.first.flush()?;
+        self.second.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<SimEvent> {
+        vec![
+            SimEvent::JobSubmitted {
+                at: 0.0,
+                job: 1,
+                tenant: "team-\"a\"".into(),
+                class: "guaranteed".into(),
+                model: "gpt2".into(),
+                gpus: 8,
+                cpus: 32,
+                mem_gb: 200.5,
+                plan: "DP(8)".into(),
+            },
+            SimEvent::RoundStarted {
+                at: 0.0,
+                round: 1,
+                active_jobs: 1,
+            },
+            SimEvent::DecisionApplied {
+                at: 0.0,
+                job: 1,
+                kind: DecisionKind::Launch,
+                gpus: 8,
+                plan: "DP(8)".into(),
+                throughput: 123.456789012345,
+            },
+            SimEvent::Reconfigured {
+                at: 600.0,
+                job: 1,
+                gpus: 4,
+                plan: "TP(4)\nnext".into(),
+                delay: 31.4159,
+            },
+            SimEvent::LaunchFailed {
+                at: 600.0,
+                job: 2,
+                reason: "node 0 overcommitted: \\ backslash".into(),
+            },
+            SimEvent::DecisionApplied {
+                at: 900.0,
+                job: 1,
+                kind: DecisionKind::Preempt,
+                gpus: 4,
+                plan: "TP(4)".into(),
+                throughput: 0.0,
+            },
+            SimEvent::JobFinished {
+                at: 1234.5678901234567,
+                job: 1,
+                tenant: String::new(),
+                class: "best-effort".into(),
+                model: "resnet50".into(),
+                submit_time: 0.1,
+                first_start: Some(2.5),
+                reconfig_count: 3,
+                reconfig_time: 93.0,
+                reconfig_gpu_seconds: 372.0,
+                gpu_seconds: 1e6,
+                runtime: 0.3333333333333333,
+                target_batches: 10_000,
+                baseline_throughput: None,
+                avg_throughput: 7.25,
+            },
+            SimEvent::TickSkipped {
+                at: 3600.0,
+                round: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_round_trip_is_exact() {
+        for ev in sample_events() {
+            let line = ev.to_jsonl();
+            let back = SimEvent::from_jsonl(&line).unwrap();
+            assert_eq!(ev, back, "line: {line}");
+            // Serialization is a fixed point: re-encoding the parsed event
+            // yields the same bytes.
+            assert_eq!(back.to_jsonl(), line);
+        }
+    }
+
+    #[test]
+    fn floats_survive_shortest_round_trip() {
+        let ev = SimEvent::TickSkipped {
+            at: f64::from_bits(0x3FD5_5555_5555_5555), // 1/3
+            round: u64::MAX,
+        };
+        let back = SimEvent::from_jsonl(&ev.to_jsonl()).unwrap();
+        assert_eq!(ev, back);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(SimEvent::from_jsonl("").is_err());
+        assert!(SimEvent::from_jsonl("{}").is_err());
+        assert!(SimEvent::from_jsonl("{\"type\":\"nope\"}").is_err());
+        assert!(SimEvent::from_jsonl("{\"type\":\"tick_skipped\"}").is_err());
+        assert!(
+            SimEvent::from_jsonl("{\"type\":\"tick_skipped\",\"at\":1,\"round\":2} x").is_err()
+        );
+        assert!(
+            SimEvent::from_jsonl("{\"type\":\"tick_skipped\",\"at\":\"x\",\"round\":2}").is_err()
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let mut sink = JsonlSink::new(Vec::new());
+        for ev in sample_events() {
+            sink.on_event(&ev);
+        }
+        sink.flush().unwrap();
+        assert_eq!(sink.events_written(), sample_events().len() as u64);
+        let bytes = sink.writer.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let parsed: Vec<SimEvent> = text
+            .lines()
+            .map(|l| SimEvent::from_jsonl(l).unwrap())
+            .collect();
+        assert_eq!(parsed, sample_events());
+    }
+
+    #[test]
+    fn counters_sink_counts_by_variant() {
+        let mut sink = CountersSink::default();
+        for ev in sample_events() {
+            sink.on_event(&ev);
+        }
+        sink.on_round_latency(1_500);
+        sink.on_round_latency(2_000_000);
+        assert_eq!(sink.submitted, 1);
+        assert_eq!(sink.rounds, 1);
+        assert_eq!(sink.ticks_skipped, 1);
+        assert_eq!(sink.launches, 1);
+        assert_eq!(sink.preempts, 1);
+        assert_eq!(sink.reconfigs, 1);
+        assert_eq!(sink.launch_failures, 1);
+        assert_eq!(sink.finished, 1);
+        assert_eq!(sink.total_events(), sample_events().len() as u64);
+        assert_eq!(sink.round_latency.count(), 2);
+        assert_eq!(sink.round_latency.max_ns(), 2_000_000);
+        // 1.5 µs lands in the [10^3, 10^4) bucket, 2 ms in [10^6, 10^7).
+        assert_eq!(sink.round_latency.buckets()[3], 1);
+        assert_eq!(sink.round_latency.buckets()[6], 1);
+        assert!(sink.summary().contains("launches=1"));
+    }
+
+    #[test]
+    fn tee_sink_feeds_both() {
+        let mut a = CountersSink::default();
+        let mut b = VecSink::default();
+        {
+            let mut tee = TeeSink::new(&mut a, &mut b);
+            for ev in sample_events() {
+                tee.on_event(&ev);
+            }
+            tee.on_round_latency(10);
+            tee.flush().unwrap();
+        }
+        assert_eq!(a.total_events(), sample_events().len() as u64);
+        assert_eq!(a.round_latency.count(), 1);
+        assert_eq!(b.events, sample_events());
+    }
+}

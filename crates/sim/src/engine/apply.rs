@@ -1,0 +1,167 @@
+//! Applying a policy's target assignments to the cluster.
+//!
+//! Two phases: first release every running job whose assignment changed or
+//! disappeared (preemption), then apply new configurations in the
+//! scheduler's preference order. Each applied transition emits exactly one
+//! event — preemptions and first launches as
+//! [`SimEvent::DecisionApplied`], plan/allocation changes as
+//! [`SimEvent::Reconfigured`], and overcommitted or OOM-doomed assignments
+//! as [`SimEvent::LaunchFailed`].
+
+use super::*;
+use rubick_obs::DecisionKind;
+
+impl<'a> Engine<'a> {
+    pub(super) fn apply(&mut self, targets: Vec<Assignment>, sink: &mut dyn EventSink) {
+        let mut target_map: BTreeMap<JobId, Assignment> = BTreeMap::new();
+        let mut order: Vec<JobId> = Vec::new();
+        for a in targets {
+            if let Some(rt) = self.jobs.get(&a.job) {
+                if !rt.status.is_finished() && !order.contains(&a.job) {
+                    order.push(a.job);
+                    target_map.insert(a.job, a);
+                }
+            }
+        }
+
+        // Phase 1: release running jobs that are changed or preempted.
+        let ids: Vec<JobId> = self.jobs.keys().copied().collect();
+        let mut to_configure: Vec<JobId> = Vec::new();
+        for id in ids {
+            let rt = self.jobs.get_mut(&id).expect("job exists");
+            match (&rt.status, target_map.get(&id)) {
+                (
+                    JobStatus::Running {
+                        allocation, plan, ..
+                    },
+                    Some(a),
+                ) if a.allocation == *allocation && a.plan == *plan => {
+                    // Unchanged: keep running, keep the pending finish event.
+                }
+                (JobStatus::Running { allocation, .. }, Some(_)) => {
+                    let alloc = allocation.clone();
+                    self.cluster.release(&alloc);
+                    to_configure.push(id);
+                }
+                (
+                    JobStatus::Running {
+                        allocation, plan, ..
+                    },
+                    None,
+                ) => {
+                    // Preemption: back to the queue (progress is kept via
+                    // the checkpoint; the restore cost is charged at the
+                    // next launch).
+                    let alloc = allocation.clone();
+                    let plan = plan.label();
+                    self.cluster.release(&alloc);
+                    rt.status = JobStatus::Queued;
+                    rt.queued_since = self.now;
+                    rt.epoch += 1;
+                    self.emit(
+                        sink,
+                        SimEvent::DecisionApplied {
+                            at: self.now,
+                            job: id,
+                            kind: DecisionKind::Preempt,
+                            gpus: alloc.gpus(),
+                            plan,
+                            throughput: 0.0,
+                        },
+                    );
+                }
+                (JobStatus::Queued, Some(_)) => to_configure.push(id),
+                _ => {}
+            }
+        }
+
+        // Phase 2: apply new configurations in the scheduler's order.
+        to_configure.sort_by_key(|id| order.iter().position(|o| o == id));
+        for id in to_configure {
+            let assignment = target_map.get(&id).expect("targeted job").clone();
+            if assignment.allocation.is_empty() {
+                self.queue_job(id);
+                continue;
+            }
+            if let Err(e) = self.cluster.allocate(&assignment.allocation) {
+                self.emit(
+                    sink,
+                    SimEvent::LaunchFailed {
+                        at: self.now,
+                        job: id,
+                        reason: e.to_string(),
+                    },
+                );
+                self.queue_job(id);
+                continue;
+            }
+            let (spec, remaining, restarted) = {
+                let rt = self.jobs.get(&id).expect("job exists");
+                (Arc::clone(&rt.spec), rt.remaining, rt.first_start.is_some())
+            };
+            let placement = assignment.allocation.to_placement();
+            match self
+                .oracle
+                .measure(&spec.model, &assignment.plan, spec.global_batch, &placement)
+            {
+                Ok(m) => {
+                    let delay = if restarted {
+                        spec.checkpoint_resume_secs()
+                    } else {
+                        spec.cold_start_secs()
+                    };
+                    let gpus = assignment.allocation.gpus();
+                    let plan = assignment.plan.label();
+                    let rt = self.jobs.get_mut(&id).expect("job exists");
+                    let event = if restarted {
+                        rt.reconfig_count += 1;
+                        rt.reconfig_time += delay;
+                        rt.reconfig_gpu_seconds += delay * gpus as f64;
+                        SimEvent::Reconfigured {
+                            at: self.now,
+                            job: id,
+                            gpus,
+                            plan,
+                            delay,
+                        }
+                    } else {
+                        rt.first_start = Some(self.now);
+                        SimEvent::DecisionApplied {
+                            at: self.now,
+                            job: id,
+                            kind: DecisionKind::Launch,
+                            gpus,
+                            plan,
+                            throughput: m.throughput,
+                        }
+                    };
+                    rt.epoch += 1;
+                    let epoch = rt.epoch;
+                    rt.status = JobStatus::Running {
+                        allocation: assignment.allocation.clone(),
+                        plan: assignment.plan,
+                        throughput: m.throughput,
+                        resume_at: self.now + delay,
+                    };
+                    self.emit(sink, event);
+                    let finish =
+                        self.now + delay + remaining * spec.global_batch as f64 / m.throughput;
+                    self.queue.push(finish, EventKind::Finish(id, epoch));
+                }
+                Err(e) => {
+                    // The launch would OOM on the real cluster.
+                    self.cluster.release(&assignment.allocation);
+                    self.emit(
+                        sink,
+                        SimEvent::LaunchFailed {
+                            at: self.now,
+                            job: id,
+                            reason: e.to_string(),
+                        },
+                    );
+                    self.queue_job(id);
+                }
+            }
+        }
+    }
+}

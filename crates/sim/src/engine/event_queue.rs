@@ -1,0 +1,89 @@
+//! The simulation event queue: a time-ordered min-heap with a submission
+//! sequence number as the deterministic tie-breaker.
+
+use crate::job::JobId;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// What a queued simulation event does when popped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum EventKind {
+    /// A job arrives.
+    Submit(JobId),
+    /// A job's current configuration finishes its remaining batches. The
+    /// `u64` is the job's configuration epoch at arming time; stale finish
+    /// events (the job was reconfigured since) are ignored.
+    Finish(JobId, u64),
+    /// Periodic scheduling-round heartbeat.
+    Tick,
+}
+
+/// One queued simulation event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Event {
+    pub(crate) time: f64,
+    pub(crate) seq: u64,
+    pub(crate) kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A min-heap of future events, ordered by `(time, insertion seq)` so
+/// same-time events pop in the order they were scheduled — the property the
+/// engine's determinism guarantee rests on.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+}
+
+impl EventQueue {
+    pub(crate) fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `kind` at absolute simulation time `time`.
+    pub(crate) fn push(&mut self, time: f64, kind: EventKind) {
+        self.seq += 1;
+        self.heap.push(Reverse(Event {
+            time,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    /// Pops the earliest event, if any.
+    pub(crate) fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|Reverse(ev)| ev)
+    }
+
+    /// Pops the earliest event only if it occurs at or before `time`
+    /// (within the engine's same-instant tolerance).
+    pub(crate) fn pop_at_or_before(&mut self, time: f64) -> Option<Event> {
+        let head = self.heap.peek().map(|r| r.0)?;
+        if head.time <= time + 1e-9 {
+            self.heap.pop();
+            Some(head)
+        } else {
+            None
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}

@@ -8,17 +8,41 @@
 //! that mispredicts (e.g. assigns an OOM plan) is penalized exactly like it
 //! would be on the real cluster: the launch fails and the job returns to
 //! the queue.
+//!
+//! Every state transition emits exactly one [`SimEvent`] on the **event
+//! spine** (see `rubick-obs`): the engine folds its own stream into the
+//! [`SimReport`] via [`crate::report::ReportSink`], and
+//! [`Engine::run_with_sink`] forwards the identical stream to any external
+//! [`EventSink`] (JSONL logs, counters, test probes). Events carry only
+//! simulation time, never wall-clock, so the stream of a deterministic
+//! run is byte-identical at any thread count.
+//!
+//! Submodules:
+//!
+//! * [`event_queue`](self) — the time-ordered event heap with deterministic
+//!   same-time tie-breaking.
+//! * [`runtime`](self) — per-job progress and accounting between events.
+//! * [`apply`](self) — turning a policy's target assignments into cluster
+//!   state transitions (and their events).
+
+mod apply;
+mod event_queue;
+mod runtime;
 
 use crate::cluster::Cluster;
 use crate::job::{JobId, JobSpec, JobStatus};
-use crate::metrics::{Decision, JobRecord, SimReport};
+use crate::metrics::{JobRecord, SimReport};
+use crate::report::{self, ReportSink};
 use crate::scheduler::{Assignment, JobSnapshot, Scheduler};
 use crate::tenant::Tenant;
+use event_queue::{EventKind, EventQueue};
 use rubick_model::Placement;
+use rubick_obs::{EventSink, NullSink, SimEvent};
 use rubick_testbed::TestbedOracle;
-use std::cmp::{Ordering, Reverse};
-use std::collections::{BTreeMap, BinaryHeap};
+use runtime::JobRuntime;
+use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -47,59 +71,6 @@ impl Default for EngineConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum EventKind {
-    Submit(JobId),
-    Finish(JobId, u64),
-    Tick,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Event {
-    time: f64,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl Eq for Event {}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.time
-            .total_cmp(&other.time)
-            .then(self.seq.cmp(&other.seq))
-    }
-}
-
-#[derive(Debug)]
-struct JobRuntime {
-    spec: Arc<JobSpec>,
-    status: JobStatus,
-    /// Mini-batches left.
-    remaining: f64,
-    queued_since: f64,
-    /// Seconds spent holding resources.
-    runtime: f64,
-    /// Seconds of productive training (excludes restore windows).
-    work_seconds: f64,
-    gpu_seconds: f64,
-    reconfig_count: u32,
-    reconfig_time: f64,
-    /// GPU-seconds lost to checkpoint-resume windows (delay x held GPUs).
-    reconfig_gpu_seconds: f64,
-    first_start: Option<f64>,
-    baseline_tput: Option<f64>,
-    /// Bumped on every (re)configuration; stale finish events are ignored.
-    epoch: u64,
-    last_advance: f64,
-}
-
 /// The simulator: wires a policy, a cluster and the ground-truth oracle.
 ///
 /// ```no_run
@@ -125,13 +96,11 @@ pub struct Engine<'a> {
     tenants: Vec<Tenant>,
     config: EngineConfig,
     jobs: BTreeMap<JobId, JobRuntime>,
-    events: BinaryHeap<Reverse<Event>>,
+    queue: EventQueue,
     now: f64,
-    seq: u64,
     tick_pending: bool,
-    infeasible: u64,
     rounds: u64,
-    decisions: Vec<Decision>,
+    fold: ReportSink,
 }
 
 impl<'a> Engine<'a> {
@@ -153,47 +122,26 @@ impl<'a> Engine<'a> {
             tenants,
             config,
             jobs: BTreeMap::new(),
-            events: BinaryHeap::new(),
+            queue: EventQueue::new(),
             now: 0.0,
-            seq: 0,
             tick_pending: false,
-            infeasible: 0,
             rounds: 0,
-            decisions: Vec::new(),
+            fold: ReportSink::new(),
         }
     }
 
-    fn push_event(&mut self, time: f64, kind: EventKind) {
-        self.seq += 1;
-        self.events.push(Reverse(Event {
-            time,
-            seq: self.seq,
-            kind,
-        }));
+    /// Feeds one event to the engine's own report fold and the external
+    /// sink, in that order. This is the *only* way engine state transitions
+    /// become observable, so both consumers always see the same stream.
+    fn emit(&mut self, sink: &mut dyn EventSink, event: SimEvent) {
+        self.fold.on_event(&event);
+        sink.on_event(&event);
     }
 
     /// Advances all running jobs' progress to time `t`.
     fn advance(&mut self, t: f64) {
         for rt in self.jobs.values_mut() {
-            if let JobStatus::Running {
-                throughput,
-                resume_at,
-                allocation,
-                ..
-            } = &rt.status
-            {
-                let held = (t - rt.last_advance).max(0.0);
-                rt.runtime += held;
-                rt.gpu_seconds += held * allocation.gpus() as f64;
-                let work_start = rt.last_advance.max(*resume_at);
-                if t > work_start {
-                    let work = t - work_start;
-                    let batches_per_sec = throughput / rt.spec.global_batch as f64;
-                    rt.remaining = (rt.remaining - work * batches_per_sec).max(0.0);
-                    rt.work_seconds += work;
-                }
-            }
-            rt.last_advance = t;
+            rt.advance_to(t);
         }
     }
 
@@ -219,161 +167,41 @@ impl<'a> Engine<'a> {
         self.jobs
             .values()
             .filter(|rt| !rt.status.is_finished())
-            .map(|rt| JobSnapshot {
-                spec: Arc::clone(&rt.spec),
-                status: rt.status.clone(),
-                remaining_batches: rt.remaining,
-                queued_since: rt.queued_since,
-                runtime: rt.runtime,
-                reconfig_count: rt.reconfig_count,
-                baseline_throughput: rt.baseline_tput,
-            })
+            .map(|rt| rt.snapshot())
             .collect()
     }
 
     /// Runs one scheduling round and applies the target assignment.
-    fn round(&mut self) {
+    fn round(&mut self, sink: &mut dyn EventSink) {
         self.rounds += 1;
         let snaps = self.snapshots();
         if snaps.is_empty() {
+            let round = self.rounds;
+            self.emit(
+                sink,
+                SimEvent::TickSkipped {
+                    at: self.now,
+                    round,
+                },
+            );
             return;
         }
+        let round = self.rounds;
+        self.emit(
+            sink,
+            SimEvent::RoundStarted {
+                at: self.now,
+                round,
+                active_jobs: snaps.len() as u64,
+            },
+        );
+        let started = Instant::now();
         let targets = self
             .scheduler
             .schedule(self.now, &snaps, &self.cluster, &self.tenants);
-        self.apply(targets);
-    }
-
-    fn apply(&mut self, targets: Vec<Assignment>) {
-        let mut target_map: BTreeMap<JobId, Assignment> = BTreeMap::new();
-        let mut order: Vec<JobId> = Vec::new();
-        for a in targets {
-            if let Some(rt) = self.jobs.get(&a.job) {
-                if !rt.status.is_finished() && !order.contains(&a.job) {
-                    order.push(a.job);
-                    target_map.insert(a.job, a);
-                }
-            }
-        }
-
-        // Phase 1: release running jobs that are changed or preempted.
-        let ids: Vec<JobId> = self.jobs.keys().copied().collect();
-        let mut to_configure: Vec<JobId> = Vec::new();
-        for id in ids {
-            let rt = self.jobs.get_mut(&id).expect("job exists");
-            match (&rt.status, target_map.get(&id)) {
-                (
-                    JobStatus::Running {
-                        allocation, plan, ..
-                    },
-                    Some(a),
-                ) if a.allocation == *allocation && a.plan == *plan => {
-                    // Unchanged: keep running, keep the pending finish event.
-                }
-                (JobStatus::Running { allocation, .. }, Some(_)) => {
-                    let alloc = allocation.clone();
-                    self.cluster.release(&alloc);
-                    to_configure.push(id);
-                }
-                (JobStatus::Running { allocation, .. }, None) => {
-                    // Preemption: back to the queue (progress is kept via
-                    // the checkpoint; the restore cost is charged at the
-                    // next launch).
-                    let alloc = allocation.clone();
-                    self.cluster.release(&alloc);
-                    rt.status = JobStatus::Queued;
-                    rt.queued_since = self.now;
-                    rt.epoch += 1;
-                    self.decisions.push(Decision::Preempt {
-                        at: self.now,
-                        job: id,
-                    });
-                }
-                (JobStatus::Queued, Some(_)) => to_configure.push(id),
-                _ => {}
-            }
-        }
-
-        // Phase 2: apply new configurations in the scheduler's order.
-        to_configure.sort_by_key(|id| order.iter().position(|o| o == id));
-        for id in to_configure {
-            let assignment = target_map.get(&id).expect("targeted job").clone();
-            if assignment.allocation.is_empty() {
-                self.queue_job(id);
-                continue;
-            }
-            if let Err(e) = self.cluster.allocate(&assignment.allocation) {
-                self.infeasible += 1;
-                self.decisions.push(Decision::Reject {
-                    at: self.now,
-                    job: id,
-                    reason: e.to_string(),
-                });
-                self.queue_job(id);
-                continue;
-            }
-            let (spec, remaining, restarted) = {
-                let rt = self.jobs.get(&id).expect("job exists");
-                (Arc::clone(&rt.spec), rt.remaining, rt.first_start.is_some())
-            };
-            let placement = assignment.allocation.to_placement();
-            match self
-                .oracle
-                .measure(&spec.model, &assignment.plan, spec.global_batch, &placement)
-            {
-                Ok(m) => {
-                    let delay = if restarted {
-                        spec.checkpoint_resume_secs()
-                    } else {
-                        spec.cold_start_secs()
-                    };
-                    let rt = self.jobs.get_mut(&id).expect("job exists");
-                    if restarted {
-                        rt.reconfig_count += 1;
-                        rt.reconfig_time += delay;
-                        rt.reconfig_gpu_seconds += delay * assignment.allocation.gpus() as f64;
-                        self.decisions.push(Decision::Reconfigure {
-                            at: self.now,
-                            job: id,
-                            gpus: assignment.allocation.gpus(),
-                            plan: assignment.plan.label(),
-                            delay,
-                        });
-                    } else {
-                        rt.first_start = Some(self.now);
-                        self.decisions.push(Decision::Launch {
-                            at: self.now,
-                            job: id,
-                            gpus: assignment.allocation.gpus(),
-                            plan: assignment.plan.label(),
-                            throughput: m.throughput,
-                        });
-                    }
-                    rt.epoch += 1;
-                    let epoch = rt.epoch;
-                    rt.status = JobStatus::Running {
-                        allocation: assignment.allocation.clone(),
-                        plan: assignment.plan,
-                        throughput: m.throughput,
-                        resume_at: self.now + delay,
-                    };
-                    let finish =
-                        self.now + delay + remaining * spec.global_batch as f64 / m.throughput;
-                    self.push_event(finish, EventKind::Finish(id, epoch));
-                }
-                Err(e) => {
-                    // The launch would OOM on the real cluster.
-                    self.cluster.release(&assignment.allocation);
-                    self.infeasible += 1;
-                    self.decisions.push(Decision::Reject {
-                        at: self.now,
-                        job: id,
-                        reason: e.to_string(),
-                    });
-                    self.queue_job(id);
-                }
-            }
-        }
+        let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        sink.on_round_latency(nanos);
+        self.apply(targets, sink);
     }
 
     fn queue_job(&mut self, id: JobId) {
@@ -394,29 +222,7 @@ impl<'a> Engine<'a> {
         }
         let rt = self.jobs.get_mut(&id).expect("job exists");
         rt.status = JobStatus::Finished { at: self.now };
-        let spec = &rt.spec;
-        let samples = spec.target_batches as f64 * spec.global_batch as f64;
-        JobRecord {
-            id,
-            model: spec.model.name.clone(),
-            class: spec.class,
-            tenant: spec.tenant.clone(),
-            submit_time: spec.submit_time,
-            first_start: rt.first_start,
-            finish_time: self.now,
-            reconfig_count: rt.reconfig_count,
-            reconfig_time: rt.reconfig_time,
-            reconfig_gpu_seconds: rt.reconfig_gpu_seconds,
-            gpu_seconds: rt.gpu_seconds,
-            runtime: rt.runtime,
-            target_batches: spec.target_batches,
-            baseline_throughput: rt.baseline_tput,
-            avg_throughput: if rt.work_seconds > 0.0 {
-                samples / rt.work_seconds
-            } else {
-                0.0
-            },
-        }
+        rt.record(id, self.now)
     }
 
     fn active_jobs(&self) -> usize {
@@ -432,15 +238,26 @@ impl<'a> Engine<'a> {
     /// policy never finds a feasible configuration) are listed in
     /// [`SimReport::unfinished`].
     pub fn run(&mut self, specs: Vec<JobSpec>) -> SimReport {
+        self.run_with_sink(specs, &mut NullSink)
+    }
+
+    /// Like [`Engine::run`], forwarding every simulation event to `sink`.
+    ///
+    /// The sink observes the exact stream the engine folds into the
+    /// returned [`SimReport`], in emission order — folding the forwarded
+    /// events through [`ReportSink`] reproduces the report. The caller owns
+    /// the sink and is responsible for calling [`EventSink::flush`] after
+    /// the run.
+    pub fn run_with_sink(&mut self, specs: Vec<JobSpec>, sink: &mut dyn EventSink) -> SimReport {
         let mut pending: BTreeMap<JobId, JobSpec> = BTreeMap::new();
         for spec in specs {
-            self.push_event(spec.submit_time, EventKind::Submit(spec.id));
+            self.queue
+                .push(spec.submit_time, EventKind::Submit(spec.id));
             pending.insert(spec.id, spec);
         }
-        let mut records: Vec<JobRecord> = Vec::new();
         let mut stall_rounds = 0u32;
 
-        while let Some(Reverse(head)) = self.events.pop() {
+        while let Some(head) = self.queue.pop() {
             if head.time > self.config.max_time {
                 break;
             }
@@ -448,39 +265,20 @@ impl<'a> Engine<'a> {
             self.now = head.time;
             let mut need_round = false;
             let mut batch = vec![head];
-            while let Some(next) = self.events.peek().map(|r| r.0) {
-                if next.time <= self.now + 1e-9 {
-                    self.events.pop();
-                    batch.push(next);
-                } else {
-                    break;
-                }
+            while let Some(next) = self.queue.pop_at_or_before(self.now) {
+                batch.push(next);
             }
             for ev in batch {
                 match ev.kind {
                     EventKind::Submit(id) => {
                         let spec = pending.remove(&id).expect("submitted job exists");
                         let baseline = self.baseline_throughput(&spec);
-                        let spec = Arc::new(spec);
+                        let submitted = report::submitted_event(&spec, self.now);
                         self.jobs.insert(
                             id,
-                            JobRuntime {
-                                remaining: spec.target_batches as f64,
-                                queued_since: self.now,
-                                runtime: 0.0,
-                                work_seconds: 0.0,
-                                gpu_seconds: 0.0,
-                                reconfig_count: 0,
-                                reconfig_time: 0.0,
-                                reconfig_gpu_seconds: 0.0,
-                                first_start: None,
-                                baseline_tput: baseline,
-                                epoch: 0,
-                                last_advance: self.now,
-                                status: JobStatus::Queued,
-                                spec,
-                            },
+                            JobRuntime::submitted(Arc::new(spec), self.now, baseline),
                         );
+                        self.emit(sink, submitted);
                         need_round = true;
                     }
                     EventKind::Finish(id, epoch) => {
@@ -489,11 +287,8 @@ impl<'a> Engine<'a> {
                             continue; // stale
                         }
                         if rt.remaining <= 1e-6 {
-                            records.push(self.finalize(id));
-                            self.decisions.push(Decision::Finish {
-                                at: self.now,
-                                job: id,
-                            });
+                            let record = self.finalize(id);
+                            self.emit(sink, report::finished_event(&record));
                             need_round = true;
                         } else {
                             // Float drift: re-arm the finish event.
@@ -501,7 +296,7 @@ impl<'a> Engine<'a> {
                                 (rt.spec.global_batch as f64, rt.remaining);
                             if let JobStatus::Running { throughput, .. } = rt.status {
                                 let t = self.now + remaining * batch_size / throughput;
-                                self.push_event(t, EventKind::Finish(id, epoch));
+                                self.queue.push(t, EventKind::Finish(id, epoch));
                             }
                         }
                     }
@@ -512,23 +307,23 @@ impl<'a> Engine<'a> {
                 }
             }
             if need_round {
-                self.round();
+                self.round(sink);
             }
             // Keep a heartbeat while jobs are active.
             if self.active_jobs() > 0 {
                 if let Some(interval) = self.config.round_interval {
                     if !self.tick_pending {
                         self.tick_pending = true;
-                        self.push_event(self.now + interval, EventKind::Tick);
+                        self.queue.push(self.now + interval, EventKind::Tick);
                     }
                 }
                 // Deadlock guard: no future events but active jobs remain.
-                if self.events.is_empty() {
+                if self.queue.is_empty() {
                     stall_rounds += 1;
                     if stall_rounds > 3 {
                         break;
                     }
-                    self.push_event(self.now + 3600.0, EventKind::Tick);
+                    self.queue.push(self.now + 3600.0, EventKind::Tick);
                     self.tick_pending = true;
                 } else {
                     stall_rounds = 0;
@@ -536,23 +331,12 @@ impl<'a> Engine<'a> {
             }
         }
 
-        let unfinished: Vec<JobId> = self
-            .jobs
-            .values()
-            .filter(|rt| !rt.status.is_finished())
-            .map(|rt| rt.spec.id)
-            .chain(pending.keys().copied())
-            .collect();
-        let makespan = records.iter().map(|r| r.finish_time).fold(0.0f64, f64::max);
-        SimReport {
-            scheduler: self.scheduler.name().to_string(),
-            jobs: records,
-            unfinished,
-            makespan,
-            infeasible_assignments: self.infeasible,
-            rounds: self.rounds,
-            decisions: std::mem::take(&mut self.decisions),
-        }
+        // The report is the fold of the event stream; the only fact the
+        // stream cannot carry is jobs whose Submit event never fired
+        // (simulation hit `max_time` first) — supplement those here.
+        let mut report = self.fold.take_report(self.scheduler.name());
+        report.unfinished.extend(pending.keys().copied());
+        report
     }
 }
 
@@ -720,5 +504,43 @@ mod tests {
     fn sla_met_for_exact_allocation() {
         let report = run_jobs(vec![job(1, 0.0, 500)]);
         assert_eq!(report.sla_attainment(), 1.0);
+    }
+
+    #[test]
+    fn sink_observes_the_folded_stream() {
+        let oracle = TestbedOracle::new(1);
+        let mut engine = Engine::new(
+            &oracle,
+            Box::new(Fifo),
+            Cluster::new(2, rubick_model::NodeShape::a800()),
+            vec![],
+            EngineConfig::default(),
+        );
+        let mut sink = rubick_obs::VecSink::default();
+        let report = engine.run_with_sink(vec![job(1, 0.0, 300), job(2, 50.0, 300)], &mut sink);
+        // Folding the forwarded stream reproduces the engine's report.
+        let mut fold = ReportSink::new();
+        for ev in &sink.events {
+            fold.on_event(ev);
+        }
+        assert_eq!(fold.take_report("fifo-test"), report);
+        // Events are time-ordered and bracket the run.
+        assert!(sink
+            .events
+            .windows(2)
+            .all(|w| w[0].at() <= w[1].at() + 1e-9));
+        assert!(matches!(
+            sink.events.first(),
+            Some(SimEvent::JobSubmitted { job: 1, .. })
+        ));
+        // The final finish triggers one last (empty-snapshot) round.
+        assert!(matches!(
+            sink.events.last(),
+            Some(SimEvent::TickSkipped { .. })
+        ));
+        assert!(sink
+            .events
+            .iter()
+            .any(|e| matches!(e, SimEvent::JobFinished { job: 2, .. })));
     }
 }

@@ -17,17 +17,22 @@
 //! * [`scheduler`] — the [`Scheduler`] trait every policy implements
 //!   (Rubick, Sia, Synergy, AntMan, the ablations) plus assignment types.
 //! * [`engine`] — the event loop: submissions, completions, reconfiguration
-//!   penalties, periodic scheduling rounds.
+//!   penalties, periodic scheduling rounds. Every state transition emits a
+//!   typed `rubick_obs::SimEvent` on the event spine.
+//! * [`report`] — the fold turning the event stream back into a
+//!   [`SimReport`]; metrics have a single source of truth.
 //! * [`metrics`] — per-job records and the summary statistics of Table 4
 //!   (average/P99 JCT, makespan, reconfiguration overhead, SLA attainment).
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod cluster;
 pub mod engine;
 pub mod job;
 pub mod metrics;
+pub mod report;
 pub mod scheduler;
 pub mod tenant;
 
@@ -35,5 +40,6 @@ pub use cluster::{Allocation, Cluster, Node};
 pub use engine::{Engine, EngineConfig};
 pub use job::{JobClass, JobId, JobSpec, JobStatus};
 pub use metrics::{JobRecord, SimReport};
+pub use report::ReportSink;
 pub use scheduler::{Assignment, JobSnapshot, Scheduler};
 pub use tenant::{Tenant, TenantId};

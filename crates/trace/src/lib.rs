@@ -18,6 +18,7 @@
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
+#![deny(clippy::print_stdout, clippy::print_stderr)]
 
 pub mod philly;
 pub mod variants;

@@ -9,6 +9,7 @@
 //! |---|---|
 //! | [`model`] | Analytic performance model (§4): execution plans, memory estimation, RMSLE fitting, sensitivity curves |
 //! | [`testbed`] | Ground-truth oracle standing in for the 64-GPU A800 cluster, profiler, loss simulator |
+//! | [`obs`] | Event spine: typed simulation events and pluggable sinks (JSONL, counters) |
 //! | [`sim`] | Discrete-event cluster simulator: nodes, jobs, tenants, metrics |
 //! | [`core`] | The Rubick policy (Algorithm 1), ablations (Rubick-E/R/N), baselines (Sia, Synergy, AntMan, equal-share) |
 //! | [`trace`] | Philly-like synthetic trace generation (Base / BP / MT, load and model-mix sweeps) |
@@ -31,8 +32,11 @@
 //! # }
 //! ```
 
+#![deny(clippy::print_stdout, clippy::print_stderr)]
+
 pub use rubick_core as core;
 pub use rubick_model as model;
+pub use rubick_obs as obs;
 pub use rubick_sim as sim;
 pub use rubick_testbed as testbed;
 pub use rubick_trace as trace;
