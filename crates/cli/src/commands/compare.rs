@@ -1,9 +1,17 @@
 //! `rubick compare` — every scheduler on the same trace, side by side.
+//!
+//! The schedulers are independent simulations over the same (cloned)
+//! workload, so they run concurrently: one scoped thread per scheduler,
+//! each with its own oracle and freshly profiled registry so no online
+//! refit state can leak between policies. Output order is fixed — rows are
+//! printed from the joined results in `SCHEDULERS` order, identical to the
+//! old sequential loop.
 
-use super::{build_registry, oracle_from, scheduler_by_name, workload_from, CliError};
+use super::{build_registry, chaos_from, oracle_from, scheduler_by_name, workload_from, CliError};
 use crate::args::Args;
 use crate::output::{compare_header, compare_row, Logger};
-use rubick_sim::{Cluster, Engine, EngineConfig};
+use rubick_obs::FaultMetricsSink;
+use rubick_sim::{Cluster, Engine, EngineConfig, SimReport};
 
 const SCHEDULERS: [&str; 7] = [
     "rubick", "rubick-e", "rubick-r", "rubick-n", "sia", "synergy", "antman",
@@ -20,40 +28,114 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
         "csv",
         "parallelism",
         "log-level",
+        "chaos",
+        "chaos-seed",
     ])?;
     let log = Logger::from_args(args)?;
     let parallelism = args.parallelism()?;
+    let seed: u64 = args.parse_or("seed", 2025u64)?;
     let oracle = oracle_from(args)?;
-    log.info("profiling model zoo...");
-    let registry = build_registry(&oracle)?;
     let (jobs, tenants) = workload_from(args, &oracle)?;
+    let config = EngineConfig {
+        parallelism,
+        ..EngineConfig::default()
+    };
+    let chaos = chaos_from(args, Cluster::a800_testbed().nodes().len(), config.max_time)?;
     log.info(&format!(
-        "comparing {} schedulers on {} jobs...",
+        "comparing {} schedulers on {} jobs ({} threads)...",
         SCHEDULERS.len(),
-        jobs.len()
+        jobs.len(),
+        SCHEDULERS.len()
     ));
 
-    let csv = args.flag("csv");
-    println!("{}", compare_header(csv));
-    let mut rubick_avg = None;
-    for name in SCHEDULERS {
-        let scheduler = scheduler_by_name(name, &registry)?;
+    // One simulation per thread. Threads return String errors (the boxed
+    // `CliError` is not `Send`); results come back in `SCHEDULERS` order
+    // because the handles are joined in spawn order.
+    type SchedResult = Result<(SimReport, Option<FaultMetricsSink>), String>;
+    let run_one = |name: &str| -> SchedResult {
+        let oracle = rubick_testbed::TestbedOracle::new(seed);
+        let registry = build_registry(&oracle).map_err(|e| e.to_string())?;
+        let scheduler = scheduler_by_name(name, &registry).map_err(|e| e.to_string())?;
         let mut engine = Engine::new(
             &oracle,
             scheduler,
             Cluster::a800_testbed(),
             tenants.clone(),
-            EngineConfig {
-                parallelism,
-                ..EngineConfig::default()
-            },
+            config,
         );
-        let report = engine.run(jobs.clone());
+        let mut metrics = match &chaos {
+            Some(plan) => {
+                engine = engine.with_chaos(plan.clone());
+                Some(FaultMetricsSink::new())
+            }
+            None => None,
+        };
+        let report = match metrics.as_mut() {
+            Some(m) => engine.run_with_sink(jobs.clone(), m),
+            None => engine.run(jobs.clone()),
+        };
+        Ok((report, metrics))
+    };
+    let run_one = &run_one;
+    let results: Vec<SchedResult> = crossbeam::scope(|s| {
+        let handles: Vec<_> = SCHEDULERS
+            .iter()
+            .map(|name| s.spawn(move || run_one(name)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("comparison thread panicked"))
+            .collect()
+    })
+    .expect("comparison scope");
+
+    let csv = args.flag("csv");
+    println!("{}", compare_header(csv));
+    let mut rubick_avg = None;
+    let mut fault_rows = Vec::new();
+    for (name, result) in SCHEDULERS.iter().zip(results) {
+        let (report, metrics) = result.map_err(CliError::from)?;
         log.debug(&format!("{name}: {} rounds", report.rounds));
-        if name == "rubick" {
+        if *name == "rubick" {
             rubick_avg = Some(report.avg_jct());
         }
         println!("{}", compare_row(name, &report, rubick_avg, csv));
+        if let Some(m) = metrics {
+            fault_rows.push((*name, m));
+        }
+    }
+    if !fault_rows.is_empty() {
+        println!("{}", fault_summary_block(&fault_rows, csv));
     }
     Ok(())
+}
+
+/// Per-scheduler goodput lost to faults, printed after the main table
+/// when `--chaos` is active.
+fn fault_summary_block(rows: &[(&str, FaultMetricsSink)], csv: bool) -> String {
+    let mut s = String::new();
+    if csv {
+        s.push_str("scheduler,fault_evictions,restarts,mean_resched_s,goodput_lost_gpu_h");
+        for (name, m) in rows {
+            s.push_str(&format!(
+                "\n{name},{},{},{:.1},{:.3}",
+                m.fault_evictions,
+                m.restarts,
+                m.mean_time_to_reschedule(),
+                m.goodput_lost_gpu_seconds / 3600.0
+            ));
+        }
+    } else {
+        s.push_str("\nfault injection (goodput lost to faults per scheduler):");
+        for (name, m) in rows {
+            s.push_str(&format!(
+                "\n  {name:<10} evictions {:>3}  restarts {:>3}  mean resched {:>7.1} s  lost {:>8.3} GPU-h",
+                m.fault_evictions,
+                m.restarts,
+                m.mean_time_to_reschedule(),
+                m.goodput_lost_gpu_seconds / 3600.0
+            ));
+        }
+    }
+    s
 }

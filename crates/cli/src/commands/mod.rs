@@ -7,6 +7,7 @@ pub mod run;
 pub mod trace;
 
 use crate::args::Args;
+use rubick_chaos::{ChaosConfig, FaultPlan};
 use rubick_core::{
     rubick_e, rubick_n, rubick_r, AntManScheduler, EqualShareScheduler, ModelRegistry,
     RubickScheduler, SiaScheduler, SynergyScheduler,
@@ -101,6 +102,30 @@ pub fn scheduler_by_name(
             .into())
         }
     })
+}
+
+/// Compiles the optional `--chaos <file>` fault plan for a cluster of
+/// `nodes` nodes and a simulation horizon of `horizon` seconds, with
+/// `--chaos-seed` overriding the seed baked into the config file.
+pub fn chaos_from(args: &Args, nodes: usize, horizon: f64) -> Result<Option<FaultPlan>, CliError> {
+    let Some(path) = args.get("chaos") else {
+        if args.get("chaos-seed").is_some() {
+            return Err("--chaos-seed requires --chaos <config>".into());
+        }
+        return Ok(None);
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read chaos config '{path}': {e}"))?;
+    let mut config =
+        ChaosConfig::parse(&text).map_err(|e| format!("invalid chaos config '{path}': {e}"))?;
+    if let Some(seed) = args.get("chaos-seed") {
+        config.seed = seed
+            .parse()
+            .map_err(|_| format!("invalid --chaos-seed '{seed}': expected u64"))?;
+    }
+    let plan = FaultPlan::compile(&config, nodes, horizon)
+        .map_err(|e| format!("invalid chaos config '{path}': {e}"))?;
+    Ok(Some(plan))
 }
 
 /// Profiles the full zoo once (shared by run/compare).

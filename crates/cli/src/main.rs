@@ -49,7 +49,14 @@ RUN / COMPARE FLAGS:
                          (default info; stdout output is unaffected)
     --verbose            (run) print the full decision log
     --events <path>      (run) stream every simulation event to <path> as
-                         JSON Lines (one event per line)
+                         JSON Lines (one event per line, buffered through a
+                         background writer thread)
+    --chaos <path>       Inject faults from a chaos config file: node
+                         failures/recoveries, straggler slowdowns, transient
+                         launch failures, restart penalties (see DESIGN.md
+                         §10 for the format); adds a degraded-mode summary
+    --chaos-seed <u64>   Override the seed in the chaos config (requires
+                         --chaos); same seed = identical fault timeline
 
 PLANS FLAGS:
     --model <name>       Zoo model name (vit-86m, roberta-355m, bert-336m,

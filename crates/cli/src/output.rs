@@ -8,6 +8,7 @@
 
 use crate::args::Args;
 use crate::commands::CliError;
+use rubick_obs::FaultMetricsSink;
 use rubick_sim::metrics::Decision;
 use rubick_sim::{JobClass, SimReport};
 use std::fmt::Write as _;
@@ -126,6 +127,55 @@ pub fn render_report(report: &SimReport) -> String {
     if !report.unfinished.is_empty() {
         let _ = writeln!(s, "UNFINISHED     : {:?}", report.unfinished);
     }
+    s
+}
+
+/// The degraded-mode summary block printed after a `--chaos` run: node
+/// churn, fault evictions/restarts, and the goodput lost to faults.
+pub fn render_fault_report(metrics: &FaultMetricsSink) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "\n=== fault injection ===");
+    let _ = writeln!(
+        s,
+        "node failures  : {} ({:.0} s total downtime, {} still down)",
+        metrics.node_failures,
+        metrics.node_downtime_secs,
+        metrics.nodes_still_down()
+    );
+    let _ = writeln!(
+        s,
+        "fault evictions: {} ({} restarts, {:.1} s mean time-to-reschedule)",
+        metrics.fault_evictions,
+        metrics.restarts,
+        metrics.mean_time_to_reschedule()
+    );
+    let _ = writeln!(
+        s,
+        "restart penalty: {:.0} s total",
+        metrics.restart_penalty_secs
+    );
+    let _ = writeln!(
+        s,
+        "goodput lost   : {:.3} GPU-h",
+        metrics.goodput_lost_gpu_seconds / 3600.0
+    );
+    s
+}
+
+/// The `--chaos --csv` key/value lines appended after the report CSV.
+pub fn render_fault_csv(metrics: &FaultMetricsSink) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "node_failures,{}", metrics.node_failures);
+    let _ = writeln!(s, "node_recoveries,{}", metrics.node_recoveries);
+    let _ = writeln!(s, "node_downtime_s,{:.1}", metrics.node_downtime_secs);
+    let _ = writeln!(s, "fault_evictions,{}", metrics.fault_evictions);
+    let _ = writeln!(s, "restarts,{}", metrics.restarts);
+    let _ = writeln!(s, "mean_resched_s,{:.1}", metrics.mean_time_to_reschedule());
+    let _ = writeln!(
+        s,
+        "goodput_lost_gpu_h,{:.3}",
+        metrics.goodput_lost_gpu_seconds / 3600.0
+    );
     s
 }
 

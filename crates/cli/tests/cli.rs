@@ -180,7 +180,7 @@ fn unwritable_events_path_fails_with_path() {
 
 #[test]
 fn events_stream_parses_and_folds_to_the_printed_report() {
-    use rubick_obs::{EventSink, SimEvent};
+    use rubick_obs::{parse_jsonl_line, EventSink, JsonlLine, SimEvent};
     use rubick_sim::ReportSink;
 
     let path = std::env::temp_dir().join(format!("rubick-cli-events-{}.jsonl", std::process::id()));
@@ -199,11 +199,19 @@ fn events_stream_parses_and_folds_to_the_printed_report() {
     ]);
     assert!(out.status.success(), "stderr: {}", stderr(&out));
 
-    // Every line parses back into a typed event...
+    // The file leads with the schema header, and every other line parses
+    // back into a typed event...
     let text = std::fs::read_to_string(&path).expect("events file written");
-    let events: Vec<SimEvent> = text
-        .lines()
-        .map(|l| SimEvent::from_jsonl(l).expect("valid JSONL event"))
+    let mut lines = text.lines();
+    match parse_jsonl_line(lines.next().expect("nonempty file")) {
+        Ok(JsonlLine::Schema(v)) => assert_eq!(v, rubick_obs::SCHEMA_VERSION),
+        other => panic!("first line must be the schema header, got {other:?}"),
+    }
+    let events: Vec<SimEvent> = lines
+        .map(|l| match parse_jsonl_line(l).expect("valid JSONL line") {
+            JsonlLine::Event(e) => e,
+            JsonlLine::Schema(_) => panic!("schema header repeated mid-stream"),
+        })
         .collect();
     assert!(!events.is_empty());
 
@@ -231,4 +239,123 @@ fn events_stream_parses_and_folds_to_the_printed_report() {
         "{csv}"
     );
     std::fs::remove_file(&path).ok();
+}
+
+/// Writes a scripted chaos scenario to a temp file, returning its path.
+fn chaos_config(tag: &str) -> std::path::PathBuf {
+    let path =
+        std::env::temp_dir().join(format!("rubick-cli-chaos-{tag}-{}.cfg", std::process::id()));
+    std::fs::write(
+        &path,
+        "restart-penalty-secs 90\nstraggle 0 0.6\nfail 1 2000\nrecover 1 9000\n",
+    )
+    .expect("chaos config written");
+    path
+}
+
+#[test]
+fn chaos_run_reports_degraded_mode_summary() {
+    let cfg = chaos_config("run");
+    let out = rubick(&[
+        "run",
+        "--jobs",
+        "12",
+        "--seed",
+        "9",
+        "--csv",
+        "--chaos",
+        cfg.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("node_failures,1"), "{text}");
+    assert!(text.contains("node_recoveries,1"), "{text}");
+    assert!(text.contains("node_downtime_s,7000.0"), "{text}");
+    assert!(text.contains("goodput_lost_gpu_h,"), "{text}");
+    std::fs::remove_file(&cfg).ok();
+}
+
+#[test]
+fn chaos_runs_are_deterministic() {
+    let cfg = chaos_config("det");
+    let args = [
+        "run",
+        "--jobs",
+        "12",
+        "--seed",
+        "9",
+        "--csv",
+        "--chaos",
+        cfg.to_str().unwrap(),
+        "--chaos-seed",
+        "42",
+    ];
+    let a = rubick(&args);
+    let b = rubick(&args);
+    assert!(a.status.success() && b.status.success());
+    assert_eq!(stdout(&a), stdout(&b));
+    std::fs::remove_file(&cfg).ok();
+}
+
+#[test]
+fn chaos_seed_without_chaos_fails_fast() {
+    let out = rubick(&["run", "--jobs", "5", "--chaos-seed", "7"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("--chaos-seed requires --chaos"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn chaos_rejects_bad_config_with_line_number() {
+    let path = std::env::temp_dir().join(format!("rubick-cli-badchaos-{}.cfg", std::process::id()));
+    std::fs::write(&path, "fail zero 100\n").unwrap();
+    let out = rubick(&["run", "--jobs", "5", "--chaos", path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("invalid chaos config"), "stderr: {err}");
+    std::fs::remove_file(&path).ok();
+}
+
+/// Compare runs its schedulers on parallel threads but must print rows in
+/// the fixed scheduler order, with the chaos summary block appended.
+#[test]
+fn compare_keeps_fixed_row_order_under_chaos() {
+    let cfg = chaos_config("cmp");
+    let out = rubick(&[
+        "compare",
+        "--jobs",
+        "6",
+        "--seed",
+        "3",
+        "--csv",
+        "--chaos",
+        cfg.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let expected = [
+        "rubick,",
+        "rubick-e,",
+        "rubick-r,",
+        "rubick-n,",
+        "sia,",
+        "synergy,",
+        "antman,",
+    ];
+    let mut last = 0;
+    for name in expected {
+        let pos = text
+            .find(name)
+            .unwrap_or_else(|| panic!("row for {name} missing in:\n{text}"));
+        assert!(pos >= last, "row {name} out of order:\n{text}");
+        last = pos;
+    }
+    assert!(
+        text.contains("scheduler,fault_evictions,restarts,mean_resched_s,goodput_lost_gpu_h"),
+        "{text}"
+    );
+    std::fs::remove_file(&cfg).ok();
 }

@@ -88,7 +88,12 @@ impl Scheduler for AntManScheduler {
                     });
                     break;
                 }
-                // Evict the best-effort job holding the most GPUs.
+                // Evict the best-effort job holding the most GPUs. On a
+                // GPU-count tie the *most recently committed* job loses
+                // (`max_by_key` keeps the last maximal element, and
+                // `RoundContext` commits in snapshot order), so the
+                // longest-tentatively-kept best-effort job survives. This
+                // tie rule is pinned by `gpu_tie_evicts_most_recently_kept`.
                 let Some(victim) = ctx
                     .committed()
                     .iter()
@@ -121,10 +126,12 @@ impl Scheduler for AntManScheduler {
 mod tests {
     use super::*;
     use rubick_model::{ExecutionPlan, ModelSpec, NodeShape};
+    use rubick_sim::cluster::Allocation;
     use rubick_sim::engine::{Engine, EngineConfig};
-    use rubick_sim::job::JobSpec;
+    use rubick_sim::job::{JobSpec, JobStatus};
     use rubick_sim::tenant::TenantId;
     use rubick_testbed::TestbedOracle;
+    use std::sync::Arc;
 
     fn job(id: u64, class: JobClass, tenant: &str, submit: f64) -> JobSpec {
         JobSpec {
@@ -173,6 +180,61 @@ mod tests {
         assert!(g.first_start.unwrap() - 60.0 < 5.0);
         // ...and the best-effort job was interrupted (restarted later).
         assert!(be.reconfig_count >= 1);
+    }
+
+    fn running_snapshot(spec: JobSpec, node: usize) -> JobSnapshot {
+        let allocation = Allocation::on_node(node, spec.requested);
+        let plan = spec.initial_plan;
+        JobSnapshot {
+            spec: Arc::new(spec),
+            status: JobStatus::Running {
+                allocation,
+                plan,
+                throughput: 1.0,
+                resume_at: 0.0,
+            },
+            remaining_batches: 1000.0,
+            queued_since: 0.0,
+            runtime: 0.0,
+            reconfig_count: 0,
+            baseline_throughput: None,
+        }
+    }
+
+    /// Pins the multi-eviction tie rule: when several best-effort jobs
+    /// hold the same GPU count, the most recently committed one (the last
+    /// in snapshot order) is evicted first, so earlier jobs keep running.
+    #[test]
+    fn gpu_tie_evicts_most_recently_kept() {
+        // Two 8-GPU nodes: BE jobs 1+2 fill node 0, BE job 3 half-fills
+        // node 1, and a queued guaranteed job needs a whole node.
+        let jobs = vec![
+            running_snapshot(job(1, JobClass::BestEffort, "t", 0.0), 0),
+            running_snapshot(job(2, JobClass::BestEffort, "t", 0.0), 0),
+            running_snapshot(job(3, JobClass::BestEffort, "t", 0.0), 1),
+            JobSnapshot {
+                spec: Arc::new(JobSpec {
+                    requested: Resources::new(8, 32, 200.0),
+                    initial_plan: ExecutionPlan::dp(8),
+                    ..job(4, JobClass::Guaranteed, "t", 10.0)
+                }),
+                status: JobStatus::Queued,
+                remaining_batches: 400.0,
+                queued_since: 10.0,
+                runtime: 0.0,
+                reconfig_count: 0,
+                baseline_throughput: None,
+            },
+        ];
+        let cluster = Cluster::new(2, NodeShape::a800());
+        let out = AntManScheduler::new().schedule(20.0, &jobs, &cluster, &[]);
+        let assigned: Vec<JobId> = out.iter().map(|a| a.job).collect();
+        // The tie among the three 4-GPU best-effort jobs falls on job 3 —
+        // the last one committed — freeing node 1 for the guaranteed job.
+        assert_eq!(assigned, vec![1, 2, 4]);
+        let g = out.iter().find(|a| a.job == 4).unwrap();
+        assert_eq!(g.allocation.per_node.len(), 1);
+        assert_eq!(g.allocation.per_node[0].0, 1, "guaranteed lands on node 1");
     }
 
     #[test]

@@ -44,7 +44,7 @@ impl Scheduler for EqualShareScheduler {
         if jobs.is_empty() {
             return Vec::new();
         }
-        let total = cluster.total_capacity();
+        let total = cluster.schedulable_capacity();
         let share = (total.gpus / jobs.len() as u32).max(1);
         let at_share = |job: &JobSnapshot| {
             matches!(

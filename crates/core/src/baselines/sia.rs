@@ -64,7 +64,7 @@ impl Scheduler for SiaScheduler {
         _tenants: &[Tenant],
     ) -> Vec<Assignment> {
         let shape = cluster.shape();
-        let total_gpus = cluster.total_capacity().gpus;
+        let total_gpus = cluster.schedulable_capacity().gpus;
 
         // Per-job curves under Sia's restricted plan search.
         let mut curves = BTreeMap::new();

@@ -37,12 +37,17 @@ pub struct RoundContext<'a> {
 }
 
 impl<'a> RoundContext<'a> {
-    /// Starts a round: the ledger holds every node's full capacity and no
-    /// assignment is committed yet.
+    /// Starts a round: the ledger holds every *up* node's full capacity
+    /// (a failed node contributes zero, so no policy can place work on it)
+    /// and no assignment is committed yet.
     pub fn new(cluster: &Cluster, jobs: &'a [JobSnapshot]) -> Self {
         RoundContext {
             jobs,
-            free: cluster.nodes().iter().map(|n| n.shape.capacity()).collect(),
+            free: cluster
+                .nodes()
+                .iter()
+                .map(|n| n.schedulable_capacity())
+                .collect(),
             out: Vec::new(),
         }
     }

@@ -261,7 +261,7 @@ pub(super) fn run_round(
     tenants: &[Tenant],
 ) -> Vec<Assignment> {
     let cfg = &sched.config;
-    let total_gpus = cluster.total_capacity().gpus;
+    let total_gpus = cluster.schedulable_capacity().gpus;
 
     // ---- lazy profiling (phase ① of Fig. 4) -----------------------------
     // Unknown model types are profiled on first sight; their jobs stay in

@@ -132,6 +132,28 @@ fn base_trace_summary_is_stable_sequential() {
     check_golden("base_trace.txt", &summarize(&report));
 }
 
+/// AntMan's summary over the multi-tenant trace pins the baseline's
+/// resource-guarantee behaviour — including the multi-eviction GPU-tie
+/// rule (most recently committed best-effort job is evicted first) — at
+/// trace scale, not just in the unit scenario.
+#[test]
+fn antman_trace_summary_is_stable() {
+    let oracle = TestbedOracle::new(ORACLE_SEED);
+    let (jobs, tenants) = multi_tenant_trace(&trace_config(), &oracle);
+    let mut engine = Engine::new(
+        &oracle,
+        Box::new(rubick_core::AntManScheduler::new()),
+        Cluster::a800_testbed(),
+        tenants,
+        EngineConfig {
+            parallelism: Some(2),
+            ..EngineConfig::default()
+        },
+    );
+    let report = engine.run(jobs);
+    check_golden("antman_trace.txt", &summarize(&report));
+}
+
 #[test]
 fn multi_tenant_trace_summary_is_stable() {
     let oracle = TestbedOracle::new(ORACLE_SEED);

@@ -34,7 +34,10 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
+use std::mem;
 use std::path::Path;
+use std::sync::mpsc;
+use std::thread;
 
 /// What kind of placement decision a [`SimEvent::DecisionApplied`] records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -169,6 +172,50 @@ pub enum SimEvent {
         /// 1-based round number (shared with [`SimEvent::RoundStarted`]).
         round: u64,
     },
+    /// A node failed; its capacity is gone until recovery (schema v2).
+    NodeFailed {
+        /// Simulation time, s.
+        at: f64,
+        /// Failed node index.
+        node: u64,
+    },
+    /// A failed node came back, fully free (schema v2).
+    NodeRecovered {
+        /// Simulation time, s.
+        at: f64,
+        /// Recovered node index.
+        node: u64,
+    },
+    /// A running job was evicted because a node under it failed (schema
+    /// v2). The job re-enters the queue; progress survives via its
+    /// checkpoint.
+    JobPreemptedByFault {
+        /// Simulation time, s.
+        at: f64,
+        /// Job id.
+        job: u64,
+        /// The failed node that triggered the eviction.
+        node: u64,
+        /// GPUs the job held when evicted.
+        gpus: u32,
+        /// Execution-plan label the job was running when evicted.
+        plan: String,
+    },
+    /// A fault-evicted job relaunched; emitted immediately before the
+    /// matching [`SimEvent::Reconfigured`] (schema v2).
+    JobRestarted {
+        /// Simulation time, s.
+        at: f64,
+        /// Job id.
+        job: u64,
+        /// GPUs granted by the relaunch.
+        gpus: u32,
+        /// Execution-plan label of the relaunch (may differ from the plan
+        /// at eviction when the policy re-plans for the shrunken cluster).
+        plan: String,
+        /// Extra restart delay charged on top of checkpoint-resume, s.
+        penalty: f64,
+    },
 }
 
 impl SimEvent {
@@ -181,7 +228,11 @@ impl SimEvent {
             | SimEvent::Reconfigured { at, .. }
             | SimEvent::LaunchFailed { at, .. }
             | SimEvent::JobFinished { at, .. }
-            | SimEvent::TickSkipped { at, .. } => *at,
+            | SimEvent::TickSkipped { at, .. }
+            | SimEvent::NodeFailed { at, .. }
+            | SimEvent::NodeRecovered { at, .. }
+            | SimEvent::JobPreemptedByFault { at, .. }
+            | SimEvent::JobRestarted { at, .. } => *at,
         }
     }
 
@@ -195,6 +246,10 @@ impl SimEvent {
             SimEvent::LaunchFailed { .. } => "launch_failed",
             SimEvent::JobFinished { .. } => "job_finished",
             SimEvent::TickSkipped { .. } => "tick_skipped",
+            SimEvent::NodeFailed { .. } => "node_failed",
+            SimEvent::NodeRecovered { .. } => "node_recovered",
+            SimEvent::JobPreemptedByFault { .. } => "job_preempted_by_fault",
+            SimEvent::JobRestarted { .. } => "job_restarted",
         }
     }
 
@@ -306,6 +361,36 @@ impl SimEvent {
                 w.num("at", *at);
                 w.uint("round", *round);
             }
+            SimEvent::NodeFailed { at, node } | SimEvent::NodeRecovered { at, node } => {
+                w.num("at", *at);
+                w.uint("node", *node);
+            }
+            SimEvent::JobPreemptedByFault {
+                at,
+                job,
+                node,
+                gpus,
+                plan,
+            } => {
+                w.num("at", *at);
+                w.uint("job", *job);
+                w.uint("node", *node);
+                w.uint("gpus", u64::from(*gpus));
+                w.str("plan", plan);
+            }
+            SimEvent::JobRestarted {
+                at,
+                job,
+                gpus,
+                plan,
+                penalty,
+            } => {
+                w.num("at", *at);
+                w.uint("job", *job);
+                w.uint("gpus", u64::from(*gpus));
+                w.str("plan", plan);
+                w.num("penalty", *penalty);
+            }
         }
         w.finish()
     }
@@ -379,6 +464,28 @@ impl SimEvent {
                 at: f.num("at")?,
                 round: f.uint("round")?,
             },
+            "node_failed" => SimEvent::NodeFailed {
+                at: f.num("at")?,
+                node: f.uint("node")?,
+            },
+            "node_recovered" => SimEvent::NodeRecovered {
+                at: f.num("at")?,
+                node: f.uint("node")?,
+            },
+            "job_preempted_by_fault" => SimEvent::JobPreemptedByFault {
+                at: f.num("at")?,
+                job: f.uint("job")?,
+                node: f.uint("node")?,
+                gpus: f.uint32("gpus")?,
+                plan: f.str("plan")?.to_string(),
+            },
+            "job_restarted" => SimEvent::JobRestarted {
+                at: f.num("at")?,
+                job: f.uint("job")?,
+                gpus: f.uint32("gpus")?,
+                plan: f.str("plan")?.to_string(),
+                penalty: f.num("penalty")?,
+            },
             other => {
                 return Err(EventParseError::new(format!(
                     "unknown event type {other:?}"
@@ -387,6 +494,50 @@ impl SimEvent {
         };
         Ok(ev)
     }
+}
+
+/// Version of the JSONL event schema emitted by the stream sinks.
+///
+/// History: **1** — the original seven-variant taxonomy (no header line);
+/// **2** — adds the fault variants ([`SimEvent::NodeFailed`],
+/// [`SimEvent::NodeRecovered`], [`SimEvent::JobPreemptedByFault`],
+/// [`SimEvent::JobRestarted`]) and the `{"type":"schema",...}` header line.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// The one-line schema header the stream sinks ([`JsonlSink`],
+/// [`BufferedJsonlSink`]) write before the first event (no trailing
+/// newline).
+pub fn schema_header_line() -> String {
+    let mut w = JsonWriter::new("schema");
+    w.uint("version", u64::from(SCHEMA_VERSION));
+    w.finish()
+}
+
+/// One parsed line of a sink-produced JSONL stream: either the schema
+/// header or an event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonlLine {
+    /// The `{"type":"schema","version":N}` header line.
+    Schema(u32),
+    /// An ordinary event line.
+    Event(SimEvent),
+}
+
+/// Parses one line of a sink-produced stream, accepting both the schema
+/// header and event lines. Use this (rather than [`SimEvent::from_jsonl`])
+/// when reading files written by [`JsonlSink`] or [`BufferedJsonlSink`].
+///
+/// Like [`SimEvent::from_jsonl`], unknown *fields* are tolerated — lookups
+/// go by key, so a newer writer adding fields still parses — while unknown
+/// event *types* are an error.
+pub fn parse_jsonl_line(line: &str) -> Result<JsonlLine, EventParseError> {
+    let f = Fields::parse(line)?;
+    if f.str("type")? == "schema" {
+        let version = u32::try_from(f.uint("version")?)
+            .map_err(|_| EventParseError::new("schema version overflows u32"))?;
+        return Ok(JsonlLine::Schema(version));
+    }
+    SimEvent::from_jsonl(line).map(JsonlLine::Event)
 }
 
 /// Error produced when a JSONL line cannot be parsed back into a
@@ -749,12 +900,15 @@ impl EventSink for VecSink {
 
 /// A sink that streams events as JSON Lines to any writer.
 ///
+/// The first event is preceded by the one-line schema header
+/// (see [`SCHEMA_VERSION`]); parse sink output with [`parse_jsonl_line`].
 /// I/O errors are sticky: the first error is remembered and reported by
 /// [`EventSink::flush`] (writes after an error become no-ops), so a broken
 /// pipe halfway through a run cannot pass silently.
 pub struct JsonlSink<W: Write> {
     writer: BufWriter<W>,
     written: u64,
+    header_pending: bool,
     error: Option<io::Error>,
 }
 
@@ -771,11 +925,13 @@ impl<W: Write> JsonlSink<W> {
         JsonlSink {
             writer: BufWriter::new(writer),
             written: 0,
+            header_pending: true,
             error: None,
         }
     }
 
-    /// Number of event lines successfully handed to the writer.
+    /// Number of event lines successfully handed to the writer (the schema
+    /// header is not counted).
     pub fn events_written(&self) -> u64 {
         self.written
     }
@@ -785,6 +941,15 @@ impl<W: Write> EventSink for JsonlSink<W> {
     fn on_event(&mut self, event: &SimEvent) {
         if self.error.is_some() {
             return;
+        }
+        if self.header_pending {
+            let mut header = schema_header_line();
+            header.push('\n');
+            if let Err(e) = self.writer.write_all(header.as_bytes()) {
+                self.error = Some(e);
+                return;
+            }
+            self.header_pending = false;
         }
         let mut line = event.to_jsonl();
         line.push('\n');
@@ -799,6 +964,273 @@ impl<W: Write> EventSink for JsonlSink<W> {
             return Err(e);
         }
         self.writer.flush()
+    }
+}
+
+enum WriterMsg {
+    Chunk(String),
+    Flush(mpsc::SyncSender<io::Result<()>>),
+}
+
+/// A [`JsonlSink`] variant that moves serialization output to a background
+/// writer thread, so a slow disk never sits on the engine loop.
+///
+/// Events are appended to an in-memory chunk; full chunks are handed to
+/// the writer thread over a channel and the drained `String`s are recycled
+/// back (double-buffering — steady state allocates nothing). The byte
+/// stream is identical to [`JsonlSink`]'s, including the schema header
+/// line. [`EventSink::flush`] round-trips to the writer thread and reports
+/// the first I/O error, sticky, like [`JsonlSink`]; dropping the sink
+/// flushes whatever remains best-effort.
+pub struct BufferedJsonlSink {
+    buf: String,
+    tx: Option<mpsc::Sender<WriterMsg>>,
+    recycle: mpsc::Receiver<String>,
+    handle: Option<thread::JoinHandle<io::Result<()>>>,
+    written: u64,
+    header_pending: bool,
+    failed: bool,
+}
+
+/// Bytes buffered before a chunk is handed to the writer thread.
+const CHUNK_BYTES: usize = 64 * 1024;
+
+impl BufferedJsonlSink {
+    /// Creates (truncating) the file at `path` and streams events into it
+    /// from a background thread.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<BufferedJsonlSink> {
+        Ok(BufferedJsonlSink::new(File::create(path)?))
+    }
+
+    /// Wraps an arbitrary writer, spawning the background writer thread.
+    pub fn new<W: Write + Send + 'static>(writer: W) -> BufferedJsonlSink {
+        let (tx, rx) = mpsc::channel::<WriterMsg>();
+        let (recycle_tx, recycle) = mpsc::channel::<String>();
+        let handle = thread::spawn(move || {
+            let mut writer = BufWriter::new(writer);
+            let mut error: Option<io::Error> = None;
+            for msg in rx {
+                match msg {
+                    WriterMsg::Chunk(mut chunk) => {
+                        if error.is_none() {
+                            if let Err(e) = writer.write_all(chunk.as_bytes()) {
+                                error = Some(e);
+                            }
+                        }
+                        chunk.clear();
+                        let _ = recycle_tx.send(chunk);
+                    }
+                    WriterMsg::Flush(reply) => {
+                        let result = match error.take() {
+                            Some(e) => Err(e),
+                            None => writer.flush(),
+                        };
+                        let _ = reply.send(result);
+                    }
+                }
+            }
+            match error {
+                Some(e) => Err(e),
+                None => writer.flush(),
+            }
+        });
+        BufferedJsonlSink {
+            buf: String::with_capacity(CHUNK_BYTES + 1024),
+            tx: Some(tx),
+            recycle,
+            handle: Some(handle),
+            written: 0,
+            header_pending: true,
+            failed: false,
+        }
+    }
+
+    /// Number of event lines handed to the write pipeline (the schema
+    /// header is not counted). Lines may still be in flight until
+    /// [`EventSink::flush`] returns.
+    pub fn events_written(&self) -> u64 {
+        self.written
+    }
+
+    fn send_chunk(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        let next = self.recycle.try_recv().unwrap_or_default();
+        let full = mem::replace(&mut self.buf, next);
+        if let Some(tx) = &self.tx {
+            if tx.send(WriterMsg::Chunk(full)).is_err() {
+                self.failed = true;
+            }
+        }
+    }
+}
+
+impl EventSink for BufferedJsonlSink {
+    fn on_event(&mut self, event: &SimEvent) {
+        if self.failed {
+            return;
+        }
+        if self.header_pending {
+            self.buf.push_str(&schema_header_line());
+            self.buf.push('\n');
+            self.header_pending = false;
+        }
+        self.buf.push_str(&event.to_jsonl());
+        self.buf.push('\n');
+        self.written += 1;
+        if self.buf.len() >= CHUNK_BYTES {
+            self.send_chunk();
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        let dead = || io::Error::other("event writer thread terminated");
+        if self.failed {
+            return Err(dead());
+        }
+        self.send_chunk();
+        let Some(tx) = &self.tx else {
+            return Err(dead());
+        };
+        let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+        if tx.send(WriterMsg::Flush(reply_tx)).is_err() {
+            self.failed = true;
+            return Err(dead());
+        }
+        match reply_rx.recv() {
+            Ok(result) => result,
+            Err(_) => {
+                self.failed = true;
+                Err(dead())
+            }
+        }
+    }
+}
+
+impl Drop for BufferedJsonlSink {
+    fn drop(&mut self) {
+        self.send_chunk();
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A sink that folds the fault-related events into degraded-mode metrics:
+/// node downtime, fault evictions and restarts, goodput lost to faults,
+/// and mean time-to-reschedule.
+///
+/// "Goodput lost" charges, per fault-evicted job, the GPUs it held times
+/// the gap between eviction and relaunch (failed relaunch attempts extend
+/// the gap), plus the restart penalty window times the GPUs of the
+/// relaunch. Streams without fault events fold to all-zero metrics.
+#[derive(Debug, Default, Clone)]
+pub struct FaultMetricsSink {
+    /// Node failures observed.
+    pub node_failures: u64,
+    /// Node recoveries observed.
+    pub node_recoveries: u64,
+    /// Total node downtime across closed down→up intervals, seconds.
+    pub node_downtime_secs: f64,
+    /// Jobs evicted by node failures.
+    pub fault_evictions: u64,
+    /// Fault-evicted jobs successfully relaunched.
+    pub restarts: u64,
+    /// Total restart-penalty delay charged, seconds.
+    pub restart_penalty_secs: f64,
+    /// GPU-seconds of goodput lost to faults (see type docs).
+    pub goodput_lost_gpu_seconds: f64,
+    resched_wait_secs: f64,
+    pending: BTreeMap<u64, (f64, u32)>,
+    down_since: BTreeMap<u64, f64>,
+}
+
+impl FaultMetricsSink {
+    /// A zeroed fold.
+    pub fn new() -> Self {
+        FaultMetricsSink::default()
+    }
+
+    /// Mean seconds between a fault eviction and the matching relaunch
+    /// (0 when nothing restarted).
+    pub fn mean_time_to_reschedule(&self) -> f64 {
+        if self.restarts == 0 {
+            0.0
+        } else {
+            self.resched_wait_secs / self.restarts as f64
+        }
+    }
+
+    /// Nodes that failed and had not recovered when the stream ended.
+    pub fn nodes_still_down(&self) -> u64 {
+        self.down_since.len() as u64
+    }
+
+    /// Fault-evicted jobs not yet relaunched when the stream ended.
+    pub fn jobs_awaiting_restart(&self) -> u64 {
+        self.pending.len() as u64
+    }
+
+    /// Whether any fault event was observed at all.
+    pub fn any_faults(&self) -> bool {
+        self.node_failures + self.node_recoveries + self.fault_evictions + self.restarts > 0
+    }
+
+    /// Renders the metrics as one stable `key=value` line.
+    pub fn summary(&self) -> String {
+        format!(
+            "node_failures={} node_recoveries={} node_downtime_s={:.1} \
+             fault_evictions={} restarts={} mean_resched_s={:.1} \
+             restart_penalty_s={:.1} goodput_lost_gpu_h={:.3}",
+            self.node_failures,
+            self.node_recoveries,
+            self.node_downtime_secs,
+            self.fault_evictions,
+            self.restarts,
+            self.mean_time_to_reschedule(),
+            self.restart_penalty_secs,
+            self.goodput_lost_gpu_seconds / 3600.0,
+        )
+    }
+}
+
+impl EventSink for FaultMetricsSink {
+    fn on_event(&mut self, event: &SimEvent) {
+        match event {
+            SimEvent::NodeFailed { at, node } => {
+                self.node_failures += 1;
+                self.down_since.entry(*node).or_insert(*at);
+            }
+            SimEvent::NodeRecovered { at, node } => {
+                self.node_recoveries += 1;
+                if let Some(t0) = self.down_since.remove(node) {
+                    self.node_downtime_secs += (at - t0).max(0.0);
+                }
+            }
+            SimEvent::JobPreemptedByFault { at, job, gpus, .. } => {
+                self.fault_evictions += 1;
+                self.pending.insert(*job, (*at, *gpus));
+            }
+            SimEvent::JobRestarted {
+                at,
+                job,
+                gpus,
+                penalty,
+                ..
+            } => {
+                self.restarts += 1;
+                self.restart_penalty_secs += penalty;
+                self.goodput_lost_gpu_seconds += penalty * f64::from(*gpus);
+                if let Some((t0, old_gpus)) = self.pending.remove(job) {
+                    let wait = (at - t0).max(0.0);
+                    self.resched_wait_secs += wait;
+                    self.goodput_lost_gpu_seconds += wait * f64::from(old_gpus);
+                }
+            }
+            _ => {}
+        }
     }
 }
 
@@ -869,10 +1301,18 @@ pub struct CountersSink {
     pub preempts: u64,
     /// Reconfigurations applied.
     pub reconfigs: u64,
-    /// Failed launches (overcommit / testbed OOM).
+    /// Failed launches (overcommit / testbed OOM / injected).
     pub launch_failures: u64,
     /// Jobs completed.
     pub finished: u64,
+    /// Node failures (fault injection).
+    pub node_failures: u64,
+    /// Node recoveries (fault injection).
+    pub node_recoveries: u64,
+    /// Jobs evicted by a node failure.
+    pub fault_evictions: u64,
+    /// Fault-evicted jobs relaunched.
+    pub restarts: u64,
     /// Wall-clock latency distribution of scheduling rounds.
     pub round_latency: LatencyHistogram,
 }
@@ -888,12 +1328,17 @@ impl CountersSink {
             + self.reconfigs
             + self.launch_failures
             + self.finished
+            + self.node_failures
+            + self.node_recoveries
+            + self.fault_evictions
+            + self.restarts
     }
 
     /// Renders the counters as stable `key=value` lines (used by the CLI's
-    /// debug output).
+    /// debug output). Fault counters appear only when fault injection
+    /// actually fired, so chaos-free output is unchanged.
     pub fn summary(&self) -> String {
-        format!(
+        let mut out = format!(
             "submitted={} rounds={} ticks_skipped={} launches={} preempts={} \
              reconfigs={} launch_failures={} finished={} round_latency_mean_us={:.1}",
             self.submitted,
@@ -905,7 +1350,16 @@ impl CountersSink {
             self.launch_failures,
             self.finished,
             self.round_latency.mean_ns() / 1e3,
-        )
+        );
+        if self.node_failures + self.node_recoveries + self.fault_evictions + self.restarts > 0 {
+            use fmt::Write as _;
+            let _ = write!(
+                out,
+                " node_failures={} node_recoveries={} fault_evictions={} restarts={}",
+                self.node_failures, self.node_recoveries, self.fault_evictions, self.restarts,
+            );
+        }
+        out
     }
 }
 
@@ -922,6 +1376,10 @@ impl EventSink for CountersSink {
             SimEvent::Reconfigured { .. } => self.reconfigs += 1,
             SimEvent::LaunchFailed { .. } => self.launch_failures += 1,
             SimEvent::JobFinished { .. } => self.finished += 1,
+            SimEvent::NodeFailed { .. } => self.node_failures += 1,
+            SimEvent::NodeRecovered { .. } => self.node_recoveries += 1,
+            SimEvent::JobPreemptedByFault { .. } => self.fault_evictions += 1,
+            SimEvent::JobRestarted { .. } => self.restarts += 1,
         }
     }
 
@@ -1071,7 +1529,7 @@ mod tests {
     }
 
     #[test]
-    fn jsonl_sink_writes_parseable_lines() {
+    fn jsonl_sink_writes_header_then_parseable_lines() {
         let mut sink = JsonlSink::new(Vec::new());
         for ev in sample_events() {
             sink.on_event(&ev);
@@ -1080,11 +1538,193 @@ mod tests {
         assert_eq!(sink.events_written(), sample_events().len() as u64);
         let bytes = sink.writer.into_inner().unwrap();
         let text = String::from_utf8(bytes).unwrap();
-        let parsed: Vec<SimEvent> = text
-            .lines()
-            .map(|l| SimEvent::from_jsonl(l).unwrap())
+        let mut lines = text.lines();
+        assert_eq!(
+            parse_jsonl_line(lines.next().unwrap()).unwrap(),
+            JsonlLine::Schema(SCHEMA_VERSION)
+        );
+        let parsed: Vec<SimEvent> = lines
+            .map(|l| match parse_jsonl_line(l).unwrap() {
+                JsonlLine::Event(ev) => ev,
+                JsonlLine::Schema(v) => panic!("unexpected second header v{v}"),
+            })
             .collect();
         assert_eq!(parsed, sample_events());
+    }
+
+    #[test]
+    fn empty_jsonl_sink_writes_nothing() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.flush().unwrap();
+        assert!(sink.writer.into_inner().unwrap().is_empty());
+    }
+
+    #[test]
+    fn parser_tolerates_unknown_fields() {
+        // A newer writer may add fields; lookups go by key, so parsing
+        // must ignore the extras — for both events and the header.
+        let line = "{\"type\":\"tick_skipped\",\"at\":1.5,\"round\":2,\"new_field\":\"x\"}";
+        assert_eq!(
+            SimEvent::from_jsonl(line).unwrap(),
+            SimEvent::TickSkipped { at: 1.5, round: 2 }
+        );
+        let header = "{\"type\":\"schema\",\"version\":2,\"generator\":\"future\"}";
+        assert_eq!(parse_jsonl_line(header).unwrap(), JsonlLine::Schema(2));
+        // Unknown event *types* are still an error.
+        assert!(parse_jsonl_line("{\"type\":\"wormhole\",\"at\":0}").is_err());
+    }
+
+    #[test]
+    fn fault_events_round_trip() {
+        let events = vec![
+            SimEvent::NodeFailed { at: 10.0, node: 3 },
+            SimEvent::NodeRecovered { at: 20.0, node: 3 },
+            SimEvent::JobPreemptedByFault {
+                at: 10.0,
+                job: 7,
+                node: 3,
+                gpus: 8,
+                plan: "DP(8)".into(),
+            },
+            SimEvent::JobRestarted {
+                at: 15.5,
+                job: 7,
+                gpus: 4,
+                plan: "TP(4)".into(),
+                penalty: 120.0,
+            },
+        ];
+        for ev in events {
+            let line = ev.to_jsonl();
+            assert_eq!(SimEvent::from_jsonl(&line).unwrap(), ev, "line: {line}");
+            assert_eq!(parse_jsonl_line(&line).unwrap(), JsonlLine::Event(ev));
+        }
+    }
+
+    #[test]
+    fn buffered_sink_bytes_match_jsonl_sink() {
+        use std::sync::{Arc, Mutex};
+
+        /// A writer handing its bytes back through a shared buffer, so the
+        /// test can inspect what the background thread wrote.
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let mut reference = JsonlSink::new(Vec::new());
+        let shared = Shared(Arc::new(Mutex::new(Vec::new())));
+        let mut buffered = BufferedJsonlSink::new(shared.clone());
+        // Enough events to force several chunk handoffs.
+        for _ in 0..2000 {
+            for ev in sample_events() {
+                reference.on_event(&ev);
+                buffered.on_event(&ev);
+            }
+        }
+        reference.flush().unwrap();
+        buffered.flush().unwrap();
+        assert_eq!(
+            buffered.events_written(),
+            2000 * sample_events().len() as u64
+        );
+        let expected = reference.writer.into_inner().unwrap();
+        let actual = shared.0.lock().unwrap().clone();
+        assert_eq!(actual, expected, "buffered sink must write identical bytes");
+        drop(buffered);
+    }
+
+    #[test]
+    fn buffered_sink_flushes_on_drop() {
+        use std::sync::{Arc, Mutex};
+        #[derive(Clone)]
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let shared = Shared(Arc::new(Mutex::new(Vec::new())));
+        {
+            let mut sink = BufferedJsonlSink::new(shared.clone());
+            sink.on_event(&SimEvent::TickSkipped { at: 1.0, round: 1 });
+            // No flush: drop must deliver the buffered lines.
+        }
+        let text = String::from_utf8(shared.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "header + one event, got: {text:?}");
+        assert_eq!(
+            parse_jsonl_line(lines[0]).unwrap(),
+            JsonlLine::Schema(SCHEMA_VERSION)
+        );
+    }
+
+    #[test]
+    fn buffered_sink_reports_write_errors_on_flush() {
+        struct Broken;
+        impl Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk on fire"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = BufferedJsonlSink::new(Broken);
+        for _ in 0..5000 {
+            sink.on_event(&SimEvent::TickSkipped { at: 0.0, round: 1 });
+        }
+        assert!(sink.flush().is_err(), "error must surface at flush");
+    }
+
+    #[test]
+    fn fault_metrics_fold_accounts_downtime_and_goodput() {
+        let mut sink = FaultMetricsSink::new();
+        sink.on_event(&SimEvent::NodeFailed { at: 100.0, node: 0 });
+        sink.on_event(&SimEvent::JobPreemptedByFault {
+            at: 100.0,
+            job: 1,
+            node: 0,
+            gpus: 8,
+            plan: "DP(8)".into(),
+        });
+        sink.on_event(&SimEvent::JobRestarted {
+            at: 160.0,
+            job: 1,
+            gpus: 4,
+            plan: "TP(4)".into(),
+            penalty: 30.0,
+        });
+        sink.on_event(&SimEvent::NodeRecovered { at: 400.0, node: 0 });
+        assert!(sink.any_faults());
+        assert_eq!(sink.node_failures, 1);
+        assert_eq!(sink.node_recoveries, 1);
+        assert!((sink.node_downtime_secs - 300.0).abs() < 1e-9);
+        assert_eq!(sink.fault_evictions, 1);
+        assert_eq!(sink.restarts, 1);
+        assert!((sink.mean_time_to_reschedule() - 60.0).abs() < 1e-9);
+        // 8 GPUs idle for 60 s + 30 s penalty on the new 4 GPUs.
+        assert!((sink.goodput_lost_gpu_seconds - (8.0 * 60.0 + 30.0 * 4.0)).abs() < 1e-9);
+        assert_eq!(sink.nodes_still_down(), 0);
+        assert_eq!(sink.jobs_awaiting_restart(), 0);
+        assert!(sink.summary().contains("fault_evictions=1"));
+        // A fault-free stream folds to silence.
+        let mut clean = FaultMetricsSink::new();
+        for ev in sample_events() {
+            clean.on_event(&ev);
+        }
+        assert!(!clean.any_faults());
     }
 
     #[test]

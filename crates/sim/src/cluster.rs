@@ -17,6 +17,10 @@ pub struct Node {
     pub shape: NodeShape,
     /// Currently unallocated resources.
     pub free: Resources,
+    /// Whether the node is healthy. Failed nodes (fault injection) keep
+    /// their accounting but accept no allocations and contribute nothing
+    /// to schedulable capacity.
+    pub up: bool,
 }
 
 impl Node {
@@ -26,12 +30,23 @@ impl Node {
             id,
             shape,
             free: shape.capacity(),
+            up: true,
         }
     }
 
     /// Resources currently in use on this node.
     pub fn used(&self) -> Resources {
         self.shape.capacity().saturating_sub(&self.free)
+    }
+
+    /// Hardware capacity a scheduler may plan with: the full shape when
+    /// the node is up, nothing while it is down.
+    pub fn schedulable_capacity(&self) -> Resources {
+        if self.up {
+            self.shape.capacity()
+        } else {
+            Resources::zero()
+        }
     }
 }
 
@@ -125,6 +140,8 @@ impl fmt::Display for Allocation {
 pub enum ClusterError {
     /// An allocation referenced a node id outside the cluster.
     UnknownNode(usize),
+    /// An allocation referenced a failed node.
+    NodeDown(usize),
     /// An allocation exceeded a node's free resources.
     Overcommit {
         /// The offending node.
@@ -140,6 +157,7 @@ impl fmt::Display for ClusterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClusterError::UnknownNode(n) => write!(f, "unknown node id {n}"),
+            ClusterError::NodeDown(n) => write!(f, "node {n} is down"),
             ClusterError::Overcommit {
                 node,
                 requested,
@@ -215,11 +233,43 @@ impl Cluster {
             .fold(Resources::zero(), |acc, n| acc + n.shape.capacity())
     }
 
-    /// Aggregate free resources.
+    /// Aggregate hardware capacity a scheduler may plan with: down nodes
+    /// contribute nothing. Equals [`Cluster::total_capacity`] while every
+    /// node is healthy.
+    pub fn schedulable_capacity(&self) -> Resources {
+        self.nodes
+            .iter()
+            .fold(Resources::zero(), |acc, n| acc + n.schedulable_capacity())
+    }
+
+    /// Aggregate free resources on healthy nodes (a down node's resources
+    /// are not usable, so they do not count as free).
     pub fn free_total(&self) -> Resources {
         self.nodes
             .iter()
+            .filter(|n| n.up)
             .fold(Resources::zero(), |acc, n| acc + n.free)
+    }
+
+    /// Whether node `node` is healthy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn node_is_up(&self, node: usize) -> bool {
+        self.nodes[node].up
+    }
+
+    /// Marks a node failed (`up = false`) or recovered (`up = true`).
+    /// Accounting is untouched: the engine releases evicted jobs'
+    /// allocations separately, so a recovered node resumes with whatever
+    /// `free` the ledger says.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn set_node_up(&mut self, node: usize, up: bool) {
+        self.nodes[node].up = up;
     }
 
     /// Free resources on one node.
@@ -238,6 +288,9 @@ impl Cluster {
                 .nodes
                 .get(*node)
                 .ok_or(ClusterError::UnknownNode(*node))?;
+            if !n.up && !res.is_zero() {
+                return Err(ClusterError::NodeDown(*node));
+            }
             if !n.free.dominates(res) {
                 return Err(ClusterError::Overcommit {
                     node: *node,
@@ -360,6 +413,22 @@ mod tests {
         a.merge(&Allocation::on_node(1, Resources::new(1, 1, 1.0)));
         assert_eq!(a.total().gpus, 4);
         assert_eq!(a.per_node.len(), 2);
+    }
+
+    #[test]
+    fn down_node_rejects_allocations_and_drops_capacity() {
+        let mut c = small_cluster();
+        c.set_node_up(0, false);
+        assert!(!c.node_is_up(0));
+        let a = Allocation::on_node(0, Resources::new(1, 1, 1.0));
+        assert_eq!(c.allocate(&a), Err(ClusterError::NodeDown(0)));
+        assert_eq!(c.schedulable_capacity().gpus, 8);
+        assert_eq!(c.free_total().gpus, 8);
+        // Zero grants on a down node are harmless (an empty allocation).
+        assert!(c.fits(&Allocation::on_node(0, Resources::zero())).is_ok());
+        c.set_node_up(0, true);
+        assert_eq!(c.schedulable_capacity(), c.total_capacity());
+        c.allocate(&a).unwrap();
     }
 
     #[test]

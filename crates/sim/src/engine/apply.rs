@@ -83,6 +83,26 @@ impl<'a> Engine<'a> {
                 self.queue_job(id);
                 continue;
             }
+            // Chaos: each launch attempt may fail transiently (a pure
+            // function of job id and attempt number, so thread count and
+            // scheduling order cannot change the outcome).
+            if let Some(plan) = &self.chaos {
+                let rt = self.jobs.get_mut(&id).expect("job exists");
+                let attempt = rt.launch_attempts;
+                rt.launch_attempts += 1;
+                if plan.launch_fails(id, attempt) {
+                    self.emit(
+                        sink,
+                        SimEvent::LaunchFailed {
+                            at: self.now,
+                            job: id,
+                            reason: "injected transient launch failure".to_string(),
+                        },
+                    );
+                    self.queue_job(id);
+                    continue;
+                }
+            }
             if let Err(e) = self.cluster.allocate(&assignment.allocation) {
                 self.emit(
                     sink,
@@ -105,14 +125,37 @@ impl<'a> Engine<'a> {
                 .measure(&spec.model, &assignment.plan, spec.global_batch, &placement)
             {
                 Ok(m) => {
+                    // Chaos: synchronous training runs at the slowest
+                    // worker, so a straggler node caps the whole job; a
+                    // fault-evicted job pays an extra restart penalty on
+                    // top of checkpoint-resume.
+                    let mut throughput = m.throughput;
+                    let mut fault_penalty = 0.0;
+                    let mut fault_restart = false;
+                    if let Some(plan) = &self.chaos {
+                        let slow = assignment
+                            .allocation
+                            .per_node
+                            .iter()
+                            .filter(|(_, r)| r.gpus > 0)
+                            .map(|(n, _)| plan.slowdown(*n))
+                            .fold(1.0_f64, f64::min);
+                        throughput *= slow;
+                        let rt = self.jobs.get(&id).expect("job exists");
+                        if rt.fault_evicted_at.is_some() {
+                            fault_restart = true;
+                            fault_penalty = plan.restart_penalty_secs();
+                        }
+                    }
                     let delay = if restarted {
                         spec.checkpoint_resume_secs()
                     } else {
                         spec.cold_start_secs()
-                    };
+                    } + fault_penalty;
                     let gpus = assignment.allocation.gpus();
                     let plan = assignment.plan.label();
                     let rt = self.jobs.get_mut(&id).expect("job exists");
+                    rt.fault_evicted_at = None;
                     let event = if restarted {
                         rt.reconfig_count += 1;
                         rt.reconfig_time += delay;
@@ -121,7 +164,7 @@ impl<'a> Engine<'a> {
                             at: self.now,
                             job: id,
                             gpus,
-                            plan,
+                            plan: plan.clone(),
                             delay,
                         }
                     } else {
@@ -131,8 +174,8 @@ impl<'a> Engine<'a> {
                             job: id,
                             kind: DecisionKind::Launch,
                             gpus,
-                            plan,
-                            throughput: m.throughput,
+                            plan: plan.clone(),
+                            throughput,
                         }
                     };
                     rt.epoch += 1;
@@ -140,12 +183,24 @@ impl<'a> Engine<'a> {
                     rt.status = JobStatus::Running {
                         allocation: assignment.allocation.clone(),
                         plan: assignment.plan,
-                        throughput: m.throughput,
+                        throughput,
                         resume_at: self.now + delay,
                     };
+                    if fault_restart {
+                        self.emit(
+                            sink,
+                            SimEvent::JobRestarted {
+                                at: self.now,
+                                job: id,
+                                gpus,
+                                plan,
+                                penalty: fault_penalty,
+                            },
+                        );
+                    }
                     self.emit(sink, event);
                     let finish =
-                        self.now + delay + remaining * spec.global_batch as f64 / m.throughput;
+                        self.now + delay + remaining * spec.global_batch as f64 / throughput;
                     self.queue.push(finish, EventKind::Finish(id, epoch));
                 }
                 Err(e) => {

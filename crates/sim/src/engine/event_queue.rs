@@ -16,6 +16,10 @@ pub(crate) enum EventKind {
     Finish(JobId, u64),
     /// Periodic scheduling-round heartbeat.
     Tick,
+    /// Fault injection: the node fails; running jobs on it are evicted.
+    NodeDown(usize),
+    /// Fault injection: the node recovers, fully free.
+    NodeUp(usize),
 }
 
 /// One queued simulation event.

@@ -36,6 +36,7 @@ use crate::report::{self, ReportSink};
 use crate::scheduler::{Assignment, JobSnapshot, Scheduler};
 use crate::tenant::Tenant;
 use event_queue::{EventKind, EventQueue};
+use rubick_chaos::{FaultKind, FaultPlan};
 use rubick_model::Placement;
 use rubick_obs::{EventSink, NullSink, SimEvent};
 use rubick_testbed::TestbedOracle;
@@ -101,6 +102,7 @@ pub struct Engine<'a> {
     tick_pending: bool,
     rounds: u64,
     fold: ReportSink,
+    chaos: Option<FaultPlan>,
 }
 
 impl<'a> Engine<'a> {
@@ -127,7 +129,18 @@ impl<'a> Engine<'a> {
             tick_pending: false,
             rounds: 0,
             fold: ReportSink::new(),
+            chaos: None,
         }
+    }
+
+    /// Arms deterministic fault injection: the plan's node fault timeline
+    /// enters the event queue at run start, stragglers scale measured
+    /// throughputs, and launch attempts may fail transiently. Without this
+    /// call the engine behaves exactly as before — no chaos branch emits
+    /// events or touches the queue.
+    pub fn with_chaos(mut self, plan: FaultPlan) -> Self {
+        self.chaos = Some(plan);
+        self
     }
 
     /// Feeds one event to the engine's own report fold and the external
@@ -204,6 +217,53 @@ impl<'a> Engine<'a> {
         self.apply(targets, sink);
     }
 
+    /// Evicts every running job holding resources on the failed `node`:
+    /// the allocation is released, the job re-enters the queue (progress
+    /// survives via its checkpoint) and one
+    /// [`SimEvent::JobPreemptedByFault`] is emitted per victim, in job-id
+    /// order.
+    fn evict_jobs_on(&mut self, node: usize, sink: &mut dyn EventSink) {
+        let victims: Vec<JobId> = self
+            .jobs
+            .iter()
+            .filter_map(|(id, rt)| match &rt.status {
+                JobStatus::Running { allocation, .. }
+                    if allocation
+                        .per_node
+                        .iter()
+                        .any(|(n, r)| *n == node && !r.is_zero()) =>
+                {
+                    Some(*id)
+                }
+                _ => None,
+            })
+            .collect();
+        for id in victims {
+            let rt = self.jobs.get_mut(&id).expect("victim exists");
+            let (alloc, plan) = match &rt.status {
+                JobStatus::Running {
+                    allocation, plan, ..
+                } => (allocation.clone(), plan.label()),
+                _ => unreachable!("victims are running"),
+            };
+            self.cluster.release(&alloc);
+            rt.status = JobStatus::Queued;
+            rt.queued_since = self.now;
+            rt.epoch += 1;
+            rt.fault_evicted_at = Some(self.now);
+            self.emit(
+                sink,
+                SimEvent::JobPreemptedByFault {
+                    at: self.now,
+                    job: id,
+                    node: node as u64,
+                    gpus: alloc.gpus(),
+                    plan,
+                },
+            );
+        }
+    }
+
     fn queue_job(&mut self, id: JobId) {
         let now = self.now;
         let rt = self.jobs.get_mut(&id).expect("job exists");
@@ -255,6 +315,15 @@ impl<'a> Engine<'a> {
                 .push(spec.submit_time, EventKind::Submit(spec.id));
             pending.insert(spec.id, spec);
         }
+        if let Some(plan) = &self.chaos {
+            for fault in plan.timeline() {
+                let kind = match fault.kind {
+                    FaultKind::Down => EventKind::NodeDown(fault.node),
+                    FaultKind::Up => EventKind::NodeUp(fault.node),
+                };
+                self.queue.push(fault.at, kind);
+            }
+        }
         let mut stall_rounds = 0u32;
 
         while let Some(head) = self.queue.pop() {
@@ -303,6 +372,33 @@ impl<'a> Engine<'a> {
                     EventKind::Tick => {
                         self.tick_pending = false;
                         need_round = true;
+                    }
+                    EventKind::NodeDown(node) => {
+                        if self.cluster.node_is_up(node) {
+                            self.cluster.set_node_up(node, false);
+                            self.emit(
+                                sink,
+                                SimEvent::NodeFailed {
+                                    at: self.now,
+                                    node: node as u64,
+                                },
+                            );
+                            self.evict_jobs_on(node, sink);
+                            need_round = true;
+                        }
+                    }
+                    EventKind::NodeUp(node) => {
+                        if !self.cluster.node_is_up(node) {
+                            self.cluster.set_node_up(node, true);
+                            self.emit(
+                                sink,
+                                SimEvent::NodeRecovered {
+                                    at: self.now,
+                                    node: node as u64,
+                                },
+                            );
+                            need_round = true;
+                        }
                     }
                 }
             }

@@ -28,6 +28,11 @@ pub(crate) struct JobRuntime {
     /// Bumped on every (re)configuration; stale finish events are ignored.
     pub(crate) epoch: u64,
     pub(crate) last_advance: f64,
+    /// When a node failure evicted this job (cleared on successful
+    /// relaunch); drives restart-penalty charging and fault metrics.
+    pub(crate) fault_evicted_at: Option<f64>,
+    /// Launch attempts so far, the input to injected launch failures.
+    pub(crate) launch_attempts: u64,
 }
 
 impl JobRuntime {
@@ -46,6 +51,8 @@ impl JobRuntime {
             baseline_tput,
             epoch: 0,
             last_advance: now,
+            fault_evicted_at: None,
+            launch_attempts: 0,
             status: JobStatus::Queued,
             spec,
         }

@@ -206,6 +206,15 @@ impl EventSink for ReportSink {
                 self.makespan = self.makespan.max(*at);
                 self.decisions.push(Decision::Finish { at: *at, job: *job });
             }
+            // Fault events (schema v2) carry degraded-mode context, not
+            // per-job accounting: jobs evicted by a fault fold through the
+            // reconfiguration counters of their JobFinished record, and the
+            // fault-specific metrics live in `rubick_obs::FaultMetricsSink`
+            // so chaos-free reports stay bit-identical.
+            SimEvent::NodeFailed { .. }
+            | SimEvent::NodeRecovered { .. }
+            | SimEvent::JobPreemptedByFault { .. }
+            | SimEvent::JobRestarted { .. } => {}
         }
     }
 }

@@ -1,0 +1,265 @@
+//! Engine-level fault injection: node churn evicts and re-queues jobs,
+//! stragglers cap throughput, injected launch failures retry, and restart
+//! penalties are charged — all driven by a compiled [`FaultPlan`], all
+//! deterministic.
+
+use rubick_chaos::{ChaosConfig, FaultPlan};
+use rubick_model::{ExecutionPlan, ModelSpec, NodeShape, Resources};
+use rubick_obs::{SimEvent, VecSink};
+use rubick_sim::cluster::{Allocation, Cluster};
+use rubick_sim::engine::{Engine, EngineConfig};
+use rubick_sim::job::{JobClass, JobSpec, JobStatus};
+use rubick_sim::scheduler::{Assignment, JobSnapshot, Scheduler};
+use rubick_sim::tenant::{Tenant, TenantId};
+use rubick_sim::SimReport;
+use rubick_testbed::TestbedOracle;
+
+fn job(id: u64, gpus: u32, batches: u64) -> JobSpec {
+    JobSpec {
+        id,
+        model: ModelSpec::roberta_large(),
+        global_batch: 64,
+        submit_time: 0.0,
+        target_batches: batches,
+        requested: Resources::new(gpus, gpus * 4, gpus as f64 * 50.0),
+        initial_plan: ExecutionPlan::dp(gpus),
+        class: JobClass::Guaranteed,
+        tenant: TenantId::default(),
+    }
+}
+
+/// A health-aware FIFO gang scheduler: keeps running jobs where they are
+/// and places each queued job on the first *up* node with room.
+struct Fifo;
+
+impl Scheduler for Fifo {
+    fn name(&self) -> &str {
+        "fifo-chaos"
+    }
+    fn schedule(
+        &mut self,
+        _now: f64,
+        jobs: &[JobSnapshot],
+        cluster: &Cluster,
+        _tenants: &[Tenant],
+    ) -> Vec<Assignment> {
+        let mut free: Vec<Resources> = cluster
+            .nodes()
+            .iter()
+            .map(|n| if n.up { n.free } else { Resources::zero() })
+            .collect();
+        let mut out = Vec::new();
+        for j in jobs {
+            if let JobStatus::Running {
+                allocation, plan, ..
+            } = &j.status
+            {
+                out.push(Assignment {
+                    job: j.id(),
+                    allocation: allocation.clone(),
+                    plan: *plan,
+                });
+                continue;
+            }
+            if let Some((node, f)) = free
+                .iter_mut()
+                .enumerate()
+                .find(|(_, f)| f.dominates(&j.spec.requested))
+            {
+                *f -= j.spec.requested;
+                out.push(Assignment {
+                    job: j.id(),
+                    allocation: Allocation::on_node(node, j.spec.requested),
+                    plan: j.spec.initial_plan,
+                });
+            }
+        }
+        out
+    }
+}
+
+fn run_chaos(plan: Option<FaultPlan>, jobs: Vec<JobSpec>) -> (SimReport, Vec<SimEvent>) {
+    let oracle = TestbedOracle::new(13);
+    let mut engine = Engine::new(
+        &oracle,
+        Box::new(Fifo),
+        Cluster::new(2, NodeShape::a800()),
+        vec![],
+        EngineConfig::default(),
+    );
+    if let Some(plan) = plan {
+        engine = engine.with_chaos(plan);
+    }
+    let mut sink = VecSink::default();
+    let report = engine.run_with_sink(jobs, &mut sink);
+    (report, sink.events)
+}
+
+fn scripted(script: &str) -> FaultPlan {
+    let cfg = ChaosConfig::parse(script).unwrap();
+    FaultPlan::compile(&cfg, 2, EngineConfig::default().max_time).unwrap()
+}
+
+#[test]
+fn node_failure_evicts_job_and_it_restarts_elsewhere() {
+    let plan = scripted("restart-penalty-secs 120\nfail 0 50\nrecover 0 100000\n");
+    let (report, events) = run_chaos(Some(plan), vec![job(1, 4, 2000)]);
+    assert_eq!(report.jobs.len(), 1, "job must survive the outage");
+    let r = &report.jobs[0];
+    assert!(r.reconfig_count >= 1, "fault restart is a reconfiguration");
+
+    let failed_at = events
+        .iter()
+        .position(|e| matches!(e, SimEvent::NodeFailed { node: 0, .. }))
+        .expect("node_failed emitted");
+    let evicted_at = events
+        .iter()
+        .position(|e| {
+            matches!(
+                e,
+                SimEvent::JobPreemptedByFault {
+                    job: 1,
+                    node: 0,
+                    ..
+                }
+            )
+        })
+        .expect("job_preempted_by_fault emitted");
+    let restarted_at = events
+        .iter()
+        .position(
+            |e| matches!(e, SimEvent::JobRestarted { job: 1, penalty, .. } if *penalty == 120.0),
+        )
+        .expect("job_restarted emitted with the configured penalty");
+    let reconfigured_at = events
+        .iter()
+        .position(|e| matches!(e, SimEvent::Reconfigured { job: 1, .. }))
+        .expect("restart is followed by a reconfigured event");
+    assert!(failed_at < evicted_at, "failure precedes eviction");
+    assert!(evicted_at < restarted_at, "eviction precedes restart");
+    assert_eq!(
+        restarted_at + 1,
+        reconfigured_at,
+        "job_restarted immediately precedes reconfigured"
+    );
+    // The restart delay includes the penalty on top of checkpoint-resume.
+    if let SimEvent::Reconfigured { delay, .. } = &events[reconfigured_at] {
+        assert!(*delay >= 120.0, "delay {delay} must include the penalty");
+    }
+    // Recovery far in the future: node 1 hosted the restart.
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, SimEvent::NodeRecovered { node: 0, .. })));
+}
+
+#[test]
+fn straggler_node_caps_measured_throughput() {
+    let clean = run_chaos(None, vec![job(1, 4, 500)]);
+    let slowed = run_chaos(Some(scripted("straggle 0 0.5\n")), vec![job(1, 4, 500)]);
+    let tput = |events: &[SimEvent]| {
+        events
+            .iter()
+            .find_map(|e| match e {
+                SimEvent::DecisionApplied { throughput, .. } if *throughput > 0.0 => {
+                    Some(*throughput)
+                }
+                _ => None,
+            })
+            .expect("launch event")
+    };
+    let (clean_tput, slow_tput) = (tput(&clean.1), tput(&slowed.1));
+    assert!(
+        (slow_tput - 0.5 * clean_tput).abs() < 1e-9,
+        "straggler factor must scale throughput: {slow_tput} vs {clean_tput}"
+    );
+    assert!(slowed.0.jobs[0].jct() > clean.0.jobs[0].jct());
+}
+
+#[test]
+fn injected_launch_failures_retry_until_success() {
+    // Find a seed whose very first launch attempt of job 1 fails, so the
+    // test exercises the retry path deterministically.
+    let seed = (0..1000)
+        .find(|&seed| {
+            let cfg = ChaosConfig {
+                seed,
+                launch_failure_prob: 0.3,
+                ..ChaosConfig::default()
+            };
+            FaultPlan::compile(&cfg, 2, 1e9).unwrap().launch_fails(1, 0)
+        })
+        .expect("some seed fails attempt 0");
+    let cfg = ChaosConfig {
+        seed,
+        launch_failure_prob: 0.3,
+        ..ChaosConfig::default()
+    };
+    let plan = FaultPlan::compile(&cfg, 2, EngineConfig::default().max_time).unwrap();
+    let (report, events) = run_chaos(Some(plan), vec![job(1, 4, 200)]);
+    assert_eq!(report.jobs.len(), 1, "job must eventually launch");
+    assert!(
+        report.infeasible_assignments >= 1,
+        "injected failures count as infeasible assignments"
+    );
+    assert!(events.iter().any(|e| matches!(
+        e,
+        SimEvent::LaunchFailed { job: 1, reason, .. } if reason.contains("injected")
+    )));
+}
+
+#[test]
+fn noop_plan_is_a_zero_cost_abstraction() {
+    let jobs = vec![job(1, 4, 300), job(2, 8, 300)];
+    let (clean_report, clean_events) = run_chaos(None, jobs.clone());
+    let (noop_report, noop_events) = run_chaos(Some(FaultPlan::noop()), jobs);
+    assert_eq!(clean_report, noop_report);
+    assert_eq!(clean_events, noop_events);
+}
+
+#[test]
+fn scheduler_targeting_a_down_node_gets_launch_failed() {
+    /// Pins everything to node 0, healthy or not.
+    struct Node0Only;
+    impl Scheduler for Node0Only {
+        fn name(&self) -> &str {
+            "node0-only"
+        }
+        fn schedule(
+            &mut self,
+            _now: f64,
+            jobs: &[JobSnapshot],
+            _cluster: &Cluster,
+            _tenants: &[Tenant],
+        ) -> Vec<Assignment> {
+            jobs.iter()
+                .map(|j| Assignment {
+                    job: j.id(),
+                    allocation: Allocation::on_node(0, j.spec.requested),
+                    plan: j.spec.initial_plan,
+                })
+                .collect()
+        }
+    }
+    let oracle = TestbedOracle::new(13);
+    let plan = scripted("fail 0 10\n");
+    let mut engine = Engine::new(
+        &oracle,
+        Box::new(Node0Only),
+        Cluster::new(2, NodeShape::a800()),
+        vec![],
+        EngineConfig {
+            max_time: 4000.0,
+            ..EngineConfig::default()
+        },
+    )
+    .with_chaos(plan);
+    let mut sink = VecSink::default();
+    let report = engine.run_with_sink(vec![job(1, 4, 100_000)], &mut sink);
+    // After the failure the scheduler keeps targeting the dead node: every
+    // attempt is rejected with the NodeDown error, the job never finishes.
+    assert!(report.jobs.is_empty());
+    assert!(sink.events.iter().any(|e| matches!(
+        e,
+        SimEvent::LaunchFailed { reason, .. } if reason.contains("down")
+    )));
+}
