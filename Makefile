@@ -1,12 +1,23 @@
 # Developer entry points for the Rubick reproduction.
 #
-#   make verify   format check + lints + full test suite (the CI gate)
-#   make bench    scheduling-round latency benchmarks (BENCH_*.json)
-#   make build    release build of the whole workspace
+#   make verify        format check + lints + full test suite (the CI gate)
+#   make bench         scheduling-round latency benchmarks (BENCH_*.json)
+#   make bench-check   replay policy/incremental_round and fail on a >20%
+#                      regression of the fastest sample vs the committed
+#                      BENCH_scheduling.json
+#   make build         release build of the whole workspace
+#
+# `BENCH=1 make verify` additionally runs the bench-check perf gate
+# (opt-in: bench timings are machine-dependent, so the default CI gate
+# stays deterministic).
 
-.PHONY: verify fmt lint test build bench
+.PHONY: verify fmt lint test build bench bench-check
 
 verify: fmt lint test
+
+ifeq ($(BENCH),1)
+verify: bench-check
+endif
 
 fmt:
 	cargo fmt --check
@@ -29,3 +40,17 @@ build:
 bench:
 	cargo bench -p rubick-bench --bench scheduling
 	cargo bench -p rubick-bench --bench modeling
+
+# Replays only the incremental tier (BENCH_FILTER) into a scratch dir so
+# the committed summary is never clobbered, then compares each entry's
+# fastest sample (min_ns — robust to shared-machine noise, unlike the
+# mean). The replay doubles the sample count: the min over 20 samples
+# sits at or below a committed 10-sample min unless the code genuinely
+# got slower.
+bench-check:
+	mkdir -p target/bench-check
+	BENCH_SAMPLE_SIZE=20 BENCH_FILTER=incremental_round \
+		BENCH_OUT_DIR=$(CURDIR)/target/bench-check \
+		cargo bench -p rubick-bench --bench scheduling
+	BENCH_CHECK=1 BENCH_CHECK_FRESH=$(CURDIR)/target/bench-check/BENCH_scheduling.json \
+		cargo test -p rubick-bench --test bench_check -- --nocapture

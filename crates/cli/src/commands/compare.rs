@@ -1,11 +1,14 @@
 //! `rubick compare` — every scheduler on the same trace, side by side.
 //!
 //! The schedulers are independent simulations over the same (cloned)
-//! workload, so they run concurrently: one scoped thread per scheduler,
-//! each with its own oracle and freshly profiled registry so no online
-//! refit state can leak between policies. Output order is fixed — rows are
-//! printed from the joined results in `SCHEDULERS` order, identical to the
-//! old sequential loop.
+//! workload, so they run concurrently: one scoped thread per scheduler.
+//! The model zoo is profiled **once** on the main thread; each scheduler
+//! thread then gets its own deep copy via
+//! [`ModelRegistry::clone_fitted`](rubick_core::ModelRegistry::clone_fitted),
+//! so online refit state still cannot leak between policies but the
+//! profiling pass is no longer repeated seven times. Output order is
+//! fixed — rows are printed from the joined results in `SCHEDULERS`
+//! order, identical to the old sequential loop.
 
 use super::{build_registry, chaos_from, oracle_from, scheduler_by_name, workload_from, CliError};
 use crate::args::Args;
@@ -41,6 +44,8 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
         ..EngineConfig::default()
     };
     let chaos = chaos_from(args, Cluster::a800_testbed().nodes().len(), config.max_time)?;
+    // One profiling pass, shared read-only; threads deep-copy below.
+    let profiled = build_registry(&oracle)?;
     log.info(&format!(
         "comparing {} schedulers on {} jobs ({} threads)...",
         SCHEDULERS.len(),
@@ -54,7 +59,7 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
     type SchedResult = Result<(SimReport, Option<FaultMetricsSink>), String>;
     let run_one = |name: &str| -> SchedResult {
         let oracle = rubick_testbed::TestbedOracle::new(seed);
-        let registry = build_registry(&oracle).map_err(|e| e.to_string())?;
+        let registry = std::sync::Arc::new(profiled.clone_fitted());
         let scheduler = scheduler_by_name(name, &registry).map_err(|e| e.to_string())?;
         let mut engine = Engine::new(
             &oracle,

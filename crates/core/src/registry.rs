@@ -10,7 +10,7 @@ use rubick_model::fit::{DataPoint, FitOptions, OnlineFitter};
 use rubick_model::prelude::*;
 use rubick_testbed::{profile_and_fit, TestbedOracle};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Fitted models per model type, plus shared sensitivity-curve cache.
@@ -35,6 +35,10 @@ pub struct ModelRegistry {
     /// fed with observations from live training runs.
     fitters: Mutex<HashMap<String, OnlineFitter>>,
     refits: AtomicUsize,
+    /// Monotone counter bumped on every model insert/replace; incremental
+    /// schedulers fingerprint it to detect that *any* fitted model (and
+    /// hence any sensitivity curve or loss slope) may have changed.
+    version: AtomicU64,
     env: ClusterEnv,
     shape: NodeShape,
     /// Total simulated profiling wall-clock spent building this registry,
@@ -50,6 +54,7 @@ impl ModelRegistry {
             curves: CurveCache::new(),
             fitters: Mutex::new(HashMap::new()),
             refits: AtomicUsize::new(0),
+            version: AtomicU64::new(0),
             env,
             shape,
             profiling_seconds: 0.0,
@@ -169,6 +174,36 @@ impl ModelRegistry {
         let name = model.spec.name.clone();
         self.curves.invalidate_model(&name);
         self.models.write().insert(name, Arc::new(model));
+        self.version.fetch_add(1, Ordering::Release);
+    }
+
+    /// The registry's model-content version: bumped on every
+    /// [`ModelRegistry::insert`] (initial profiling, on-demand profiling
+    /// and online refits alike). Two reads returning the same value
+    /// guarantee every fitted model — and every curve derived from one —
+    /// is unchanged between them.
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// A deep, independent copy of the fitted state: models and online
+    /// fitters are cloned, the curve cache starts empty (it refills
+    /// deterministically on demand) and the refit counter resets.
+    ///
+    /// This is how `compare` shares one profiling pass across scheduler
+    /// threads: profile the zoo once, then hand each thread its own
+    /// registry so online refits stay isolated per scheduler.
+    pub fn clone_fitted(&self) -> Self {
+        ModelRegistry {
+            models: RwLock::new(self.models.read().clone()),
+            curves: CurveCache::new(),
+            fitters: Mutex::new(self.fitters.lock().clone()),
+            refits: AtomicUsize::new(0),
+            version: AtomicU64::new(self.version.load(Ordering::Acquire)),
+            env: self.env,
+            shape: self.shape,
+            profiling_seconds: self.profiling_seconds,
+        }
     }
 
     /// Looks up the fitted model for a model type.
@@ -260,6 +295,29 @@ mod tests {
         // Fresh curve is served from the new model (no stale cache entry).
         let again = registry.gpu_curve("vit-86m", 128, 8).unwrap();
         assert!(again.value(8) > 0.0);
+    }
+
+    #[test]
+    fn version_bumps_on_insert_and_clone_is_independent() {
+        let oracle = TestbedOracle::new(5);
+        let registry = ModelRegistry::from_oracle(&oracle, &[ModelSpec::vit_base()]).unwrap();
+        let v0 = registry.version();
+        let snapshot = registry.clone_fitted();
+        assert_eq!(snapshot.version(), v0);
+        assert_eq!(snapshot.names(), registry.names());
+        assert_eq!(snapshot.profiling_seconds, registry.profiling_seconds);
+        registry.insert(ThroughputModel::new(
+            ModelSpec::vit_base(),
+            PerfParams::default(),
+            *oracle.env(),
+            *oracle.shape(),
+        ));
+        assert_eq!(registry.version(), v0 + 1);
+        // The clone is unaffected by the original's mutation, and serves
+        // curves from its own (empty, refilled-on-demand) cache.
+        assert_eq!(snapshot.version(), v0);
+        assert!(snapshot.gpu_curve("vit-86m", 128, 8).unwrap().value(8) > 0.0);
+        assert_eq!(snapshot.refit_count(), 0);
     }
 }
 

@@ -1,0 +1,575 @@
+//! Incremental dirty-set round planning for the Rubick policy.
+//!
+//! A full Rubick round re-runs the Algorithm 1 plan search for every job,
+//! even in the (overwhelmingly common) steady state where nothing changed
+//! since the previous round. The [`DirtyTracker`] keeps a fingerprint of
+//! every job's planning inputs plus a bit-exact projection of the free
+//! ledger, and partitions the next round's jobs into:
+//!
+//! * **dirty** — something about the job (or a running job, or the
+//!   cluster) changed; re-run the plan search exactly as before;
+//! * **satiated-clean** — the job already holds its useful resource cap
+//!   and nothing about *it* changed: its `ScheduleJob` visit provably
+//!   breaks out of the per-node loop before reading the ledger or any
+//!   victim, and the accept/rollback tail is deterministic in
+//!   epoch-stable inputs — the visit is a no-op and is skipped
+//!   unconditionally;
+//! * **quiet-clean** — the job is unchanged but not satiated; its
+//!   previous visit was a no-op only in the context of the previous
+//!   round's state, so the skip is valid only while this round's state is
+//!   still bit-identical to that one: the previous round must have been
+//!   *quiet* (no lasting mutation), the ledger projection must match
+//!   exactly, no running job may be dirty, and nothing may have mutated
+//!   the state yet this round (`state.changed` still empty).
+//!
+//! When every job is clean, the previous round was quiet and the ledger
+//! matches, the round takes a **fast path**: no per-job context is built,
+//! no passes run, and the previous round's (verbatim) assignments are
+//! re-emitted. The invariant that makes all of this sound is spelled out
+//! in `DESIGN.md` §11.
+//!
+//! Fingerprints deliberately *exclude* monotone-decreasing inputs
+//! (`remaining_batches`, and through it a victim's remaining seconds, and
+//! the amortization guard's `samples_left`): a search that rolled back
+//! last round can only roll back harder as those shrink, and a victim
+//! that was not stolen from cannot become *more* attractive by
+//! approaching completion (the about-to-finish filter only removes the
+//! cheapest victim, leaving strictly costlier ones).
+
+use crate::common::PlanSearch;
+use rubick_model::{ExecutionPlan, Resources, SensitivityCurve};
+use rubick_sim::cluster::Allocation;
+use rubick_sim::job::{JobId, JobStatus};
+use rubick_sim::scheduler::{Assignment, JobSnapshot, RoundStats};
+use rubick_sim::tenant::Tenant;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Everything the plan search reads that is *not* per-job: the fitted
+/// model registry (tracked by its monotone version counter), the cluster
+/// geometry and the tenant quotas. An epoch mismatch invalidates every
+/// certificate at once, including the cached per-job context parts.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Epoch {
+    /// [`ModelRegistry::version`](crate::ModelRegistry::version) after the
+    /// observe loop — any refit or model insertion bumps it.
+    pub(crate) registry_version: u64,
+    /// Total schedulable GPUs (norms, `g_star` and curves depend on it).
+    pub(crate) total_gpus: u32,
+    /// Per-node schedulable capacity (zero for down nodes).
+    pub(crate) node_caps: Vec<Resources>,
+    /// Tenant quotas, compared structurally.
+    pub(crate) tenants: Vec<Tenant>,
+}
+
+/// Per-job fingerprint of every snapshot field the plan search reads,
+/// *except* the monotone-safe ones (see the module docs). Float fields
+/// are compared bit-exactly via their IEEE-754 representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Fingerprint {
+    running: bool,
+    queued_since: u64,
+    reconfig_count: u32,
+    /// Measured throughput while running (`0` for queued jobs) — a change
+    /// means the engine applied a reconfiguration or a fault scaled the
+    /// job, either of which shifts victim economics for everyone.
+    throughput: u64,
+    /// The reconfiguration-penalty gate's verdict this round. It depends
+    /// on `runtime`, which grows every round, so the *bit* is stored, not
+    /// the inputs: the fingerprint only changes when the gate flips.
+    frozen: bool,
+}
+
+impl Fingerprint {
+    fn of(snap: &JobSnapshot, reconfig_threshold: f64) -> Self {
+        let running = snap.status.is_running();
+        let throughput = match &snap.status {
+            JobStatus::Running { throughput, .. } => throughput.to_bits(),
+            _ => 0,
+        };
+        Fingerprint {
+            running,
+            queued_since: snap.queued_since.to_bits(),
+            reconfig_count: snap.reconfig_count,
+            throughput,
+            frozen: running && !snap.reconfig_allowed(reconfig_threshold),
+        }
+    }
+}
+
+/// The cached, epoch-stable slice of a job's round context: plan-search
+/// mode, sensitivity curve, SLA baseline and minimum demand. The penalty
+/// gate (`frozen`) is *not* cached — it depends on the job's runtime and
+/// is recomputed every round.
+#[derive(Clone)]
+pub(crate) struct CachedParts {
+    /// Plan-reconfiguration freedom (a function of the policy config and
+    /// the job's immutable initial plan).
+    pub(crate) search: PlanSearch,
+    /// GPU sensitivity curve under `search`, if the model is known.
+    pub(crate) curve: Option<Arc<SensitivityCurve>>,
+    /// SLA baseline throughput, if derivable.
+    pub(crate) baseline: Option<f64>,
+    /// Minimum resource demand (`MinRes` of Algorithm 1).
+    pub(crate) minimum: Resources,
+}
+
+/// How this round's jobs partition, as decided by [`DirtyTracker::classify`]
+/// (fingerprints + epoch) and then tightened by the caller (ledger check,
+/// which may demote the quiet-clean set).
+#[derive(Debug, Default)]
+pub(crate) struct Classification {
+    /// Jobs whose plan search must re-run.
+    pub(crate) dirty: BTreeSet<JobId>,
+    /// Satiated clean jobs: skipped unconditionally.
+    pub(crate) skip_always: BTreeSet<JobId>,
+    /// Non-satiated clean jobs: skipped only while the round state is
+    /// still untouched (`state.changed` empty).
+    pub(crate) quiet_skip: BTreeSet<JobId>,
+    /// Whether the stored epoch matched (cached parts are reusable).
+    pub(crate) epoch_matched: bool,
+    /// All clean + previous round quiet + no vanished jobs: the round may
+    /// take the fast path if the ledger also matches.
+    pub(crate) fast_eligible: bool,
+}
+
+impl Classification {
+    /// Demotes every quiet-clean job to dirty (ledger grew, a running job
+    /// changed, or the previous round was not quiet).
+    pub(crate) fn demote_quiet(&mut self) {
+        self.dirty.append(&mut self.quiet_skip);
+        self.fast_eligible = false;
+    }
+
+    /// Demotes *everything* to dirty (epoch mismatch or ledger shrink).
+    pub(crate) fn demote_all(&mut self) {
+        self.dirty.append(&mut self.quiet_skip);
+        self.dirty.append(&mut self.skip_always);
+        self.fast_eligible = false;
+    }
+}
+
+/// End-of-round memory of the incremental planner: fingerprints, the
+/// emitted assignments, the satiated set, a bit-exact projection of the
+/// next round's post-`charge_running` free ledger, and the epoch they
+/// were all recorded under.
+#[derive(Default)]
+pub(crate) struct DirtyTracker {
+    fingerprints: BTreeMap<JobId, Fingerprint>,
+    /// What was handed to the engine last round, keyed by job. Used for
+    /// the emitted-consistency check: a running job whose snapshot does
+    /// not match what we emitted (or a queued job we *did* emit for —
+    /// a failed launch) is dirty.
+    emitted: BTreeMap<JobId, (Allocation, ExecutionPlan)>,
+    /// Jobs whose emitted allocation already met their useful cap.
+    satiated: BTreeSet<JobId>,
+    /// Projected per-node free ledger for the next round, computed with
+    /// the same `free[n] -= r` op sequence as `RoundContext::new` +
+    /// `charge_running` so equality is bit-exact.
+    projected_free: Vec<Resources>,
+    /// Whether the last round ended with `state.changed` empty.
+    prev_round_quiet: bool,
+    epoch: Option<Epoch>,
+    /// Per-job context parts cache, valid while the epoch is unchanged.
+    pub(crate) parts: BTreeMap<JobId, CachedParts>,
+    /// Set by [`Scheduler::notify`](rubick_sim::Scheduler::notify) on a
+    /// cluster delta; forces a full re-plan on the next round.
+    force_dirty: bool,
+    /// Statistics of the most recent round, surfaced through
+    /// [`Scheduler::last_round_stats`](rubick_sim::Scheduler::last_round_stats).
+    stats: Option<RoundStats>,
+}
+
+impl DirtyTracker {
+    /// A tracker with no history: the first round classifies everything
+    /// dirty.
+    pub(crate) fn new() -> Self {
+        DirtyTracker::default()
+    }
+
+    /// Marks the next round as force-dirty (cluster topology changed).
+    pub(crate) fn force_dirty(&mut self) {
+        self.force_dirty = true;
+    }
+
+    /// Statistics of the most recent round, if one ran incrementally.
+    pub(crate) fn stats(&self) -> Option<RoundStats> {
+        self.stats
+    }
+
+    /// Stores this round's statistics.
+    pub(crate) fn set_stats(&mut self, stats: RoundStats) {
+        self.stats = Some(stats);
+    }
+
+    /// The recorded ledger projection (empty before the first round).
+    pub(crate) fn projected_free(&self) -> &[Resources] {
+        &self.projected_free
+    }
+
+    /// Partitions `jobs` by comparing fingerprints and the epoch. The
+    /// caller must still apply the ledger check (demoting the quiet set
+    /// on growth, everything on shrink) before trusting the skip sets.
+    ///
+    /// Consumes the force-dirty flag: a notified cluster delta dirties
+    /// exactly one round.
+    pub(crate) fn classify(
+        &mut self,
+        jobs: &[JobSnapshot],
+        epoch_now: &Epoch,
+        reconfig_threshold: f64,
+    ) -> Classification {
+        let force = std::mem::take(&mut self.force_dirty);
+        let epoch_matched = !force && self.epoch.as_ref() == Some(epoch_now);
+        let mut cls = Classification {
+            epoch_matched,
+            ..Classification::default()
+        };
+        if !epoch_matched {
+            // Everything the cached parts were computed from may have
+            // changed; drop them and re-plan from scratch.
+            self.parts.clear();
+            cls.dirty = jobs.iter().map(|s| s.id()).collect();
+            return cls;
+        }
+        let mut seen = BTreeSet::new();
+        let mut any_running_dirty = false;
+        for snap in jobs {
+            let id = snap.id();
+            seen.insert(id);
+            let fp = Fingerprint::of(snap, reconfig_threshold);
+            let clean = self.fingerprints.get(&id) == Some(&fp) && self.emitted_consistent(snap);
+            if clean {
+                if self.satiated.contains(&id) {
+                    cls.skip_always.insert(id);
+                } else {
+                    cls.quiet_skip.insert(id);
+                }
+            } else {
+                cls.dirty.insert(id);
+                if snap.status.is_running() {
+                    any_running_dirty = true;
+                }
+            }
+        }
+        let vanished = self.fingerprints.keys().any(|id| !seen.contains(id));
+        cls.fast_eligible = cls.dirty.is_empty() && !vanished && self.prev_round_quiet;
+        // A dirty *running* job shifts victim economics (and possibly
+        // quota accounting) for every other search; only satiated jobs —
+        // which provably read neither — keep their skip. Ditto when the
+        // previous round mutated state mid-pass: the quiet certificates
+        // were taken against a state this round does not reproduce.
+        if any_running_dirty || !self.prev_round_quiet {
+            cls.demote_quiet();
+        }
+        cls
+    }
+
+    /// Whether the engine state reflects what we handed it: a running job
+    /// must match its emitted `(allocation, plan)` verbatim, and a queued
+    /// job must not have one (an emitted-but-still-queued job is a failed
+    /// launch).
+    fn emitted_consistent(&self, snap: &JobSnapshot) -> bool {
+        match &snap.status {
+            JobStatus::Running {
+                allocation, plan, ..
+            } => self
+                .emitted
+                .get(&snap.id())
+                .map(|(a, p)| a == allocation && p == plan)
+                .unwrap_or(false),
+            _ => !self.emitted.contains_key(&snap.id()),
+        }
+    }
+
+    /// Re-emits the previous round's assignments without planning: every
+    /// running job's `(allocation, plan)` verbatim, in id order — exactly
+    /// what `emit` produces in a quiet round. Valid only when the caller
+    /// verified fast-eligibility *and* `LedgerDelta::Unchanged`.
+    pub(crate) fn fast_path(&mut self, jobs: &[JobSnapshot]) -> Vec<Assignment> {
+        let mut ids: Vec<&JobSnapshot> = jobs.iter().collect();
+        ids.sort_by_key(|s| s.id());
+        let mut out = Vec::new();
+        for snap in ids {
+            if let JobStatus::Running {
+                allocation, plan, ..
+            } = &snap.status
+            {
+                if allocation.is_empty() {
+                    continue;
+                }
+                out.push(Assignment {
+                    job: snap.id(),
+                    allocation: allocation.clone(),
+                    plan: *plan,
+                });
+            }
+        }
+        self.stats = Some(RoundStats {
+            dirty: 0,
+            clean: jobs.len() as u64,
+            reused: out.len() as u64,
+            searched: 0,
+        });
+        // History (fingerprints, projection, satiated set, quietness) is
+        // untouched: the round changed nothing, so it stays valid.
+        out
+    }
+
+    /// Records the end-of-round memory: fingerprints of the snapshots the
+    /// round planned over, the emitted assignments, which of them are
+    /// satiated (per `satiated`, evaluated against epoch-stable context),
+    /// and the ledger projection replaying `node_caps` minus every
+    /// emitted allocation in id order.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn record(
+        &mut self,
+        jobs: &[JobSnapshot],
+        out: &[Assignment],
+        node_caps: Vec<Resources>,
+        epoch: Epoch,
+        quiet: bool,
+        reconfig_threshold: f64,
+        satiated: impl Fn(JobId, &Allocation) -> bool,
+    ) {
+        self.fingerprints = jobs
+            .iter()
+            .map(|s| (s.id(), Fingerprint::of(s, reconfig_threshold)))
+            .collect();
+        self.emitted = out
+            .iter()
+            .map(|a| (a.job, (a.allocation.clone(), a.plan)))
+            .collect();
+        self.satiated = out
+            .iter()
+            .filter(|a| satiated(a.job, &a.allocation))
+            .map(|a| a.job)
+            .collect();
+        let mut free = node_caps;
+        for a in out {
+            for (node, res) in &a.allocation.per_node {
+                if let Some(slot) = free.get_mut(*node) {
+                    *slot -= *res;
+                }
+            }
+        }
+        self.projected_free = free;
+        self.prev_round_quiet = quiet;
+        // Cached parts for jobs that left the system are dead weight.
+        let live: BTreeSet<JobId> = jobs.iter().map(|s| s.id()).collect();
+        self.parts.retain(|id, _| live.contains(id));
+        self.epoch = Some(epoch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rubick_model::{ExecutionPlan, ModelSpec, NodeShape};
+    use rubick_sim::job::{JobClass, JobSpec};
+    use rubick_sim::tenant::TenantId;
+
+    fn snap(id: JobId, status: JobStatus) -> JobSnapshot {
+        JobSnapshot {
+            spec: Arc::new(JobSpec {
+                id,
+                model: ModelSpec::roberta_large(),
+                global_batch: 64,
+                submit_time: 0.0,
+                target_batches: 1000,
+                requested: Resources::new(1, 12, 100.0),
+                initial_plan: ExecutionPlan::dp(1),
+                class: JobClass::Guaranteed,
+                tenant: TenantId::default(),
+            }),
+            status,
+            remaining_batches: 1000.0,
+            queued_since: 0.0,
+            runtime: 1_000.0,
+            reconfig_count: 0,
+            baseline_throughput: Some(1.0),
+        }
+    }
+
+    fn running(id: JobId) -> JobSnapshot {
+        snap(
+            id,
+            JobStatus::Running {
+                allocation: Allocation::on_node(0, Resources::new(1, 12, 100.0)),
+                plan: ExecutionPlan::dp(1),
+                throughput: 1.0,
+                resume_at: 0.0,
+            },
+        )
+    }
+
+    fn epoch() -> Epoch {
+        Epoch {
+            registry_version: 0,
+            total_gpus: 8,
+            node_caps: vec![NodeShape::a800().capacity()],
+            tenants: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn first_round_is_all_dirty_then_steady_state_is_clean() {
+        let mut t = DirtyTracker::new();
+        let jobs = vec![running(1), snap(2, JobStatus::Queued)];
+        let cls = t.classify(&jobs, &epoch(), 0.97);
+        assert_eq!(cls.dirty.len(), 2);
+        assert!(!cls.fast_eligible);
+
+        let out = vec![Assignment {
+            job: 1,
+            allocation: Allocation::on_node(0, Resources::new(1, 12, 100.0)),
+            plan: ExecutionPlan::dp(1),
+        }];
+        t.record(
+            &jobs,
+            &out,
+            epoch().node_caps,
+            epoch(),
+            true,
+            0.97,
+            |_, _| false,
+        );
+        let cls = t.classify(&jobs, &epoch(), 0.97);
+        assert!(cls.dirty.is_empty());
+        assert_eq!(cls.quiet_skip.len(), 2);
+        assert!(cls.fast_eligible);
+    }
+
+    #[test]
+    fn dirty_running_job_demotes_quiet_set_but_not_satiated() {
+        let mut t = DirtyTracker::new();
+        let jobs = vec![running(1), running(2), snap(3, JobStatus::Queued)];
+        let out: Vec<Assignment> = jobs
+            .iter()
+            .filter_map(|s| {
+                s.allocation().map(|a| Assignment {
+                    job: s.id(),
+                    allocation: a.clone(),
+                    plan: *s.plan().unwrap(),
+                })
+            })
+            .collect();
+        t.classify(&jobs, &epoch(), 0.97);
+        t.record(
+            &jobs,
+            &out,
+            epoch().node_caps,
+            epoch(),
+            true,
+            0.97,
+            |id, _| id == 2,
+        );
+
+        // Job 1's throughput moved: it and the queued job are dirty, the
+        // satiated job 2 keeps its unconditional skip.
+        let mut jobs2 = jobs.clone();
+        if let JobStatus::Running { throughput, .. } = &mut jobs2[0].status {
+            *throughput = 2.0;
+        }
+        let cls = t.classify(&jobs2, &epoch(), 0.97);
+        assert!(cls.dirty.contains(&1) && cls.dirty.contains(&3));
+        assert_eq!(cls.skip_always, BTreeSet::from([2]));
+        assert!(cls.quiet_skip.is_empty());
+        assert!(!cls.fast_eligible);
+    }
+
+    #[test]
+    fn epoch_mismatch_and_notify_dirty_everything() {
+        let mut t = DirtyTracker::new();
+        let jobs = vec![running(1)];
+        let out = vec![Assignment {
+            job: 1,
+            allocation: Allocation::on_node(0, Resources::new(1, 12, 100.0)),
+            plan: ExecutionPlan::dp(1),
+        }];
+        t.classify(&jobs, &epoch(), 0.97);
+        t.record(
+            &jobs,
+            &out,
+            epoch().node_caps,
+            epoch(),
+            true,
+            0.97,
+            |_, _| true,
+        );
+
+        let mut other = epoch();
+        other.registry_version = 7;
+        let cls = t.classify(&jobs, &other, 0.97);
+        assert!(!cls.epoch_matched && cls.dirty.contains(&1));
+
+        // Re-record, then a notified cluster delta forces one dirty round.
+        t.record(
+            &jobs,
+            &out,
+            epoch().node_caps,
+            epoch(),
+            true,
+            0.97,
+            |_, _| true,
+        );
+        t.force_dirty();
+        let cls = t.classify(&jobs, &epoch(), 0.97);
+        assert!(!cls.epoch_matched && cls.dirty.contains(&1));
+        // The flag is one-shot.
+        let cls = t.classify(&jobs, &epoch(), 0.97);
+        assert!(cls.epoch_matched && cls.skip_always.contains(&1));
+    }
+
+    #[test]
+    fn failed_launch_is_caught_by_emitted_consistency() {
+        let mut t = DirtyTracker::new();
+        let queued = vec![snap(1, JobStatus::Queued)];
+        let out = vec![Assignment {
+            job: 1,
+            allocation: Allocation::on_node(0, Resources::new(1, 12, 100.0)),
+            plan: ExecutionPlan::dp(1),
+        }];
+        t.classify(&queued, &epoch(), 0.97);
+        // We emitted a launch for job 1 and the previous round was *not*
+        // quiet (it admitted a job)…
+        t.record(
+            &queued,
+            &out,
+            epoch().node_caps,
+            epoch(),
+            false,
+            0.97,
+            |_, _| false,
+        );
+        // …but the job is still queued: the launch failed, so it is dirty
+        // even though its snapshot fingerprint is unchanged.
+        let cls = t.classify(&queued, &epoch(), 0.97);
+        assert!(cls.dirty.contains(&1));
+    }
+
+    #[test]
+    fn projection_matches_caps_minus_emitted() {
+        let mut t = DirtyTracker::new();
+        let jobs = vec![running(1)];
+        let out = vec![Assignment {
+            job: 1,
+            allocation: Allocation::on_node(0, Resources::new(1, 12, 100.0)),
+            plan: ExecutionPlan::dp(1),
+        }];
+        t.record(
+            &jobs,
+            &out,
+            epoch().node_caps,
+            epoch(),
+            true,
+            0.97,
+            |_, _| false,
+        );
+        let cap = NodeShape::a800().capacity();
+        assert_eq!(
+            t.projected_free(),
+            &[cap - Resources::new(1, 12, 100.0)][..]
+        );
+    }
+}

@@ -21,6 +21,7 @@
 //! §5.2 (`(T − N·δ)/T ≥ 0.97`), and starving best-effort jobs are promoted
 //! after a queueing-delay threshold.
 
+mod dirty;
 mod minres;
 mod policy;
 
@@ -29,7 +30,7 @@ pub use minres::min_res;
 use crate::registry::ModelRegistry;
 use parking_lot::Mutex;
 use rubick_sim::cluster::Cluster;
-use rubick_sim::scheduler::{Assignment, JobSnapshot, Scheduler};
+use rubick_sim::scheduler::{Assignment, ClusterDelta, JobSnapshot, RoundStats, Scheduler};
 use rubick_sim::tenant::Tenant;
 use rubick_testbed::TestbedOracle;
 use std::collections::HashMap;
@@ -70,6 +71,12 @@ pub struct RubickConfig {
     /// are merged into `JobId`-ordered maps, so round output is identical
     /// at any setting.
     pub parallelism: Option<usize>,
+    /// Incremental dirty-set rounds: fingerprint every job's planning
+    /// inputs and skip the plan search for jobs whose previous decision is
+    /// provably still optimal-feasible (see `DESIGN.md` §11). Skips fire
+    /// only under bit-exact certificates, so round output is identical
+    /// with the flag on or off; `false` forces a full re-plan every round.
+    pub incremental: bool,
 }
 
 impl Default for RubickConfig {
@@ -82,6 +89,7 @@ impl Default for RubickConfig {
             resource_realloc: true,
             min_gain: 0.15,
             parallelism: None,
+            incremental: true,
         }
     }
 }
@@ -106,6 +114,11 @@ pub struct RubickScheduler {
     pub(crate) registry: Arc<ModelRegistry>,
     pub(crate) config: RubickConfig,
     pub(crate) lazy: Option<LazyProfiling>,
+    /// Incremental-planning memory (fingerprints, ledger projection,
+    /// cached per-job context). Interior-mutable because rounds run
+    /// through `&self` plumbing; uncontended in practice — locked once
+    /// per round.
+    pub(crate) tracker: Mutex<dirty::DirtyTracker>,
 }
 
 impl RubickScheduler {
@@ -115,6 +128,7 @@ impl RubickScheduler {
             registry,
             config: RubickConfig::default(),
             lazy: None,
+            tracker: Mutex::new(dirty::DirtyTracker::new()),
         }
     }
 
@@ -124,6 +138,7 @@ impl RubickScheduler {
             registry,
             config,
             lazy: None,
+            tracker: Mutex::new(dirty::DirtyTracker::new()),
         }
     }
 
@@ -160,6 +175,19 @@ impl Scheduler for RubickScheduler {
 
     fn set_parallelism(&mut self, parallelism: Option<usize>) {
         self.config.parallelism = parallelism;
+    }
+
+    fn notify(&mut self, delta: &ClusterDelta) {
+        // Belt and braces: topology changes also surface as an epoch
+        // mismatch (node capacities are part of the epoch), but the
+        // explicit signal keeps the tracker honest even if a future
+        // epoch field is relaxed.
+        let _ = delta;
+        self.tracker.lock().force_dirty();
+    }
+
+    fn last_round_stats(&self) -> Option<RoundStats> {
+        self.tracker.lock().stats()
     }
 
     fn schedule(

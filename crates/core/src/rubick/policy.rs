@@ -1,12 +1,13 @@
 //! The per-round scheduling logic (lines 1–24 of Algorithm 1).
 
+use super::dirty::{CachedParts, Classification, Epoch};
 use super::RubickScheduler;
 use crate::common::{job_baseline, job_gpu_curve, PlanSearch};
-use crate::round::RoundContext;
+use crate::round::{LedgerDelta, RoundContext};
 use rubick_model::{ExecutionPlan, MemoryEstimator, Placement, Resources, SensitivityCurve};
 use rubick_sim::cluster::{Allocation, Cluster};
 use rubick_sim::job::{JobClass, JobId, JobStatus};
-use rubick_sim::scheduler::{Assignment, JobSnapshot};
+use rubick_sim::scheduler::{Assignment, JobSnapshot, RoundStats};
 use rubick_sim::tenant::Tenant;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -202,27 +203,20 @@ fn effective_threads(parallelism: Option<usize>, items: usize) -> usize {
     }
 }
 
-/// The per-job slice of [`Ctx`], computed independently per job (and in
-/// parallel when [`RubickConfig::parallelism`](super::RubickConfig) is
-/// set).
-struct JobCtxParts {
-    search: PlanSearch,
-    curve: Option<Arc<SensitivityCurve>>,
-    baseline: Option<f64>,
-    minimum: Resources,
-    frozen: bool,
-}
-
 /// Computes one job's context entries: plan-search mode, GPU sensitivity
-/// curve, SLA baseline, minimum demand, and penalty-gate state. Pure in
-/// (snapshot, registry) — full-search curves go through the shared keyed
-/// cache, whose hit/miss pattern cannot change the values.
+/// curve, SLA baseline and minimum demand. Pure in (snapshot spec,
+/// registry, cluster geometry) — full-search curves go through the shared
+/// keyed cache, whose hit/miss pattern cannot change the values. Because
+/// every input is epoch-stable, the result is cacheable across rounds by
+/// the [`DirtyTracker`](super::dirty::DirtyTracker); the penalty-gate
+/// state (`frozen`) depends on the job's runtime and is computed per
+/// round at merge time instead.
 fn build_job_parts(
     sched: &RubickScheduler,
     snap: &JobSnapshot,
     total_gpus: u32,
     estimator: MemoryEstimator,
-) -> JobCtxParts {
+) -> CachedParts {
     let cfg = &sched.config;
     let search = if cfg.plan_reconfig {
         PlanSearch::Full
@@ -231,7 +225,7 @@ fn build_job_parts(
     } else {
         PlanSearch::Fixed(snap.spec.initial_plan)
     };
-    JobCtxParts {
+    CachedParts {
         curve: job_gpu_curve(
             &sched.registry,
             &search,
@@ -247,7 +241,6 @@ fn build_job_parts(
             cfg.resource_realloc,
             estimator,
         ),
-        frozen: snap.status.is_running() && !snap.reconfig_allowed(cfg.reconfig_threshold),
         search,
     }
 }
@@ -315,6 +308,56 @@ pub(super) fn run_round(
         }
     }
 
+    // ---- incremental classification (dirty-set planning, §see DESIGN 11)
+    // Fingerprint every job's planning inputs and compare against the end
+    // of the previous round. The epoch is read *after* the observe loop,
+    // so a refit this round bumps the registry version and invalidates
+    // every certificate at once.
+    let epoch_now = cfg.incremental.then(|| Epoch {
+        registry_version: sched.registry.version(),
+        total_gpus,
+        node_caps: cluster
+            .nodes()
+            .iter()
+            .map(|n| n.schedulable_capacity())
+            .collect(),
+        tenants: tenants.to_vec(),
+    });
+    let mut tracker = cfg.incremental.then(|| sched.tracker.lock());
+    let mut cls: Option<Classification> = match (&mut tracker, &epoch_now) {
+        (Some(t), Some(e)) => Some(t.classify(jobs, e, cfg.reconfig_threshold)),
+        _ => None,
+    };
+
+    // ---- initial state: current allocations applied --------------------
+    // Built before the per-job context: the ledger check (and with it the
+    // fast path) only needs the post-charge free vector, which is cheap.
+    let mut state = State {
+        round: RoundContext::new(cluster, jobs),
+        alloc: BTreeMap::new(),
+        changed: BTreeSet::new(),
+    };
+    for (id, alloc) in state.round.charge_running() {
+        state.alloc.insert(id, alloc);
+    }
+
+    // ---- ledger check + fast path --------------------------------------
+    // Capacity growth (a job finished or was evicted elsewhere) gives
+    // non-satiated searches something to grab, so only the satiated skips
+    // survive it; any shrink is maximally conservative. When every job is
+    // clean, the previous round was quiet and the ledger is bit-identical,
+    // the whole round is provably a verbatim re-emit.
+    if let (Some(t), Some(c)) = (&mut tracker, &mut cls) {
+        match state.round.delta_vs(t.projected_free()) {
+            LedgerDelta::Unchanged => {}
+            LedgerDelta::Grown(_) => c.demote_quiet(),
+            LedgerDelta::Shrunk(_) => c.demote_all(),
+        }
+        if c.fast_eligible {
+            return t.fast_path(jobs);
+        }
+    }
+
     // ---- build round context ------------------------------------------
     // The per-job work (curve, baseline, minimum demand) is the round's
     // hot path and is embarrassingly parallel: each entry is a pure
@@ -324,6 +367,10 @@ pub(super) fn run_round(
     // One estimator per round (it is a cheap `Copy` of the cluster's GPU
     // memory capacity), shared by every per-job minimum-demand search and
     // the allocation passes below.
+    //
+    // Incrementally-tracked rounds reuse the epoch-stable slice from the
+    // tracker's cache (`build_job_parts` is pure in epoch-stable inputs)
+    // and only rebuild jobs the cache has not seen.
     let estimator = MemoryEstimator::new(cluster.shape().gpu_mem_gb);
     let mut ctx = Ctx {
         sched,
@@ -336,15 +383,28 @@ pub(super) fn run_round(
         estimator,
         total_gpus,
     };
-    let threads = effective_threads(cfg.parallelism, jobs.len());
-    let parts: Vec<JobCtxParts> = if threads <= 1 {
-        jobs.iter()
+    let cached: Vec<Option<CachedParts>> = match (&tracker, &cls) {
+        (Some(t), Some(c)) if c.epoch_matched => {
+            jobs.iter().map(|s| t.parts.get(&s.id()).cloned()).collect()
+        }
+        _ => vec![None; jobs.len()],
+    };
+    let missing: Vec<&JobSnapshot> = jobs
+        .iter()
+        .zip(&cached)
+        .filter(|(_, hit)| hit.is_none())
+        .map(|(s, _)| s)
+        .collect();
+    let threads = effective_threads(cfg.parallelism, missing.len());
+    let built: Vec<CachedParts> = if threads <= 1 {
+        missing
+            .iter()
             .map(|snap| build_job_parts(sched, snap, total_gpus, estimator))
             .collect()
     } else {
-        let chunk = jobs.len().div_ceil(threads);
+        let chunk = missing.len().div_ceil(threads);
         crossbeam::scope(|scope| {
-            let handles: Vec<_> = jobs
+            let handles: Vec<_> = missing
                 .chunks(chunk)
                 .map(|part| {
                     scope.spawn(move || {
@@ -361,9 +421,20 @@ pub(super) fn run_round(
         })
         .expect("round context scope panicked")
     };
-    for (snap, parts) in jobs.iter().zip(parts) {
+    let mut built = built.into_iter();
+    for (snap, hit) in jobs.iter().zip(cached) {
         let id = snap.id();
         ctx.snaps.insert(id, snap);
+        let parts = match hit {
+            Some(parts) => parts,
+            None => {
+                let parts = built.next().expect("one built part per cache miss");
+                if let Some(t) = &mut tracker {
+                    t.parts.insert(id, parts.clone());
+                }
+                parts
+            }
+        };
         if let Some(curve) = parts.curve {
             ctx.curves.insert(id, curve);
         }
@@ -371,21 +442,26 @@ pub(super) fn run_round(
             ctx.baselines.insert(id, b);
         }
         ctx.minima.insert(id, parts.minimum);
-        if parts.frozen {
+        // The penalty gate reads the job's accumulated runtime, which
+        // grows every round — never cached.
+        if snap.status.is_running() && !snap.reconfig_allowed(cfg.reconfig_threshold) {
             ctx.frozen.insert(id);
         }
         ctx.searches.insert(id, parts.search);
     }
 
-    // ---- initial state: current allocations applied --------------------
-    let mut state = State {
-        round: RoundContext::new(cluster, jobs),
-        alloc: BTreeMap::new(),
-        changed: BTreeSet::new(),
+    // The skip predicate of the incremental round: satiated-clean jobs
+    // skip their (provably no-op) visit unconditionally; quiet-clean jobs
+    // skip only while nothing has mutated the round state yet — the first
+    // lasting mutation voids every positional no-op certificate, and all
+    // later jobs are searched exactly as in a full round.
+    let may_skip = |state: &State<'_>, id: &JobId| -> bool {
+        cls.as_ref().is_some_and(|c| {
+            c.skip_always.contains(id) || (c.quiet_skip.contains(id) && state.changed.is_empty())
+        })
     };
-    for (id, alloc) in state.round.charge_running() {
-        state.alloc.insert(id, alloc);
-    }
+    let mut searched: u64 = 0;
+    let mut running_searched: u64 = 0;
 
     // ---- pass 1: privileged guaranteed jobs within quota ---------------
     let queued_guaranteed: Vec<JobId> = state
@@ -395,7 +471,11 @@ pub(super) fn run_round(
         .map(|s| s.id())
         .collect();
     for id in queued_guaranteed {
+        if may_skip(&state, &id) {
+            continue;
+        }
         if quota_allows(&ctx, &state, tenants, id) {
+            searched += 1;
             schedule_job(&ctx, &mut state, id);
         }
     }
@@ -410,11 +490,15 @@ pub(super) fn run_round(
         .map(|s| s.id())
         .collect();
     for id in starving {
+        if may_skip(&state, &id) {
+            continue;
+        }
+        searched += 1;
         schedule_job(&ctx, &mut state, id);
     }
 
     // ---- pass 2: best-effort + running, sorted by slope ----------------
-    let mut rest: Vec<JobId> = jobs
+    let rest: Vec<JobId> = jobs
         .iter()
         .filter(|s| {
             // Queued jobs already admitted by the privileged/starvation
@@ -440,17 +524,81 @@ pub(super) fn run_round(
         };
         slope * (1.0 + age)
     };
-    rest.sort_by(|a, b| {
-        let pa = priority(&ctx, &state, a);
-        let pb = priority(&ctx, &state, b);
-        pb.total_cmp(&pa).then(a.cmp(b))
-    });
+    // Keys are computed once per job, not per comparison: the comparator
+    // used to re-derive them (curve queries) O(n log n) times, which
+    // dominated mostly-skipped incremental rounds. Same values, same
+    // tie-break, so the order — and every golden — is unchanged.
+    let mut rest: Vec<(f64, JobId)> = rest
+        .into_iter()
+        .map(|id| (priority(&ctx, &state, &id), id))
+        .collect();
+    rest.sort_by(|(pa, a), (pb, b)| pb.total_cmp(pa).then(a.cmp(b)));
+    let rest: Vec<JobId> = rest.into_iter().map(|(_, id)| id).collect();
     for id in rest {
+        if may_skip(&state, &id) {
+            continue;
+        }
+        searched += 1;
+        if ctx.snap(id).status.is_running() {
+            running_searched += 1;
+        }
         schedule_job(&ctx, &mut state, id);
     }
 
     // ---- emit assignments ----------------------------------------------
-    emit(&ctx, state)
+    // Quietness is judged *before* emit (emit only reads): a round with an
+    // empty changed-set left the state bit-identical to its start, which
+    // is exactly what next round's quiet-skip certificates need.
+    let quiet = state.changed.is_empty();
+    let out = emit(&ctx, state);
+
+    // ---- record incremental memory for the next round -------------------
+    if let (Some(mut t), Some(c), Some(e)) = (tracker, cls, epoch_now) {
+        let running_total = jobs.iter().filter(|s| s.status.is_running()).count() as u64;
+        t.set_stats(RoundStats {
+            dirty: c.dirty.len() as u64,
+            clean: (c.skip_always.len() + c.quiet_skip.len()) as u64,
+            reused: running_total.saturating_sub(running_searched),
+            searched,
+        });
+        let node_caps = e.node_caps.clone();
+        t.record(
+            jobs,
+            &out,
+            node_caps,
+            e,
+            quiet,
+            cfg.reconfig_threshold,
+            |id, alloc| is_satiated(&ctx, id, alloc),
+        );
+    }
+    out
+}
+
+/// Whether `alloc` already satiates job `id`'s useful caps — the exact
+/// break condition at the top of [`schedule_job`]'s per-node loop, using
+/// the *running*-job GPU cap (the job will be running next round, since it
+/// is being emitted). A satiated job's visit provably never reads the free
+/// ledger or any victim, which is what licenses the tracker's
+/// unconditional skip.
+fn is_satiated(ctx: &Ctx<'_>, id: JobId, alloc: &Allocation) -> bool {
+    let snap = ctx.snap(id);
+    let total = alloc.total();
+    let cap_gpus = if !ctx.sched.config.resource_realloc {
+        snap.spec.requested.gpus
+    } else {
+        ctx.g_star(id)
+    };
+    if cap_gpus == 0 {
+        return false;
+    }
+    let minimum = ctx.minima.get(&id).copied().unwrap_or(Resources::zero());
+    let cap_cpus = if ctx.sched.config.resource_realloc {
+        (10 * cap_gpus + 4).max(minimum.cpus)
+    } else {
+        snap.spec.requested.cpus
+    };
+    total.gpus >= cap_gpus && total.cpus >= cap_cpus.min(total.gpus * 2 + 1)
 }
 
 /// Remaining-quota check for a guaranteed job: the sum of minimum demands

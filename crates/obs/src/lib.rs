@@ -216,6 +216,24 @@ pub enum SimEvent {
         /// Extra restart delay charged on top of checkpoint-resume, s.
         penalty: f64,
     },
+    /// Incremental-planning statistics for one scheduling round (schema
+    /// v3). Emitted right after the policy returns, before decisions are
+    /// applied, and only when the engine is configured to surface them
+    /// (`emit_round_planned`) **and** the policy tracks dirty sets —
+    /// existing streams stay byte-identical by default.
+    RoundPlanned {
+        /// Simulation time, s.
+        at: f64,
+        /// 1-based round number (shared with [`SimEvent::RoundStarted`]).
+        round: u64,
+        /// Jobs whose planning inputs changed and were re-searched.
+        dirty: u64,
+        /// Jobs whose prior assignment was provably still optimal-feasible.
+        clean: u64,
+        /// Clean running jobs whose allocation/plan were emitted verbatim
+        /// without invoking the plan search.
+        reused: u64,
+    },
 }
 
 impl SimEvent {
@@ -232,7 +250,8 @@ impl SimEvent {
             | SimEvent::NodeFailed { at, .. }
             | SimEvent::NodeRecovered { at, .. }
             | SimEvent::JobPreemptedByFault { at, .. }
-            | SimEvent::JobRestarted { at, .. } => *at,
+            | SimEvent::JobRestarted { at, .. }
+            | SimEvent::RoundPlanned { at, .. } => *at,
         }
     }
 
@@ -250,6 +269,7 @@ impl SimEvent {
             SimEvent::NodeRecovered { .. } => "node_recovered",
             SimEvent::JobPreemptedByFault { .. } => "job_preempted_by_fault",
             SimEvent::JobRestarted { .. } => "job_restarted",
+            SimEvent::RoundPlanned { .. } => "round_planned",
         }
     }
 
@@ -391,6 +411,19 @@ impl SimEvent {
                 w.str("plan", plan);
                 w.num("penalty", *penalty);
             }
+            SimEvent::RoundPlanned {
+                at,
+                round,
+                dirty,
+                clean,
+                reused,
+            } => {
+                w.num("at", *at);
+                w.uint("round", *round);
+                w.uint("dirty", *dirty);
+                w.uint("clean", *clean);
+                w.uint("reused", *reused);
+            }
         }
         w.finish()
     }
@@ -486,6 +519,13 @@ impl SimEvent {
                 plan: f.str("plan")?.to_string(),
                 penalty: f.num("penalty")?,
             },
+            "round_planned" => SimEvent::RoundPlanned {
+                at: f.num("at")?,
+                round: f.uint("round")?,
+                dirty: f.uint("dirty")?,
+                clean: f.uint("clean")?,
+                reused: f.uint("reused")?,
+            },
             other => {
                 return Err(EventParseError::new(format!(
                     "unknown event type {other:?}"
@@ -501,8 +541,11 @@ impl SimEvent {
 /// History: **1** — the original seven-variant taxonomy (no header line);
 /// **2** — adds the fault variants ([`SimEvent::NodeFailed`],
 /// [`SimEvent::NodeRecovered`], [`SimEvent::JobPreemptedByFault`],
-/// [`SimEvent::JobRestarted`]) and the `{"type":"schema",...}` header line.
-pub const SCHEMA_VERSION: u32 = 2;
+/// [`SimEvent::JobRestarted`]) and the `{"type":"schema",...}` header line;
+/// **3** — adds [`SimEvent::RoundPlanned`], the per-round incremental
+/// planning statistics (off by default; streams without it parse
+/// unchanged).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// The one-line schema header the stream sinks ([`JsonlSink`],
 /// [`BufferedJsonlSink`]) write before the first event (no trailing
@@ -1313,6 +1356,14 @@ pub struct CountersSink {
     pub fault_evictions: u64,
     /// Fault-evicted jobs relaunched.
     pub restarts: u64,
+    /// Rounds that reported incremental-planning statistics.
+    pub rounds_planned: u64,
+    /// Jobs re-searched across all planned rounds (dirty).
+    pub jobs_dirty: u64,
+    /// Jobs kept without re-search across all planned rounds (clean).
+    pub jobs_clean: u64,
+    /// Running jobs whose assignment was reused verbatim.
+    pub jobs_reused: u64,
     /// Wall-clock latency distribution of scheduling rounds.
     pub round_latency: LatencyHistogram,
 }
@@ -1332,6 +1383,7 @@ impl CountersSink {
             + self.node_recoveries
             + self.fault_evictions
             + self.restarts
+            + self.rounds_planned
     }
 
     /// Renders the counters as stable `key=value` lines (used by the CLI's
@@ -1359,6 +1411,14 @@ impl CountersSink {
                 self.node_failures, self.node_recoveries, self.fault_evictions, self.restarts,
             );
         }
+        if self.rounds_planned > 0 {
+            use fmt::Write as _;
+            let _ = write!(
+                out,
+                " rounds_planned={} jobs_dirty={} jobs_clean={} jobs_reused={}",
+                self.rounds_planned, self.jobs_dirty, self.jobs_clean, self.jobs_reused,
+            );
+        }
         out
     }
 }
@@ -1380,6 +1440,17 @@ impl EventSink for CountersSink {
             SimEvent::NodeRecovered { .. } => self.node_recoveries += 1,
             SimEvent::JobPreemptedByFault { .. } => self.fault_evictions += 1,
             SimEvent::JobRestarted { .. } => self.restarts += 1,
+            SimEvent::RoundPlanned {
+                dirty,
+                clean,
+                reused,
+                ..
+            } => {
+                self.rounds_planned += 1;
+                self.jobs_dirty += dirty;
+                self.jobs_clean += clean;
+                self.jobs_reused += reused;
+            }
         }
     }
 
@@ -1750,6 +1821,41 @@ mod tests {
         assert_eq!(sink.round_latency.buckets()[3], 1);
         assert_eq!(sink.round_latency.buckets()[6], 1);
         assert!(sink.summary().contains("launches=1"));
+    }
+
+    #[test]
+    fn round_planned_round_trips_and_counts() {
+        let ev = SimEvent::RoundPlanned {
+            at: 600.0,
+            round: 3,
+            dirty: 2,
+            clean: 40,
+            reused: 30,
+        };
+        let line = ev.to_jsonl();
+        assert_eq!(SimEvent::from_jsonl(&line).unwrap(), ev, "line: {line}");
+        assert_eq!(
+            parse_jsonl_line(&line).unwrap(),
+            JsonlLine::Event(ev.clone())
+        );
+        assert_eq!(ev.kind(), "round_planned");
+        assert_eq!(ev.at(), 600.0);
+
+        let mut sink = CountersSink::default();
+        sink.on_event(&ev);
+        sink.on_event(&ev);
+        assert_eq!(sink.rounds_planned, 2);
+        assert_eq!(sink.jobs_dirty, 4);
+        assert_eq!(sink.jobs_clean, 80);
+        assert_eq!(sink.jobs_reused, 60);
+        assert_eq!(sink.total_events(), 2);
+        assert!(sink.summary().contains("rounds_planned=2"));
+        // Chaos-free, incremental-free folds keep the old summary shape.
+        let mut plain = CountersSink::default();
+        for e in sample_events() {
+            plain.on_event(&e);
+        }
+        assert!(!plain.summary().contains("rounds_planned"));
     }
 
     #[test]

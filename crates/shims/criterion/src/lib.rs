@@ -17,7 +17,10 @@
 //! human-readable table goes to stdout.
 //!
 //! Environment knobs: `BENCH_SAMPLE_SIZE` overrides every group's sample
-//! count; `BENCH_OUT_DIR` redirects the JSON summary.
+//! count; `BENCH_OUT_DIR` redirects the JSON summary; `BENCH_FILTER`
+//! runs only benchmarks whose full id contains the given substring
+//! (filtered runs write a partial summary — redirect `BENCH_OUT_DIR`
+//! so they don't clobber a committed full one).
 
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};
@@ -91,6 +94,12 @@ pub struct BenchRecord {
     pub samples: usize,
     /// Iterations per sample after calibration.
     pub iters_per_sample: u64,
+    /// Hardware threads available to this process when the benchmark ran.
+    /// Parallel benches (e.g. `parallel_round/par/*`) are capped by this,
+    /// so summaries recorded on different machines stay comparable —
+    /// a "par" entry measured on a 2-core runner is not mislabeled as a
+    /// genuine N-thread result.
+    pub threads_effective: usize,
 }
 
 /// The timing loop handed to each benchmark closure.
@@ -167,6 +176,11 @@ impl Criterion {
     }
 
     fn run_one<F: FnMut(&mut Bencher)>(&mut self, id: String, sample_size: usize, mut f: F) {
+        if let Ok(filter) = std::env::var("BENCH_FILTER") {
+            if !filter.is_empty() && !id.contains(&filter) {
+                return;
+            }
+        }
         let sample_size = std::env::var("BENCH_SAMPLE_SIZE")
             .ok()
             .and_then(|v| v.parse().ok())
@@ -192,6 +206,9 @@ impl Criterion {
             min_ns: sorted[0],
             samples: b.per_iter_ns.len(),
             iters_per_sample: b.iters_per_sample,
+            threads_effective: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         };
         println!(
             "bench {:<48} mean {:>12}  median {:>12}  min {:>12}  ({} samples x {} iters)",
@@ -219,8 +236,15 @@ impl Criterion {
             let comma = if i + 1 < self.records.len() { "," } else { "" };
             body.push_str(&format!(
                 "    {{\"id\": {:?}, \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \
-                 \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{comma}\n",
-                r.id, r.mean_ns, r.median_ns, r.min_ns, r.samples, r.iters_per_sample,
+                 \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}, \
+                 \"threads_effective\": {}}}{comma}\n",
+                r.id,
+                r.mean_ns,
+                r.median_ns,
+                r.min_ns,
+                r.samples,
+                r.iters_per_sample,
+                r.threads_effective,
             ));
         }
         body.push_str("  ]\n}\n");
@@ -345,7 +369,20 @@ mod tests {
         assert!(c
             .records()
             .iter()
-            .all(|r| r.mean_ns > 0.0 && r.samples == 5));
+            .all(|r| r.mean_ns > 0.0 && r.samples == 5 && r.threads_effective >= 1));
+
+        // Same test (not a separate one) so the process-global env var
+        // cannot race another bench-running test.
+        std::env::set_var("BENCH_FILTER", "noop");
+        let mut filtered = Criterion::default();
+        let mut group = filtered.benchmark_group("shim");
+        group.sample_size(2);
+        group.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+        group.bench_function("other", |b| b.iter(|| black_box(2u64 + 2)));
+        group.finish();
+        std::env::remove_var("BENCH_FILTER");
+        assert_eq!(filtered.records().len(), 1, "filter must skip non-matches");
+        assert_eq!(filtered.records()[0].id, "shim/noop");
     }
 
     #[test]

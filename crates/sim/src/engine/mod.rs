@@ -60,6 +60,10 @@ pub struct EngineConfig {
     /// uses at most `n` threads. Never affects scheduling decisions —
     /// only how fast a round computes.
     pub parallelism: Option<usize>,
+    /// Emit a [`SimEvent::RoundPlanned`] after every round for schedulers
+    /// that report [`crate::scheduler::RoundStats`]. Off by default so
+    /// existing event streams (and golden traces) stay byte-identical.
+    pub emit_round_planned: bool,
 }
 
 impl Default for EngineConfig {
@@ -68,6 +72,7 @@ impl Default for EngineConfig {
             round_interval: Some(600.0),
             max_time: 120.0 * 24.0 * 3600.0,
             parallelism: None,
+            emit_round_planned: false,
         }
     }
 }
@@ -214,6 +219,20 @@ impl<'a> Engine<'a> {
             .schedule(self.now, &snaps, &self.cluster, &self.tenants);
         let nanos = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         sink.on_round_latency(nanos);
+        if self.config.emit_round_planned {
+            if let Some(stats) = self.scheduler.last_round_stats() {
+                self.emit(
+                    sink,
+                    SimEvent::RoundPlanned {
+                        at: self.now,
+                        round,
+                        dirty: stats.dirty,
+                        clean: stats.clean,
+                        reused: stats.reused,
+                    },
+                );
+            }
+        }
         self.apply(targets, sink);
     }
 
@@ -384,6 +403,8 @@ impl<'a> Engine<'a> {
                                 },
                             );
                             self.evict_jobs_on(node, sink);
+                            self.scheduler
+                                .notify(&crate::scheduler::ClusterDelta::NodeDown(node));
                             need_round = true;
                         }
                     }
@@ -397,6 +418,8 @@ impl<'a> Engine<'a> {
                                     node: node as u64,
                                 },
                             );
+                            self.scheduler
+                                .notify(&crate::scheduler::ClusterDelta::NodeUp(node));
                             need_round = true;
                         }
                     }

@@ -215,6 +215,11 @@ impl EventSink for ReportSink {
             | SimEvent::NodeRecovered { .. }
             | SimEvent::JobPreemptedByFault { .. }
             | SimEvent::JobRestarted { .. } => {}
+            // Incremental-planning statistics (schema v3) are a diagnostic
+            // overlay: the round itself is already counted by the
+            // RoundStarted arm above, so the fold stays bit-identical
+            // whether or not the engine surfaces them.
+            SimEvent::RoundPlanned { .. } => {}
         }
     }
 }

@@ -75,6 +75,32 @@ impl JobSnapshot {
     }
 }
 
+/// Per-round incremental-planning statistics reported by schedulers that
+/// support dirty-set rounds (see `rubick-core`'s `DirtyTracker`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundStats {
+    /// Jobs whose planning inputs changed and were re-searched.
+    pub dirty: u64,
+    /// Jobs whose prior assignment was provably still optimal-feasible.
+    pub clean: u64,
+    /// Clean running jobs whose allocation/plan were emitted verbatim
+    /// without invoking the plan search.
+    pub reused: u64,
+    /// Jobs that went through the full plan search this round (dirty jobs
+    /// plus any clean jobs that lost their skip certificate mid-round).
+    pub searched: u64,
+}
+
+/// A cluster-level input change the engine pushes into schedulers between
+/// rounds, so incremental policies can invalidate cached planning state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterDelta {
+    /// A node went down (chaos fault); its capacity vanished.
+    NodeDown(usize),
+    /// A node came back up; its capacity returned.
+    NodeUp(usize),
+}
+
 /// One row of the target assignment a policy returns.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Assignment {
@@ -105,6 +131,25 @@ pub trait Scheduler: Send {
     /// phases ignore the call (the default does nothing).
     fn set_parallelism(&mut self, parallelism: Option<usize>) {
         let _ = parallelism;
+    }
+
+    /// Notifies the policy of a cluster-level input change (node up/down
+    /// from fault injection). Incremental policies use this to dirty
+    /// cached planning state; the default does nothing.
+    ///
+    /// Deltas must never change the returned assignments — the cluster
+    /// snapshot passed to [`Scheduler::schedule`] remains the source of
+    /// truth; notifications only help incremental policies avoid stale
+    /// fast paths.
+    fn notify(&mut self, delta: &ClusterDelta) {
+        let _ = delta;
+    }
+
+    /// Statistics of the most recent scheduling round, for policies that
+    /// plan incrementally. `None` (the default) means the policy does not
+    /// track dirty sets.
+    fn last_round_stats(&self) -> Option<RoundStats> {
+        None
     }
 
     /// Computes the complete target assignment for this scheduling round.
