@@ -1,6 +1,10 @@
 # Developer entry points for the Rubick reproduction.
 #
-#   make verify        format check + lints + full test suite (the CI gate)
+#   make verify        format check + lints + full test suite + sweep smoke
+#                      (the CI gate)
+#   make sweep-smoke   run the small end-to-end sweep spec twice (sequential
+#                      and parallel) and fail unless the CSVs are
+#                      byte-identical
 #   make bench         scheduling-round latency benchmarks (BENCH_*.json)
 #   make bench-check   replay policy/incremental_round and fail on a >20%
 #                      regression of the fastest sample vs the committed
@@ -11,9 +15,9 @@
 # (opt-in: bench timings are machine-dependent, so the default CI gate
 # stays deterministic).
 
-.PHONY: verify fmt lint test build bench bench-check
+.PHONY: verify fmt lint test build bench bench-check sweep-smoke
 
-verify: fmt lint test
+verify: fmt lint test sweep-smoke
 
 ifeq ($(BENCH),1)
 verify: bench-check
@@ -36,6 +40,20 @@ test:
 
 build:
 	cargo build --release
+
+# End-to-end sweep gate: the smoke spec runs sequentially and with 4
+# workers; any byte difference between the two CSVs (or a nonzero exit)
+# fails the target. Scratch output lives under target/ so nothing
+# committed is touched.
+sweep-smoke:
+	cargo build --release -p rubick-cli
+	mkdir -p target/sweep-smoke
+	target/release/rubick sweep examples/sweeps/smoke.toml --log-level error \
+		--out target/sweep-smoke/seq.csv
+	target/release/rubick sweep examples/sweeps/smoke.toml --log-level error \
+		--parallelism 4 --out target/sweep-smoke/par.csv
+	cmp target/sweep-smoke/seq.csv target/sweep-smoke/par.csv
+	@echo "sweep-smoke: byte-identical at 1 and 4 workers"
 
 bench:
 	cargo bench -p rubick-bench --bench scheduling

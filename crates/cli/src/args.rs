@@ -7,11 +7,15 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Parsed arguments: the subcommand plus its flags.
+/// Parsed arguments: the subcommand, an optional positional operand
+/// (e.g. `sweep <spec.toml>`), plus the flags.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Args {
     /// The subcommand (first non-flag token), if any.
     pub command: Option<String>,
+    /// The positional operand (second non-flag token), if any. Only the
+    /// `sweep` command accepts one; `main` rejects it elsewhere.
+    pub operand: Option<String>,
     flags: BTreeMap<String, String>,
 }
 
@@ -86,6 +90,8 @@ impl Args {
                     .insert(name, value.unwrap_or_else(|| "true".into()));
             } else if args.command.is_none() {
                 args.command = Some(tok);
+            } else if args.operand.is_none() {
+                args.operand = Some(tok);
             } else {
                 return Err(ArgError::UnexpectedToken(tok));
             }
@@ -189,8 +195,13 @@ mod tests {
 
     #[test]
     fn rejects_duplicates_and_strays() {
+        // One positional operand is captured (the sweep spec path);
+        // commands that take none reject it in `main`.
+        let a = parse("sweep examples/sweeps/table4.toml").unwrap();
+        assert_eq!(a.command.as_deref(), Some("sweep"));
+        assert_eq!(a.operand.as_deref(), Some("examples/sweeps/table4.toml"));
         assert_eq!(
-            parse("run extra"),
+            parse("sweep spec.toml extra"),
             Err(ArgError::UnexpectedToken("extra".into()))
         );
         assert_eq!(

@@ -1,20 +1,22 @@
 //! `rubick compare` — every scheduler on the same trace, side by side.
 //!
-//! The schedulers are independent simulations over the same (cloned)
-//! workload, so they run concurrently: one scoped thread per scheduler.
-//! The model zoo is profiled **once** on the main thread; each scheduler
-//! thread then gets its own deep copy via
+//! The schedulers are independent simulations over the same spec, so they
+//! run concurrently: one scoped thread per scheduler, each driving the
+//! shared scenario harness ([`rubick_sim::run_scenario_with`]). The model
+//! zoo is profiled **once** on the main thread (inside
+//! [`CliBackend::prepare`]); each scheduler construction then gets its
+//! own deep copy via
 //! [`ModelRegistry::clone_fitted`](rubick_core::ModelRegistry::clone_fitted),
 //! so online refit state still cannot leak between policies but the
 //! profiling pass is no longer repeated seven times. Output order is
 //! fixed — rows are printed from the joined results in `SCHEDULERS`
 //! order, identical to the old sequential loop.
 
-use super::{build_registry, chaos_from, oracle_from, scheduler_by_name, workload_from, CliError};
+use super::{chaos_from, scenario_spec_from, CliBackend, CliError};
 use crate::args::Args;
 use crate::output::{compare_header, compare_row, Logger};
 use rubick_obs::FaultMetricsSink;
-use rubick_sim::{Cluster, Engine, EngineConfig, SimReport};
+use rubick_sim::{run_scenario_with, ScenarioOutcome};
 
 const SCHEDULERS: [&str; 7] = [
     "rubick", "rubick-e", "rubick-r", "rubick-n", "sia", "synergy", "antman",
@@ -35,57 +37,35 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
         "chaos-seed",
     ])?;
     let log = Logger::from_args(args)?;
-    let parallelism = args.parallelism()?;
-    let seed: u64 = args.parse_or("seed", 2025u64)?;
-    let oracle = oracle_from(args)?;
-    let (jobs, tenants) = workload_from(args, &oracle)?;
-    let config = EngineConfig {
-        parallelism,
-        ..EngineConfig::default()
-    };
-    let chaos = chaos_from(args, Cluster::a800_testbed().nodes().len(), config.max_time)?;
-    // One profiling pass, shared read-only; threads deep-copy below.
-    let profiled = build_registry(&oracle)?;
+    let base_spec = scenario_spec_from(args)?;
+    let chaos = chaos_from(args, base_spec.nodes, base_spec.engine_config().max_time)?;
+    // One profiling pass, shared read-only; each thread deep-copies its
+    // registry inside `CliBackend::scheduler`.
+    let backend = CliBackend::prepare([base_spec.seed])?;
     log.info(&format!(
         "comparing {} schedulers on {} jobs ({} threads)...",
         SCHEDULERS.len(),
-        jobs.len(),
+        base_spec.jobs,
         SCHEDULERS.len()
     ));
 
-    // One simulation per thread. Threads return String errors (the boxed
-    // `CliError` is not `Send`); results come back in `SCHEDULERS` order
+    // One simulation per thread; results come back in `SCHEDULERS` order
     // because the handles are joined in spawn order.
-    type SchedResult = Result<(SimReport, Option<FaultMetricsSink>), String>;
-    let run_one = |name: &str| -> SchedResult {
-        let oracle = rubick_testbed::TestbedOracle::new(seed);
-        let registry = std::sync::Arc::new(profiled.clone_fitted());
-        let scheduler = scheduler_by_name(name, &registry).map_err(|e| e.to_string())?;
-        let mut engine = Engine::new(
-            &oracle,
-            scheduler,
-            Cluster::a800_testbed(),
-            tenants.clone(),
-            config,
-        );
-        let mut metrics = match &chaos {
-            Some(plan) => {
-                engine = engine.with_chaos(plan.clone());
-                Some(FaultMetricsSink::new())
-            }
-            None => None,
-        };
-        let report = match metrics.as_mut() {
-            Some(m) => engine.run_with_sink(jobs.clone(), m),
-            None => engine.run(jobs.clone()),
-        };
-        Ok((report, metrics))
-    };
-    let run_one = &run_one;
-    let results: Vec<SchedResult> = crossbeam::scope(|s| {
+    let backend = &backend;
+    let base_spec = &base_spec;
+    let chaos = &chaos;
+    let results: Vec<Result<ScenarioOutcome, String>> = crossbeam::scope(|s| {
         let handles: Vec<_> = SCHEDULERS
             .iter()
-            .map(|name| s.spawn(move || run_one(name)))
+            .map(|name| {
+                s.spawn(move || {
+                    let spec = rubick_sim::ScenarioSpec {
+                        scheduler: (*name).to_string(),
+                        ..base_spec.clone()
+                    };
+                    run_scenario_with(&spec, backend, chaos.clone(), None)
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -99,13 +79,13 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
     let mut rubick_avg = None;
     let mut fault_rows = Vec::new();
     for (name, result) in SCHEDULERS.iter().zip(results) {
-        let (report, metrics) = result.map_err(CliError::from)?;
-        log.debug(&format!("{name}: {} rounds", report.rounds));
+        let outcome = result.map_err(CliError::from)?;
+        log.debug(&format!("{name}: {} rounds", outcome.report.rounds));
         if *name == "rubick" {
-            rubick_avg = Some(report.avg_jct());
+            rubick_avg = Some(outcome.report.avg_jct());
         }
-        println!("{}", compare_row(name, &report, rubick_avg, csv));
-        if let Some(m) = metrics {
+        println!("{}", compare_row(name, &outcome.report, rubick_avg, csv));
+        if let Some(m) = outcome.faults {
             fault_rows.push((*name, m));
         }
     }

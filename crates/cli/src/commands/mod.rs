@@ -4,6 +4,7 @@ pub mod compare;
 pub mod plans;
 pub mod profile;
 pub mod run;
+pub mod sweep;
 pub mod trace;
 
 use crate::args::Args;
@@ -13,9 +14,12 @@ use rubick_core::{
     RubickScheduler, SiaScheduler, SynergyScheduler,
 };
 use rubick_model::ModelSpec;
-use rubick_sim::{JobSpec, Scheduler, Tenant};
+use rubick_sim::{JobSpec, ScenarioBackend, ScenarioSpec, Scheduler, Tenant, TraceKind};
 use rubick_testbed::TestbedOracle;
-use rubick_trace::{best_plan_trace, generate_base, multi_tenant_trace, TraceConfig};
+use rubick_trace::{
+    best_plan_trace, generate_base, multi_tenant_trace, with_large_model_fraction, TraceConfig,
+};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Boxed error type shared by all commands.
@@ -55,30 +59,114 @@ pub fn trace_config_from(args: &Args) -> Result<TraceConfig, CliError> {
     })
 }
 
-/// Builds the workload selected by `--trace`, applying `--large-frac`.
-pub fn workload_from(
-    args: &Args,
-    oracle: &TestbedOracle,
-) -> Result<(Vec<JobSpec>, Vec<Tenant>), CliError> {
-    let config = trace_config_from(args)?;
-    let trace_kind = args.str_or("trace", "base");
-    let (mut jobs, tenants) = match trace_kind.as_str() {
-        "base" => (generate_base(&config, oracle), vec![]),
-        "bp" => (best_plan_trace(&config, oracle), vec![]),
-        "mt" => multi_tenant_trace(&config, oracle),
-        other => return Err(format!("unknown trace '{other}' (base|bp|mt)").into()),
-    };
-    if let Some(frac) = args.get("large-frac") {
-        let frac: f64 = frac
-            .parse()
-            .map_err(|_| format!("invalid --large-frac '{frac}'"))?;
-        if !(0.0..=1.0).contains(&frac) {
-            return Err("--large-frac must be between 0 and 1".into());
-        }
-        jobs = rubick_trace::with_large_model_fraction(&config, oracle, frac);
+/// Builds a [`ScenarioSpec`] from the flags shared by `run` and
+/// `compare` (`--trace --jobs --load --large-frac --seed --parallelism`),
+/// preserving each flag's historical error message.
+pub fn scenario_spec_from(args: &Args) -> Result<ScenarioSpec, CliError> {
+    let jobs: usize = args.parse_or("jobs", 406usize)?;
+    if jobs == 0 {
+        return Err("--jobs must be at least 1".into());
     }
-    Ok((jobs, tenants))
+    let load: f64 = args.parse_or("load", 1.0f64)?;
+    if !(load > 0.0 && load.is_finite()) {
+        return Err("--load must be a positive number".into());
+    }
+    let large_frac = match args.get("large-frac") {
+        None => None,
+        Some(raw) => {
+            let frac: f64 = raw
+                .parse()
+                .map_err(|_| format!("invalid --large-frac '{raw}'"))?;
+            if !(0.0..=1.0).contains(&frac) {
+                return Err("--large-frac must be between 0 and 1".into());
+            }
+            Some(frac)
+        }
+    };
+    Ok(ScenarioSpec {
+        scheduler: args.str_or("scheduler", "rubick"),
+        trace: TraceKind::parse(&args.str_or("trace", "base"))?,
+        jobs,
+        load,
+        large_frac,
+        seed: args.parse_or("seed", 2025u64)?,
+        parallelism: args.parallelism()?,
+        ..ScenarioSpec::default()
+    })
 }
+
+/// The CLI's [`ScenarioBackend`]: resolves scheduler names against
+/// `rubick-core` and generates workloads from `rubick-trace`.
+///
+/// The model zoo is profiled **once per distinct oracle seed** in
+/// [`CliBackend::prepare`]; each scheduler construction then deep-copies
+/// its registry via [`ModelRegistry::clone_fitted`], so online refit
+/// state cannot leak between cells or policies while the (slow)
+/// profiling pass is never repeated.
+pub struct CliBackend {
+    registries: BTreeMap<u64, Arc<ModelRegistry>>,
+}
+
+impl CliBackend {
+    /// Profiles the model zoo for every distinct seed in `seeds`.
+    ///
+    /// # Errors
+    ///
+    /// Forwards profiling failures from [`ModelRegistry::from_oracle`].
+    pub fn prepare<I: IntoIterator<Item = u64>>(seeds: I) -> Result<CliBackend, CliError> {
+        let mut registries = BTreeMap::new();
+        for seed in seeds {
+            if let std::collections::btree_map::Entry::Vacant(slot) = registries.entry(seed) {
+                let oracle = TestbedOracle::new(seed);
+                slot.insert(build_registry(&oracle)?);
+            }
+        }
+        Ok(CliBackend { registries })
+    }
+
+    fn registry(&self, seed: u64) -> Result<&Arc<ModelRegistry>, String> {
+        self.registries
+            .get(&seed)
+            .ok_or_else(|| format!("internal error: no profiled registry for seed {seed}"))
+    }
+}
+
+impl ScenarioBackend for CliBackend {
+    fn scheduler(&self, spec: &ScenarioSpec) -> Result<Box<dyn Scheduler>, String> {
+        let registry = Arc::new(self.registry(spec.seed)?.clone_fitted());
+        scheduler_by_name(&spec.scheduler, &registry).map_err(|e| e.to_string())
+    }
+
+    fn workload(
+        &self,
+        spec: &ScenarioSpec,
+        oracle: &TestbedOracle,
+    ) -> Result<(Vec<JobSpec>, Vec<Tenant>), String> {
+        let config = TraceConfig {
+            seed: spec.seed,
+            base_jobs: spec.jobs,
+            load_factor: spec.load,
+            duration_hours: spec.duration_hours,
+            cluster_gpus: spec.cluster().total_capacity().gpus,
+            ..TraceConfig::default()
+        };
+        let (mut jobs, tenants) = match spec.trace {
+            TraceKind::Base => (generate_base(&config, oracle), vec![]),
+            TraceKind::Bp => (best_plan_trace(&config, oracle), vec![]),
+            TraceKind::Mt => multi_tenant_trace(&config, oracle),
+        };
+        if let Some(frac) = spec.large_frac {
+            jobs = with_large_model_fraction(&config, oracle, frac);
+        }
+        Ok((jobs, tenants))
+    }
+}
+
+/// Every scheduler name [`scheduler_by_name`] accepts, in the canonical
+/// listing order (also used for `sweep` pre-flight validation).
+pub const SCHEDULER_NAMES: [&str; 8] = [
+    "rubick", "rubick-e", "rubick-r", "rubick-n", "sia", "synergy", "antman", "equal",
+];
 
 /// Instantiates a scheduler by name (profiling the model zoo as needed).
 pub fn scheduler_by_name(

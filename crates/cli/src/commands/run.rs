@@ -1,13 +1,17 @@
 //! `rubick run` — one scheduler, one trace, a JCT report.
+//!
+//! All engine wiring lives in the shared scenario harness
+//! ([`rubick_sim::run_scenario_with`]); this module only translates
+//! flags into a [`ScenarioSpec`] and renders the outcome.
 
-use super::{build_registry, chaos_from, oracle_from, scheduler_by_name, workload_from, CliError};
+use super::{chaos_from, scenario_spec_from, CliBackend, CliError, SCHEDULER_NAMES};
 use crate::args::Args;
 use crate::output::{
     render_decisions, render_fault_csv, render_fault_report, render_report, render_report_csv,
     Logger,
 };
-use rubick_obs::{BufferedJsonlSink, EventSink, FaultMetricsSink, TeeSink};
-use rubick_sim::{Cluster, Engine, EngineConfig};
+use rubick_obs::{BufferedJsonlSink, EventSink};
+use rubick_sim::run_scenario_with;
 
 /// Executes the `run` subcommand.
 pub fn execute(args: &Args) -> Result<(), CliError> {
@@ -27,58 +31,50 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
         "chaos-seed",
     ])?;
     let log = Logger::from_args(args)?;
-    let parallelism = args.parallelism()?;
-    let oracle = oracle_from(args)?;
-    let scheduler_name = args.str_or("scheduler", "rubick");
-    let cluster = Cluster::a800_testbed();
-    let config = EngineConfig {
-        parallelism,
-        ..EngineConfig::default()
-    };
-    // Validate the chaos config up front, before the (slow) zoo profiling.
-    let chaos = chaos_from(args, cluster.nodes().len(), config.max_time)?;
+    let spec = scenario_spec_from(args)?;
+    // Validate the scheduler name and chaos config up front, before the
+    // (slow) zoo profiling.
+    if !SCHEDULER_NAMES.contains(&spec.scheduler.as_str()) {
+        return Err(CliError::from(format!(
+            "unknown scheduler '{}' ({})",
+            spec.scheduler,
+            SCHEDULER_NAMES.join("|")
+        )));
+    }
+    let chaos = chaos_from(args, spec.nodes, spec.engine_config().max_time)?;
     log.info("profiling model zoo...");
-    let registry = build_registry(&oracle)?;
-    let (jobs, tenants) = workload_from(args, &oracle)?;
-    let n = jobs.len();
-    log.info(&format!("running {n} jobs through {scheduler_name}..."));
-    let scheduler = scheduler_by_name(&scheduler_name, &registry)?;
-    let mut engine = Engine::new(&oracle, scheduler, cluster, tenants.clone(), config);
-    let mut fault_metrics = match &chaos {
-        Some(plan) => {
-            log.info(&format!(
-                "injecting faults: {} timeline events, {} straggler node(s)",
-                plan.timeline().len(),
-                plan.stragglers().len()
-            ));
-            engine = engine.with_chaos(plan.clone());
-            Some(FaultMetricsSink::new())
-        }
-        None => None,
-    };
-    let report = match args.get("events") {
+    let backend = CliBackend::prepare([spec.seed])?;
+    log.info(&format!(
+        "running {} jobs through {}...",
+        spec.jobs, spec.scheduler
+    ));
+    if let Some(plan) = &chaos {
+        log.info(&format!(
+            "injecting faults: {} timeline events, {} straggler node(s)",
+            plan.timeline().len(),
+            plan.stragglers().len()
+        ));
+    }
+    let outcome = match args.get("events") {
         Some(path) => {
             // Events stream through the buffered background-writer sink,
             // so serialization never blocks the simulation loop.
             let mut sink = BufferedJsonlSink::create(path)
                 .map_err(|e| format!("cannot create events file '{path}': {e}"))?;
-            let report = match fault_metrics.as_mut() {
-                Some(metrics) => {
-                    let mut tee = TeeSink::new(&mut sink, metrics);
-                    engine.run_with_sink(jobs, &mut tee)
-                }
-                None => engine.run_with_sink(jobs, &mut sink),
-            };
+            let outcome = run_scenario_with(
+                &spec,
+                &backend,
+                chaos,
+                Some(&mut sink as &mut dyn EventSink),
+            )?;
             sink.flush()
                 .map_err(|e| format!("failed writing events file '{path}': {e}"))?;
             log.info(&format!("wrote {} events to {path}", sink.events_written()));
-            report
+            outcome
         }
-        None => match fault_metrics.as_mut() {
-            Some(metrics) => engine.run_with_sink(jobs, metrics),
-            None => engine.run(jobs),
-        },
+        None => run_scenario_with(&spec, &backend, chaos, None)?,
     };
+    let report = &outcome.report;
     log.debug(&format!(
         "{} scheduling rounds, {} decisions",
         report.rounds,
@@ -86,18 +82,18 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
     ));
 
     if args.flag("csv") {
-        print!("{}", render_report_csv(&report));
-        if let Some(metrics) = &fault_metrics {
+        print!("{}", render_report_csv(report));
+        if let Some(metrics) = &outcome.faults {
             print!("{}", render_fault_csv(metrics));
         }
         return Ok(());
     }
-    print!("{}", render_report(&report));
-    if let Some(metrics) = &fault_metrics {
+    print!("{}", render_report(report));
+    if let Some(metrics) = &outcome.faults {
         print!("{}", render_fault_report(metrics));
     }
     if args.flag("verbose") {
-        print!("{}", render_decisions(&report));
+        print!("{}", render_decisions(report));
     }
     Ok(())
 }

@@ -6,6 +6,7 @@
 //! rubick profile --model llama2-7b
 //! rubick trace   --jobs 50 --seed 7 --csv
 //! rubick compare --jobs 120
+//! rubick sweep   examples/sweeps/table4.toml --parallelism auto
 //! ```
 //!
 //! Everything runs against the deterministic simulated testbed — no GPUs
@@ -28,6 +29,8 @@ USAGE:
 COMMANDS:
     run       Run a workload trace through one scheduler and report JCT stats
     compare   Run the same trace through every scheduler side by side
+    sweep     Run a declarative scenario grid from a spec file (one CSV row
+              per cell; see examples/sweeps/ and EXPERIMENTS.md)
     plans     List feasible execution plans for a model on a GPU count
     profile   Profile a model type and show the fitted performance model
     trace     Generate a synthetic trace and print a summary (or CSV)
@@ -58,6 +61,15 @@ RUN / COMPARE FLAGS:
     --chaos-seed <u64>   Override the seed in the chaos config (requires
                          --chaos); same seed = identical fault timeline
 
+SWEEP:
+    rubick sweep <spec.toml> [--out <csv>] [--jsonl <path>]
+                 [--parallelism <n>] [--log-level <lvl>]
+    Expands the spec's [grid] blocks into cells (trace x scheduler x jobs
+    x load x large_frac x nodes x chaos_rate x chaos_seed x seed), runs
+    every cell, and emits one row per cell in grid order. Output is
+    byte-identical at any --parallelism setting. Without --out the CSV
+    goes to stdout; --jsonl additionally writes a JSON-Lines file.
+
 PLANS FLAGS:
     --model <name>       Zoo model name (vit-86m, roberta-355m, bert-336m,
                          t5-1.2b, gpt2-1.5b, llama2-7b, llama-30b)
@@ -81,9 +93,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Only `sweep` takes a positional operand (its spec file); everywhere
+    // else a stray token is the parse error it always was.
+    if args.command.as_deref() != Some("sweep") {
+        if let Some(op) = &args.operand {
+            eprintln!("error: unexpected argument '{op}'\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
     let result = match args.command.as_deref() {
         Some("run") => commands::run::execute(&args),
         Some("compare") => commands::compare::execute(&args),
+        Some("sweep") => commands::sweep::execute(&args),
         Some("plans") => commands::plans::execute(&args),
         Some("profile") => commands::profile::execute(&args),
         Some("trace") => commands::trace::execute(&args),

@@ -23,7 +23,7 @@ fn help_lists_all_commands() {
     let out = rubick(&["help"]);
     assert!(out.status.success());
     let text = stdout(&out);
-    for cmd in ["run", "compare", "plans", "profile", "trace"] {
+    for cmd in ["run", "compare", "sweep", "plans", "profile", "trace"] {
         assert!(text.contains(cmd), "help must mention {cmd}");
     }
 }
@@ -317,6 +317,183 @@ fn chaos_rejects_bad_config_with_line_number() {
     let err = stderr(&out);
     assert!(err.contains("invalid chaos config"), "stderr: {err}");
     std::fs::remove_file(&path).ok();
+}
+
+/// Writes a sweep spec to a temp file, returning its path.
+fn sweep_spec(tag: &str, text: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!(
+        "rubick-cli-sweep-{tag}-{}.toml",
+        std::process::id()
+    ));
+    std::fs::write(&path, text).expect("sweep spec written");
+    path
+}
+
+const TINY_SWEEP: &str = "[sweep]\n\
+     name = \"tiny\"\n\
+     jobs = 6\n\
+     duration_hours = 2.0\n\
+     seed = 7\n\
+     [grid]\n\
+     scheduler = [\"rubick\", \"synergy\"]\n\
+     chaos_rate = [0.0, 0.3]\n\
+     chaos_seed = [7]\n";
+
+#[test]
+fn sweep_emits_one_csv_row_per_cell_in_grid_order() {
+    let spec = sweep_spec("rows", TINY_SWEEP);
+    let out = rubick(&["sweep", spec.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 5, "header + 4 cells:\n{text}");
+    assert!(lines[0].starts_with("cell,trace,scheduler,"), "{text}");
+    assert!(lines[1].starts_with("0,base,rubick,6,"), "{text}");
+    assert!(lines[2].starts_with("1,base,rubick,6,"), "{text}");
+    assert!(lines[3].starts_with("2,base,synergy,6,"), "{text}");
+    assert!(lines[4].starts_with("3,base,synergy,6,"), "{text}");
+    std::fs::remove_file(&spec).ok();
+}
+
+#[test]
+fn sweep_output_is_byte_identical_at_any_parallelism() {
+    let spec = sweep_spec("det", TINY_SWEEP);
+    let path = spec.to_str().unwrap();
+    let seq = rubick(&["sweep", path]);
+    let par = rubick(&["sweep", path, "--parallelism", "3"]);
+    let auto = rubick(&["sweep", path, "--parallelism", "auto"]);
+    assert!(seq.status.success() && par.status.success() && auto.status.success());
+    assert_eq!(stdout(&seq), stdout(&par));
+    assert_eq!(stdout(&seq), stdout(&auto));
+    assert!(!stdout(&seq).is_empty());
+    std::fs::remove_file(&spec).ok();
+}
+
+#[test]
+fn sweep_writes_csv_and_jsonl_files() {
+    let spec = sweep_spec("files", TINY_SWEEP);
+    let csv = std::env::temp_dir().join(format!("rubick-sweep-out-{}.csv", std::process::id()));
+    let jsonl = std::env::temp_dir().join(format!("rubick-sweep-out-{}.jsonl", std::process::id()));
+    let out = rubick(&[
+        "sweep",
+        spec.to_str().unwrap(),
+        "--out",
+        csv.to_str().unwrap(),
+        "--jsonl",
+        jsonl.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert!(stdout(&out).is_empty(), "CSV went to --out, not stdout");
+    let csv_text = std::fs::read_to_string(&csv).expect("CSV written");
+    assert_eq!(csv_text.lines().count(), 5);
+    let jsonl_text = std::fs::read_to_string(&jsonl).expect("JSONL written");
+    let first = jsonl_text.lines().next().expect("nonempty JSONL");
+    assert!(
+        first.contains("\"type\":\"sweep\"") && first.contains("\"cells\":4"),
+        "{first}"
+    );
+    assert_eq!(jsonl_text.lines().count(), 5);
+    std::fs::remove_file(&spec).ok();
+    std::fs::remove_file(&csv).ok();
+    std::fs::remove_file(&jsonl).ok();
+}
+
+#[test]
+fn sweep_without_spec_fails_with_usage_hint() {
+    let out = rubick(&["sweep"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("sweep requires a spec file"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn sweep_rejects_malformed_spec_with_line_number() {
+    let spec = sweep_spec("bad", "[grid]\ntrace = [base]\n");
+    let out = rubick(&["sweep", spec.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("invalid sweep spec"), "stderr: {err}");
+    assert!(err.contains("line 2"), "stderr: {err}");
+    std::fs::remove_file(&spec).ok();
+}
+
+#[test]
+fn sweep_rejects_unknown_scheduler_listing_options() {
+    let spec = sweep_spec("sched", "[grid]\nscheduler = [\"dragon\"]\n");
+    let out = rubick(&["sweep", spec.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("unknown scheduler 'dragon'"), "stderr: {err}");
+    assert!(err.contains("rubick-e"), "should list valid names: {err}");
+    std::fs::remove_file(&spec).ok();
+}
+
+#[test]
+fn sweep_rejects_empty_grid() {
+    let spec = sweep_spec("empty", "[sweep]\nname = \"nothing\"\n");
+    let out = rubick(&["sweep", spec.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("empty grid"),
+        "stderr: {}",
+        stderr(&out)
+    );
+    std::fs::remove_file(&spec).ok();
+}
+
+#[test]
+fn sweep_rejects_output_path_collisions() {
+    let spec = sweep_spec("clash", TINY_SWEEP);
+    let path = spec.to_str().unwrap();
+    let both = rubick(&[
+        "sweep",
+        path,
+        "--out",
+        "/tmp/x.csv",
+        "--jsonl",
+        "/tmp/x.csv",
+    ]);
+    assert!(!both.status.success());
+    assert!(
+        stderr(&both).contains("--out and --jsonl both point at"),
+        "stderr: {}",
+        stderr(&both)
+    );
+    let clobber = rubick(&["sweep", path, "--out", path]);
+    assert!(!clobber.status.success());
+    assert!(
+        stderr(&clobber).contains("would overwrite the sweep spec"),
+        "stderr: {}",
+        stderr(&clobber)
+    );
+    std::fs::remove_file(&spec).ok();
+}
+
+#[test]
+fn sweep_rejects_missing_spec_file_naming_it() {
+    let out = rubick(&["sweep", "/nonexistent-dir/grid.toml"]);
+    assert!(!out.status.success());
+    assert!(
+        stderr(&out).contains("cannot read sweep spec '/nonexistent-dir/grid.toml'"),
+        "stderr: {}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn non_sweep_commands_reject_positional_operands() {
+    for cmd in ["run", "compare", "trace"] {
+        let out = rubick(&[cmd, "stray-token"]);
+        assert!(!out.status.success(), "{cmd} must reject an operand");
+        assert!(
+            stderr(&out).contains("unexpected argument 'stray-token'"),
+            "{cmd} stderr: {}",
+            stderr(&out)
+        );
+    }
 }
 
 /// Compare runs its schedulers on parallel threads but must print rows in

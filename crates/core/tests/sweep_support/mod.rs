@@ -1,0 +1,141 @@
+//! Shared support for the sweep-level test tier (`sweep_golden`,
+//! `sweep_equivalence`): a [`ScenarioBackend`] over the real policies and
+//! traces, plus the golden-file helper.
+//!
+//! This mirrors the CLI's backend on purpose — the harness trait is the
+//! contract, and these tests pin its semantics without going through the
+//! binary: schedulers are resolved from `rubick-core`, workloads from
+//! `rubick-trace`, and every scheduler construction deep-copies the
+//! profiled registry via [`ModelRegistry::clone_fitted`] so refit state
+//! cannot leak between cells.
+
+#![allow(dead_code)]
+
+use rubick_core::{
+    rubick_e, rubick_n, rubick_r, AntManScheduler, EqualShareScheduler, ModelRegistry,
+    RubickScheduler, SiaScheduler, SynergyScheduler,
+};
+use rubick_model::prelude::ModelSpec;
+use rubick_sim::harness::grid::SweepSpec;
+use rubick_sim::job::JobSpec;
+use rubick_sim::scheduler::Scheduler;
+use rubick_sim::tenant::Tenant;
+use rubick_sim::{ScenarioBackend, ScenarioSpec, TraceKind};
+use rubick_testbed::TestbedOracle;
+use rubick_trace::{
+    best_plan_trace, generate_base, multi_tenant_trace, with_large_model_fraction, TraceConfig,
+};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A [`ScenarioBackend`] over the real schedulers and traces, with the
+/// zoo profiled once per distinct seed at construction.
+pub struct TestBackend {
+    registries: BTreeMap<u64, Arc<ModelRegistry>>,
+}
+
+impl TestBackend {
+    /// Profiles the model zoo for every distinct seed in `seeds`.
+    pub fn prepare<I: IntoIterator<Item = u64>>(seeds: I) -> TestBackend {
+        let mut registries = BTreeMap::new();
+        for seed in seeds {
+            registries.entry(seed).or_insert_with(|| {
+                let oracle = TestbedOracle::new(seed);
+                Arc::new(ModelRegistry::from_oracle(&oracle, &ModelSpec::zoo()).unwrap())
+            });
+        }
+        TestBackend { registries }
+    }
+
+    /// Convenience: a backend covering every seed a cell list uses.
+    pub fn for_cells(cells: &[ScenarioSpec]) -> TestBackend {
+        TestBackend::prepare(cells.iter().map(|c| c.seed))
+    }
+}
+
+impl ScenarioBackend for TestBackend {
+    fn scheduler(&self, spec: &ScenarioSpec) -> Result<Box<dyn Scheduler>, String> {
+        let profiled = self
+            .registries
+            .get(&spec.seed)
+            .ok_or_else(|| format!("no profiled registry for seed {}", spec.seed))?;
+        let registry = Arc::new(profiled.clone_fitted());
+        Ok(match spec.scheduler.as_str() {
+            "rubick" => Box::new(RubickScheduler::new(registry)),
+            "rubick-e" => Box::new(rubick_e(registry)),
+            "rubick-r" => Box::new(rubick_r(registry)),
+            "rubick-n" => Box::new(rubick_n(registry)),
+            "sia" => Box::new(SiaScheduler::new(registry)),
+            "synergy" => Box::new(SynergyScheduler::new(registry)),
+            "antman" => Box::new(AntManScheduler::new()),
+            "equal" => Box::new(EqualShareScheduler::new(registry)),
+            other => return Err(format!("unknown scheduler '{other}'")),
+        })
+    }
+
+    fn workload(
+        &self,
+        spec: &ScenarioSpec,
+        oracle: &TestbedOracle,
+    ) -> Result<(Vec<JobSpec>, Vec<Tenant>), String> {
+        let config = TraceConfig {
+            seed: spec.seed,
+            base_jobs: spec.jobs,
+            load_factor: spec.load,
+            duration_hours: spec.duration_hours,
+            cluster_gpus: spec.cluster().total_capacity().gpus,
+            ..TraceConfig::default()
+        };
+        let (mut jobs, tenants) = match spec.trace {
+            TraceKind::Base => (generate_base(&config, oracle), vec![]),
+            TraceKind::Bp => (best_plan_trace(&config, oracle), vec![]),
+            TraceKind::Mt => multi_tenant_trace(&config, oracle),
+        };
+        if let Some(frac) = spec.large_frac {
+            jobs = with_large_model_fraction(&config, oracle, frac);
+        }
+        Ok((jobs, tenants))
+    }
+}
+
+/// The committed smoke sweep spec (`examples/sweeps/smoke.toml`), parsed.
+/// The golden suite runs exactly what `make sweep-smoke` runs, so an edit
+/// to the example file shows up as a golden diff, not a silent drift.
+pub fn smoke_spec() -> SweepSpec {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/sweeps/smoke.toml");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    SweepSpec::parse(&text).expect("committed smoke spec parses")
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Golden-file comparison with `UPDATE_GOLDEN=1` regeneration, identical
+/// in behavior to the `golden_traces` helper.
+pub fn check_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        eprintln!("updated golden file {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read golden file {} ({e}); run with UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "sweep output drifted from {} — if the change is intentional, \
+         regenerate with UPDATE_GOLDEN=1",
+        path.display()
+    );
+}

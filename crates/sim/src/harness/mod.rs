@@ -1,0 +1,454 @@
+//! The **scenario harness**: one shared path from "a description of an
+//! experiment" to "an engine that ran it".
+//!
+//! Before this module existed, the CLI's `run` and `compare` subcommands,
+//! every `exp_*` regenerator and every integration test wired the same
+//! five pieces together by hand: oracle, cluster, engine config, fault
+//! plan, scheduler. The harness makes that wiring declarative:
+//!
+//! * [`ScenarioSpec`] — a pure-data description of one experiment cell
+//!   (trace kind, job count, load factor, large-model fraction, seed,
+//!   cluster size, chaos knobs, per-round parallelism).
+//! * [`ScenarioBackend`] — the two construction hooks `rubick-sim` cannot
+//!   provide itself without a dependency cycle: policies live in
+//!   `rubick-core` and traces in `rubick-trace`, both of which *depend on*
+//!   this crate, so callers inject them.
+//! * [`run_scenario`] / [`run_scenario_with`] — build the engine the one
+//!   canonical way and run it, returning a [`ScenarioOutcome`].
+//!
+//! The [`grid`] submodule parses declarative sweep specs (a parameter
+//! grid in a small TOML subset) into ordered lists of scenarios, and
+//! [`sweep`] executes those lists across worker threads with
+//! byte-deterministic output. See `DESIGN.md` §12.
+
+pub mod grid;
+pub mod sweep;
+
+use crate::cluster::Cluster;
+use crate::engine::{Engine, EngineConfig};
+use crate::job::JobSpec;
+use crate::metrics::SimReport;
+use crate::scheduler::Scheduler;
+use crate::tenant::Tenant;
+use rubick_chaos::{ChaosConfig, FaultPlan};
+use rubick_model::NodeShape;
+use rubick_obs::{EventSink, FaultMetricsSink, TeeSink};
+use rubick_testbed::TestbedOracle;
+
+/// Which of the paper's scenario traces a cell runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceKind {
+    /// Base trace: random feasible initial plans (Table 4 "Base").
+    #[default]
+    Base,
+    /// Best-plan trace: best initial plans (Table 4 "BP").
+    Bp,
+    /// Multi-tenant trace: guaranteed vs. best-effort (Table 4 "MT").
+    Mt,
+}
+
+impl TraceKind {
+    /// Parses the CLI/spec spelling (`base|bp|mt`).
+    ///
+    /// # Errors
+    ///
+    /// Names the unknown kind and lists the valid ones.
+    pub fn parse(s: &str) -> Result<TraceKind, String> {
+        match s {
+            "base" => Ok(TraceKind::Base),
+            "bp" => Ok(TraceKind::Bp),
+            "mt" => Ok(TraceKind::Mt),
+            other => Err(format!("unknown trace '{other}' (base|bp|mt)")),
+        }
+    }
+
+    /// The canonical spelling used in specs and sweep output rows.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceKind::Base => "base",
+            TraceKind::Bp => "bp",
+            TraceKind::Mt => "mt",
+        }
+    }
+}
+
+/// Random-fault knobs a scenario can enable (the sweepable subset of
+/// [`ChaosConfig`]; scripted scenario files stay a CLI concern).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosKnobs {
+    /// Expected node failures per node per hour (Poisson arrivals).
+    pub failure_rate_per_hour: f64,
+    /// Seed for all fault randomness (independent of the oracle seed).
+    pub seed: u64,
+}
+
+impl ChaosKnobs {
+    fn to_config(&self) -> ChaosConfig {
+        ChaosConfig {
+            seed: self.seed,
+            node_failure_rate_per_hour: self.failure_rate_per_hour,
+            ..ChaosConfig::default()
+        }
+    }
+}
+
+/// A pure-data description of one experiment: everything needed to
+/// reproduce a simulation except the policy and trace constructors
+/// (injected via [`ScenarioBackend`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scheduler name, resolved by the backend (e.g. `rubick`, `sia`).
+    pub scheduler: String,
+    /// Which scenario trace to generate.
+    pub trace: TraceKind,
+    /// Number of jobs at load 1.0 (the paper's down-sample: 406).
+    pub jobs: usize,
+    /// Load multiplier (Fig. 10 sweeps this).
+    pub load: f64,
+    /// Override of the large-model fraction (Fig. 11 sweeps this); when
+    /// set, the workload is the large-model-mix trace regardless of
+    /// [`ScenarioSpec::trace`], matching the CLI's `--large-frac` flag.
+    pub large_frac: Option<f64>,
+    /// Oracle *and* trace seed (the CLI's `--seed` semantics).
+    pub seed: u64,
+    /// Cluster size in nodes of 8×A800 each (the paper's testbed: 8).
+    pub nodes: usize,
+    /// Trace span, hours (the paper: busiest 12 h).
+    pub duration_hours: f64,
+    /// Random fault injection, when enabled.
+    pub chaos: Option<ChaosKnobs>,
+    /// Per-round worker threads forwarded to the engine (never affects
+    /// scheduling decisions — only how fast a round computes).
+    pub parallelism: Option<usize>,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec {
+            scheduler: "rubick".to_string(),
+            trace: TraceKind::Base,
+            jobs: 406,
+            load: 1.0,
+            large_frac: None,
+            seed: 2025,
+            nodes: 8,
+            duration_hours: 12.0,
+            chaos: None,
+            parallelism: None,
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// Checks every knob is in its valid range.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending knob and value.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.scheduler.is_empty() {
+            return Err("scheduler name is empty".to_string());
+        }
+        if self.jobs == 0 {
+            return Err("jobs must be at least 1".to_string());
+        }
+        if !(self.load > 0.0 && self.load.is_finite()) {
+            return Err(format!("load must be a positive number, got {}", self.load));
+        }
+        if let Some(frac) = self.large_frac {
+            if !(0.0..=1.0).contains(&frac) {
+                return Err(format!("large_frac must be between 0 and 1, got {frac}"));
+            }
+        }
+        if self.nodes == 0 {
+            return Err("nodes must be at least 1".to_string());
+        }
+        if !(self.duration_hours > 0.0 && self.duration_hours.is_finite()) {
+            return Err(format!(
+                "duration_hours must be a positive number, got {}",
+                self.duration_hours
+            ));
+        }
+        if let Some(chaos) = &self.chaos {
+            if !(chaos.failure_rate_per_hour >= 0.0 && chaos.failure_rate_per_hour.is_finite()) {
+                return Err(format!(
+                    "chaos_rate must be a non-negative number, got {}",
+                    chaos.failure_rate_per_hour
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The cluster this scenario runs on: `nodes` × 8 A800.
+    pub fn cluster(&self) -> Cluster {
+        Cluster::new(self.nodes, NodeShape::a800())
+    }
+
+    /// The engine configuration (defaults plus this spec's parallelism).
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig {
+            parallelism: self.parallelism,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// Compiles the spec's random-fault knobs into a deterministic
+    /// [`FaultPlan`] (`None` when chaos is off or the rate is zero).
+    ///
+    /// # Errors
+    ///
+    /// Forwards [`rubick_chaos::ChaosError`] as a message.
+    pub fn fault_plan(&self) -> Result<Option<FaultPlan>, String> {
+        let Some(knobs) = &self.chaos else {
+            return Ok(None);
+        };
+        if knobs.failure_rate_per_hour == 0.0 {
+            return Ok(None);
+        }
+        let plan = FaultPlan::compile(
+            &knobs.to_config(),
+            self.nodes,
+            self.engine_config().max_time,
+        )
+        .map_err(|e| format!("invalid chaos knobs: {e}"))?;
+        Ok(Some(plan))
+    }
+
+    /// A short human-readable cell label for error messages and logs.
+    pub fn label(&self) -> String {
+        let mut s = format!(
+            "{}/{} jobs={} load={}",
+            self.trace.as_str(),
+            self.scheduler,
+            self.jobs,
+            self.load
+        );
+        if let Some(frac) = self.large_frac {
+            s.push_str(&format!(" large_frac={frac}"));
+        }
+        if self.nodes != 8 {
+            s.push_str(&format!(" nodes={}", self.nodes));
+        }
+        if let Some(chaos) = &self.chaos {
+            s.push_str(&format!(
+                " chaos_rate={} chaos_seed={}",
+                chaos.failure_rate_per_hour, chaos.seed
+            ));
+        }
+        s.push_str(&format!(" seed={}", self.seed));
+        s
+    }
+}
+
+/// The two constructors the harness cannot own: policies (`rubick-core`)
+/// and workload traces (`rubick-trace`) live in crates that depend on
+/// `rubick-sim`, so every caller injects them through this trait.
+///
+/// Implementations must be [`Sync`]: the sweep executor calls them from
+/// worker threads. Per-cell state (e.g. a freshly `clone_fitted()` model
+/// registry) belongs in the returned scheduler, not the backend.
+pub trait ScenarioBackend: Sync {
+    /// Builds the scheduler named by `spec.scheduler`, fitted for
+    /// `spec.seed`'s oracle.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the unknown scheduler (and the valid names).
+    fn scheduler(&self, spec: &ScenarioSpec) -> Result<Box<dyn Scheduler>, String>;
+
+    /// Generates the workload (jobs and tenants) for the spec.
+    ///
+    /// # Errors
+    ///
+    /// A message describing the invalid workload parameters.
+    fn workload(
+        &self,
+        spec: &ScenarioSpec,
+        oracle: &TestbedOracle,
+    ) -> Result<(Vec<JobSpec>, Vec<Tenant>), String>;
+}
+
+/// Everything a scenario run produced.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The spec that was run (so rows can be rendered without carrying
+    /// the grid alongside the results).
+    pub spec: ScenarioSpec,
+    /// The full simulation report.
+    pub report: SimReport,
+    /// Fault-metric fold, present when the cell ran with chaos enabled.
+    pub faults: Option<FaultMetricsSink>,
+}
+
+/// Runs one scenario the canonical way (no extra sinks, chaos from the
+/// spec's own knobs). See [`run_scenario_with`].
+///
+/// # Errors
+///
+/// Spec validation failures and backend construction errors.
+pub fn run_scenario(
+    spec: &ScenarioSpec,
+    backend: &dyn ScenarioBackend,
+) -> Result<ScenarioOutcome, String> {
+    run_scenario_with(spec, backend, None, None)
+}
+
+/// Runs one scenario: oracle from the seed, cluster from the node count,
+/// workload and scheduler from the backend, chaos compiled from the spec
+/// (or overridden by `chaos`, the CLI's `--chaos <file>` path), every
+/// event forwarded to `extra_sink` when given.
+///
+/// When chaos is active a [`FaultMetricsSink`] folds the same stream and
+/// is returned in the outcome.
+///
+/// # Errors
+///
+/// Spec validation failures and backend construction errors.
+pub fn run_scenario_with(
+    spec: &ScenarioSpec,
+    backend: &dyn ScenarioBackend,
+    chaos: Option<FaultPlan>,
+    extra_sink: Option<&mut dyn EventSink>,
+) -> Result<ScenarioOutcome, String> {
+    spec.validate()?;
+    let oracle = TestbedOracle::new(spec.seed);
+    let chaos = match chaos {
+        Some(plan) => Some(plan),
+        None => spec.fault_plan()?,
+    };
+    let (jobs, tenants) = backend.workload(spec, &oracle)?;
+    let scheduler = backend.scheduler(spec)?;
+    let mut engine = Engine::new(
+        &oracle,
+        scheduler,
+        spec.cluster(),
+        tenants,
+        spec.engine_config(),
+    );
+    let mut faults = chaos.as_ref().map(|_| FaultMetricsSink::new());
+    if let Some(plan) = chaos {
+        engine = engine.with_chaos(plan);
+    }
+    let report = match (faults.as_mut(), extra_sink) {
+        (Some(metrics), Some(sink)) => {
+            let mut tee = TeeSink::new(sink, metrics);
+            engine.run_with_sink(jobs, &mut tee)
+        }
+        (Some(metrics), None) => engine.run_with_sink(jobs, metrics),
+        (None, Some(sink)) => engine.run_with_sink(jobs, sink),
+        (None, None) => engine.run(jobs),
+    };
+    Ok(ScenarioOutcome {
+        spec: spec.clone(),
+        report,
+        faults,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_kind_round_trips() {
+        for kind in [TraceKind::Base, TraceKind::Bp, TraceKind::Mt] {
+            assert_eq!(TraceKind::parse(kind.as_str()), Ok(kind));
+        }
+        assert!(TraceKind::parse("philly")
+            .unwrap_err()
+            .contains("base|bp|mt"));
+    }
+
+    #[test]
+    fn default_spec_is_the_paper_testbed() {
+        let spec = ScenarioSpec::default();
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.cluster().total_capacity().gpus, 64);
+        assert_eq!(spec.jobs, 406);
+        assert!(spec.fault_plan().unwrap().is_none());
+    }
+
+    #[test]
+    fn validation_names_the_offending_knob() {
+        let cases: [(ScenarioSpec, &str); 5] = [
+            (
+                ScenarioSpec {
+                    jobs: 0,
+                    ..ScenarioSpec::default()
+                },
+                "jobs",
+            ),
+            (
+                ScenarioSpec {
+                    load: -1.0,
+                    ..ScenarioSpec::default()
+                },
+                "load",
+            ),
+            (
+                ScenarioSpec {
+                    large_frac: Some(1.5),
+                    ..ScenarioSpec::default()
+                },
+                "large_frac",
+            ),
+            (
+                ScenarioSpec {
+                    nodes: 0,
+                    ..ScenarioSpec::default()
+                },
+                "nodes",
+            ),
+            (
+                ScenarioSpec {
+                    duration_hours: 0.0,
+                    ..ScenarioSpec::default()
+                },
+                "duration_hours",
+            ),
+        ];
+        for (spec, knob) in cases {
+            let err = spec.validate().unwrap_err();
+            assert!(err.contains(knob), "error '{err}' should name {knob}");
+        }
+    }
+
+    #[test]
+    fn zero_chaos_rate_compiles_to_no_plan() {
+        let spec = ScenarioSpec {
+            chaos: Some(ChaosKnobs {
+                failure_rate_per_hour: 0.0,
+                seed: 7,
+            }),
+            ..ScenarioSpec::default()
+        };
+        assert!(spec.fault_plan().unwrap().is_none());
+        let with_rate = ScenarioSpec {
+            chaos: Some(ChaosKnobs {
+                failure_rate_per_hour: 0.05,
+                seed: 7,
+            }),
+            ..ScenarioSpec::default()
+        };
+        assert!(with_rate.fault_plan().unwrap().is_some());
+    }
+
+    #[test]
+    fn label_mentions_the_distinguishing_knobs() {
+        let spec = ScenarioSpec {
+            scheduler: "sia".into(),
+            trace: TraceKind::Mt,
+            nodes: 4,
+            chaos: Some(ChaosKnobs {
+                failure_rate_per_hour: 0.1,
+                seed: 3,
+            }),
+            ..ScenarioSpec::default()
+        };
+        let label = spec.label();
+        for needle in ["mt/sia", "nodes=4", "chaos_rate=0.1", "seed=2025"] {
+            assert!(label.contains(needle), "label '{label}' missing {needle}");
+        }
+    }
+}

@@ -23,6 +23,9 @@
 //!   [`SimReport`]; metrics have a single source of truth.
 //! * [`metrics`] — per-job records and the summary statistics of Table 4
 //!   (average/P99 JCT, makespan, reconfiguration overhead, SLA attainment).
+//! * [`harness`] — the shared scenario harness: declarative experiment
+//!   specs ([`ScenarioSpec`]), sweep grids, and the deterministic
+//!   parallel cell executor behind `rubick sweep`.
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -30,6 +33,7 @@
 
 pub mod cluster;
 pub mod engine;
+pub mod harness;
 pub mod job;
 pub mod metrics;
 pub mod report;
@@ -38,6 +42,10 @@ pub mod tenant;
 
 pub use cluster::{Allocation, Cluster, Node};
 pub use engine::{Engine, EngineConfig};
+pub use harness::{
+    run_scenario, run_scenario_with, ChaosKnobs, ScenarioBackend, ScenarioOutcome, ScenarioSpec,
+    TraceKind,
+};
 pub use job::{JobClass, JobId, JobSpec, JobStatus};
 pub use metrics::{JobRecord, SimReport};
 pub use report::ReportSink;
