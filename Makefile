@@ -15,9 +15,9 @@
 # (opt-in: bench timings are machine-dependent, so the default CI gate
 # stays deterministic).
 
-.PHONY: verify fmt lint test build bench bench-check sweep-smoke
+.PHONY: verify fmt lint test build bench bench-check bench-smoke sweep-smoke
 
-verify: fmt lint test sweep-smoke
+verify: fmt lint test sweep-smoke bench-smoke
 
 ifeq ($(BENCH),1)
 verify: bench-check
@@ -49,9 +49,9 @@ sweep-smoke:
 	cargo build --release -p rubick-cli
 	mkdir -p target/sweep-smoke
 	target/release/rubick sweep examples/sweeps/smoke.toml --log-level error \
-		--out target/sweep-smoke/seq.csv
+		--no-timings --out target/sweep-smoke/seq.csv
 	target/release/rubick sweep examples/sweeps/smoke.toml --log-level error \
-		--parallelism 4 --out target/sweep-smoke/par.csv
+		--no-timings --parallelism 4 --out target/sweep-smoke/par.csv
 	cmp target/sweep-smoke/seq.csv target/sweep-smoke/par.csv
 	@echo "sweep-smoke: byte-identical at 1 and 4 workers"
 
@@ -65,6 +65,19 @@ bench:
 # mean). The replay doubles the sample count: the min over 20 samples
 # sits at or below a committed 10-sample min unless the code genuinely
 # got slower.
+# Quick sanity pass over the incremental tier: BENCH_SMOKE trims the job
+# sizes to 1024 and one sample is taken per variant, so the whole run —
+# including the pre-bench equivalence assertions (incremental == full,
+# delta-fed == full, O(delta) classification) — finishes in seconds.
+# This is a correctness gate, not a perf gate: timings are discarded
+# (scratch BENCH_OUT_DIR), only the asserts matter.
+bench-smoke:
+	mkdir -p target/bench-smoke
+	BENCH_SMOKE=1 BENCH_SAMPLE_SIZE=1 BENCH_FILTER=incremental_round \
+		BENCH_OUT_DIR=$(CURDIR)/target/bench-smoke \
+		cargo bench -p rubick-bench --bench scheduling
+	@echo "bench-smoke: incremental-round equivalence asserts passed"
+
 bench-check:
 	mkdir -p target/bench-check
 	BENCH_SAMPLE_SIZE=20 BENCH_FILTER=incremental_round \

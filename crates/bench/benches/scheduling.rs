@@ -10,7 +10,7 @@ use rubick_core::{
 use rubick_model::{ExecutionPlan, ModelSpec, NodeShape, Resources};
 use rubick_sim::cluster::{Allocation, Cluster};
 use rubick_sim::job::{JobClass, JobSpec, JobStatus};
-use rubick_sim::scheduler::{JobSnapshot, Scheduler};
+use rubick_sim::scheduler::{JobDelta, JobSnapshot, Scheduler};
 use rubick_sim::tenant::TenantId;
 use rubick_testbed::TestbedOracle;
 use std::hint::black_box;
@@ -159,13 +159,16 @@ fn bench_all_policies(c: &mut Criterion) {
 /// unplaceable best-effort jobs, the common shape of a busy cluster
 /// between arrival bursts.
 ///
-/// Three variants per job count:
+/// Four variants per job count (`BENCH_SMOKE=1` trims to 1024 jobs only,
+/// for the quick `make bench-smoke` sanity pass):
 ///   * `full`    — `incremental = false`: every round re-plans all jobs.
-///   * `clean`   — nothing changed since the warm-up round; the tracker's
-///     fast path re-emits the previous assignments without any search.
-///   * `dirty10` — ~10% of the queued jobs are perturbed each iteration
-///     (their `queued_since` flips, invalidating the fingerprint), so the
-///     round re-searches only those while the rest keep their skips.
+///   * `clean`   — the engine's delta says nothing changed; classification
+///     touches only the running-job penalty-gate suspects and the fast
+///     path re-emits the previous assignments without any search.
+///   * `dirty1`  — ~1% of the queued jobs are perturbed each iteration
+///     (their `queued_since` flips, invalidating the fingerprint) and
+///     named in the delta, so only those re-classify and re-search.
+///   * `dirty10` — same with ~10% perturbed.
 fn bench_incremental_round(c: &mut Criterion) {
     const NODES: usize = 8;
     const RUNNERS: u64 = 64; // 8 per node: tiles every GPU, CPU and byte
@@ -266,11 +269,39 @@ fn bench_incremental_round(c: &mut Criterion) {
         assert_eq!(warm, reference, "incremental fast path diverges");
         let stats = inc.last_round_stats().expect("incremental stats");
         assert_eq!(stats.searched, 0, "steady-state round must skip the search");
+        // Delta-fed quiet round: an empty engine delta certifies the queue
+        // untouched, so classification probes only the running jobs (their
+        // penalty gate evolves with runtime and is always rechecked).
+        inc.notify_jobs(&JobDelta::default());
+        let quiet = inc.schedule(NOW, &snaps, &cluster, &[]);
+        assert_eq!(quiet, reference, "delta-fed quiet round diverges");
+        let stats = inc.last_round_stats().expect("delta stats");
+        assert_eq!(
+            stats.classified, RUNNERS,
+            "delta-fed quiet round must classify O(delta), not O(jobs)"
+        );
+        // Delta-fed dirty round: a perturbed job named in the delta is
+        // re-searched, and the output still matches a full re-plan.
+        let mut perturbed_snaps = snaps.clone();
+        perturbed_snaps[RUNNERS as usize].queued_since = -1.0;
+        inc.notify_jobs(&JobDelta {
+            changed: vec![RUNNERS],
+            removed: vec![],
+        });
+        let dirty = inc.schedule(NOW, &perturbed_snaps, &cluster, &[]);
+        let reference = scheduler(false).schedule(NOW, &perturbed_snaps, &cluster, &[]);
+        assert_eq!(dirty, reference, "delta-fed dirty round diverges");
     }
 
+    let smoke = std::env::var("BENCH_SMOKE").as_deref() == Ok("1");
+    let sizes: &[usize] = if smoke {
+        &[1024]
+    } else {
+        &[1024, 4096, 16384, 65536, 100_000]
+    };
     let mut group = c.benchmark_group("policy/incremental_round");
     group.sample_size(10);
-    for jobs in [1024usize, 4096, 16384] {
+    for &jobs in sizes {
         group.bench_with_input(BenchmarkId::new("full", jobs), &jobs, |b, &n| {
             let snaps = steady_jobs(n);
             let mut sched = scheduler(false);
@@ -280,25 +311,37 @@ fn bench_incremental_round(c: &mut Criterion) {
             let snaps = steady_jobs(n);
             let mut sched = scheduler(true);
             sched.schedule(NOW, &snaps, &cluster, &[]); // warm the tracker
-            b.iter(|| black_box(sched.schedule(NOW, &snaps, &cluster, &[])))
-        });
-        group.bench_with_input(BenchmarkId::new("dirty10", jobs), &jobs, |b, &n| {
-            let mut snaps = steady_jobs(n);
-            let mut sched = scheduler(true);
-            sched.schedule(NOW, &snaps, &cluster, &[]); // warm the tracker
-            let perturbed: Vec<usize> = (RUNNERS as usize..n).step_by(10).collect();
-            let mut flip = false;
             b.iter(|| {
-                // Invalidate ~10% of the queue's fingerprints; the jobs
-                // stay unplaceable, so only their searches re-run.
-                flip = !flip;
-                let since = if flip { -1.0 } else { 0.0 };
-                for &i in &perturbed {
-                    snaps[i].queued_since = since;
-                }
+                // The engine reports an empty inter-round delta, as it
+                // does between rounds where nothing arrived or finished.
+                sched.notify_jobs(&JobDelta::default());
                 black_box(sched.schedule(NOW, &snaps, &cluster, &[]))
             })
         });
+        for (variant, step) in [("dirty1", 100usize), ("dirty10", 10)] {
+            group.bench_with_input(BenchmarkId::new(variant, jobs), &jobs, |b, &n| {
+                let mut snaps = steady_jobs(n);
+                let mut sched = scheduler(true);
+                sched.schedule(NOW, &snaps, &cluster, &[]); // warm the tracker
+                let perturbed: Vec<usize> = (RUNNERS as usize..n).step_by(step).collect();
+                let delta = JobDelta {
+                    changed: perturbed.iter().map(|&i| i as u64).collect(),
+                    removed: vec![],
+                };
+                let mut flip = false;
+                b.iter(|| {
+                    // Invalidate the named queue fingerprints; the jobs
+                    // stay unplaceable, so only their searches re-run.
+                    flip = !flip;
+                    let since = if flip { -1.0 } else { 0.0 };
+                    for &i in &perturbed {
+                        snaps[i].queued_since = since;
+                    }
+                    sched.notify_jobs(&delta);
+                    black_box(sched.schedule(NOW, &snaps, &cluster, &[]))
+                })
+            });
+        }
     }
     group.finish();
 }

@@ -11,12 +11,12 @@ use super::{CliBackend, CliError, SCHEDULER_NAMES};
 use crate::args::Args;
 use crate::output::Logger;
 use rubick_sim::harness::grid::SweepSpec;
-use rubick_sim::harness::sweep::{render_csv, render_jsonl, resolve_workers, run_cells};
+use rubick_sim::harness::sweep::{render_csv, render_jsonl, resolve_workers, run_cells_with};
 use std::collections::BTreeSet;
 
 /// Executes the `sweep` subcommand.
 pub fn execute(args: &Args) -> Result<(), CliError> {
-    args.allow(&["out", "jsonl", "parallelism", "log-level"])?;
+    args.allow(&["out", "jsonl", "parallelism", "log-level", "no-timings"])?;
     let log = Logger::from_args(args)?;
     let spec_path = args
         .operand
@@ -71,7 +71,11 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
         seeds.len()
     ));
     let backend = CliBackend::prepare(seeds)?;
-    let outcomes = run_cells(&cells, &backend, threads)?;
+    // Timed by default: interactive sweeps want to see cell cost. The
+    // timing columns are the only machine-dependent output bytes, so
+    // anything comparing sweep output across runs (the sweep-smoke gate,
+    // golden regeneration) passes --no-timings.
+    let outcomes = run_cells_with(&cells, &backend, threads, !args.flag("no-timings"))?;
 
     let csv = render_csv(&outcomes);
     match out {

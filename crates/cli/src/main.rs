@@ -63,12 +63,14 @@ RUN / COMPARE FLAGS:
 
 SWEEP:
     rubick sweep <spec.toml> [--out <csv>] [--jsonl <path>]
-                 [--parallelism <n>] [--log-level <lvl>]
+                 [--parallelism <n>] [--log-level <lvl>] [--no-timings]
     Expands the spec's [grid] blocks into cells (trace x scheduler x jobs
     x load x large_frac x nodes x chaos_rate x chaos_seed x seed), runs
     every cell, and emits one row per cell in grid order. Output is
     byte-identical at any --parallelism setting. Without --out the CSV
-    goes to stdout; --jsonl additionally writes a JSON-Lines file.
+    goes to stdout; --jsonl additionally writes a JSON-Lines file. Each
+    row ends with per-cell wall_ms/mean_round_ns wall-clock columns;
+    --no-timings leaves them empty for run-to-run reproducible output.
 
 PLANS FLAGS:
     --model <name>       Zoo model name (vit-86m, roberta-355m, bert-336m,

@@ -357,15 +357,44 @@ fn sweep_emits_one_csv_row_per_cell_in_grid_order() {
 
 #[test]
 fn sweep_output_is_byte_identical_at_any_parallelism() {
+    // --no-timings: the wall-clock columns are the one part of a row
+    // that legitimately differs between runs.
     let spec = sweep_spec("det", TINY_SWEEP);
     let path = spec.to_str().unwrap();
-    let seq = rubick(&["sweep", path]);
-    let par = rubick(&["sweep", path, "--parallelism", "3"]);
-    let auto = rubick(&["sweep", path, "--parallelism", "auto"]);
+    let seq = rubick(&["sweep", path, "--no-timings"]);
+    let par = rubick(&["sweep", path, "--no-timings", "--parallelism", "3"]);
+    let auto = rubick(&["sweep", path, "--no-timings", "--parallelism", "auto"]);
     assert!(seq.status.success() && par.status.success() && auto.status.success());
     assert_eq!(stdout(&seq), stdout(&par));
     assert_eq!(stdout(&seq), stdout(&auto));
     assert!(!stdout(&seq).is_empty());
+    std::fs::remove_file(&spec).ok();
+}
+
+#[test]
+fn sweep_times_cells_by_default_and_no_timings_blanks_them() {
+    let spec = sweep_spec("timing", TINY_SWEEP);
+    let path = spec.to_str().unwrap();
+    let timed = rubick(&["sweep", path]);
+    let untimed = rubick(&["sweep", path, "--no-timings"]);
+    assert!(timed.status.success() && untimed.status.success());
+    for out in [&timed, &untimed] {
+        let text = stdout(out);
+        let header = text.lines().next().expect("header row");
+        assert!(header.ends_with(",wall_ms,mean_round_ns"), "{header}");
+    }
+    for row in stdout(&timed).lines().skip(1) {
+        let cols: Vec<&str> = row.split(',').collect();
+        let wall: f64 = cols[cols.len() - 2].parse().expect("wall_ms number");
+        let round: f64 = cols[cols.len() - 1].parse().expect("mean_round_ns number");
+        assert!(wall > 0.0 && round > 0.0, "{row}");
+    }
+    for row in stdout(&untimed).lines().skip(1) {
+        assert!(
+            row.ends_with(",,"),
+            "untimed row should blank timings: {row}"
+        );
+    }
     std::fs::remove_file(&spec).ok();
 }
 

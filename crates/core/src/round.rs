@@ -218,17 +218,18 @@ impl<'a> RoundContext<'a> {
     /// as the deterministic tie-break) — the arrival order every baseline
     /// and Rubick's admission passes use.
     pub fn queued_fifo(&self, mut pred: impl FnMut(&JobSnapshot) -> bool) -> Vec<&'a JobSnapshot> {
-        let mut queued: Vec<&'a JobSnapshot> = self
+        let mut queued: Vec<(u64, &'a JobSnapshot)> = self
             .jobs
             .iter()
             .filter(|j| j.status.is_queued() && pred(j))
+            .map(|j| (total_order_key(j.queued_since), j))
             .collect();
-        queued.sort_by(|a, b| {
-            a.queued_since
-                .total_cmp(&b.queued_since)
-                .then(a.id().cmp(&b.id()))
-        });
-        queued
+        // The precomputed integer key orders exactly like `f64::total_cmp`
+        // but sorts without re-deriving float comparisons per probe; with
+        // the id tie-break the whole key is a plain `(u64, JobId)` pair, so
+        // the sort is branch-cheap even on 100k-job rounds.
+        queued.sort_by_key(|(key, j)| (*key, j.id()));
+        queued.into_iter().map(|(_, j)| j).collect()
     }
 
     /// Tries to gang-pack `want` into the current free ledger (fewest
@@ -264,6 +265,19 @@ impl<'a> RoundContext<'a> {
     /// engine.
     pub fn into_assignments(self) -> Vec<Assignment> {
         self.out
+    }
+}
+
+/// Maps an `f64` to a `u64` that sorts in exactly `f64::total_cmp` order:
+/// negative floats have their magnitude bits inverted (reversing their
+/// order), non-negatives get the sign bit set (placing them above every
+/// negative).
+fn total_order_key(v: f64) -> u64 {
+    let bits = v.to_bits();
+    if bits >> 63 == 1 {
+        !bits
+    } else {
+        bits ^ (1 << 63)
     }
 }
 
@@ -348,6 +362,32 @@ mod tests {
         let ctx = RoundContext::new(&cluster, &jobs);
         let order: Vec<JobId> = ctx.queued_fifo(|_| true).iter().map(|j| j.id()).collect();
         assert_eq!(order, vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn queued_fifo_sort_key_matches_total_cmp_across_signs() {
+        // Warm-start traces produce negative `queued_since` (submitted
+        // before t=0), so the integer sort key must order negatives,
+        // zeroes and positives exactly like `f64::total_cmp`.
+        let cluster = Cluster::new(1, NodeShape::a800());
+        let times = [3.5, -120.0, 0.0, -0.0, -1.5, 42.0, f64::MIN_POSITIVE];
+        let jobs: Vec<JobSnapshot> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| snap(i as JobId + 1, JobStatus::Queued, t))
+            .collect();
+        let ctx = RoundContext::new(&cluster, &jobs);
+        let got: Vec<f64> = ctx
+            .queued_fifo(|_| true)
+            .iter()
+            .map(|j| j.queued_since)
+            .collect();
+        let mut want = times;
+        want.sort_by(f64::total_cmp);
+        assert_eq!(
+            got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

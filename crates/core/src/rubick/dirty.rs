@@ -28,6 +28,29 @@
 //! re-emitted. The invariant that makes all of this sound is spelled out
 //! in `DESIGN.md` §11.
 //!
+//! **Delta-driven classification** (DESIGN.md §13): the engine tracks
+//! which job snapshots mutated between rounds and hands the set over via
+//! [`Scheduler::notify_jobs`](rubick_sim::Scheduler::notify_jobs). When a
+//! delta is pending, classification compares fingerprints only for the
+//! delta's jobs plus the *frozen-bit suspects* — stored running jobs whose
+//! reconfiguration-penalty gate may have flipped as their runtime grew,
+//! the single fingerprint field that evolves without an engine-side state
+//! transition. Every other stored job is trusted clean, so a quiet round
+//! classifies O(changed + running) jobs instead of O(jobs). The full
+//! fingerprint pass is retained as the fallback for callers that supply no
+//! delta (hand-wired tests, lazy-profiling rounds that filter the job
+//! slice) and as a `debug_assert` cross-check of every delta-driven
+//! verdict.
+//!
+//! Classification state is flat: verdicts live in a `Vec` parallel to the
+//! jobs slice, history in sorted vecs probed by binary search, and job →
+//! position lookups go through a generation-stamped dense [`JobIndex`], so
+//! the per-job probes stay cache-friendly at 100k jobs. The fingerprint
+//! fallback shards the jobs slice across the scoped-thread pool (cut
+//! preferentially at tenant boundaries); each shard writes a disjoint
+//! verdict sub-slice, so the merged result is byte-identical at any thread
+//! count (DESIGN.md §7).
+//!
 //! Fingerprints deliberately *exclude* monotone-decreasing inputs
 //! (`remaining_batches`, and through it a victim's remaining seconds, and
 //! the amortization guard's `samples_left`): a search that rolled back
@@ -40,15 +63,22 @@ use crate::common::PlanSearch;
 use rubick_model::{ExecutionPlan, Resources, SensitivityCurve};
 use rubick_sim::cluster::Allocation;
 use rubick_sim::job::{JobId, JobStatus};
-use rubick_sim::scheduler::{Assignment, JobSnapshot, RoundStats};
+use rubick_sim::scheduler::{Assignment, JobDelta, JobSnapshot, RoundStats};
 use rubick_sim::tenant::Tenant;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::sync::Arc;
+
+/// Below this many jobs the fingerprint fallback stays sequential: the
+/// per-job work is a handful of compares, so thread spawn/join overhead
+/// only pays off on large rounds.
+const MIN_SHARD_JOBS: usize = 256;
 
 /// Everything the plan search reads that is *not* per-job: the fitted
 /// model registry (tracked by its monotone version counter), the cluster
 /// geometry and the tenant quotas. An epoch mismatch invalidates every
-/// certificate at once, including the cached per-job context parts.
+/// certificate at once; whether it also invalidates the cached per-job
+/// context parts depends on *which* component moved — see
+/// [`Epoch::parts_compatible`].
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct Epoch {
     /// [`ModelRegistry::version`](crate::ModelRegistry::version) after the
@@ -60,6 +90,18 @@ pub(crate) struct Epoch {
     pub(crate) node_caps: Vec<Resources>,
     /// Tenant quotas, compared structurally.
     pub(crate) tenants: Vec<Tenant>,
+}
+
+impl Epoch {
+    /// Whether cached [`CachedParts`] computed under `self` are still
+    /// valid under `now`. `build_job_parts` is pure in (policy config, job
+    /// spec, registry version, total GPUs, node *shape*): quota edits and
+    /// per-node capacity changes (a node going down) invalidate plan
+    /// certificates but not curves, baselines or minimum demands, as long
+    /// as the registry and the total GPU count are unchanged.
+    pub(crate) fn parts_compatible(&self, now: &Epoch) -> bool {
+        self.registry_version == now.registry_version && self.total_gpus == now.total_gpus
+    }
 }
 
 /// Per-job fingerprint of every snapshot field the plan search reads,
@@ -76,7 +118,9 @@ struct Fingerprint {
     throughput: u64,
     /// The reconfiguration-penalty gate's verdict this round. It depends
     /// on `runtime`, which grows every round, so the *bit* is stored, not
-    /// the inputs: the fingerprint only changes when the gate flips.
+    /// the inputs: the fingerprint only changes when the gate flips. This
+    /// is the one field that can change without an engine transition, so
+    /// the delta path re-checks it for every stored running job.
     frozen: bool,
 }
 
@@ -114,55 +158,188 @@ pub(crate) struct CachedParts {
     pub(crate) minimum: Resources,
 }
 
-/// How this round's jobs partition, as decided by [`DirtyTracker::classify`]
-/// (fingerprints + epoch) and then tightened by the caller (ledger check,
-/// which may demote the quiet-clean set).
+/// Generation-stamped dense map from [`JobId`] to a job's position in the
+/// current round's jobs slice. Rebuilding bumps the generation instead of
+/// clearing the slot table, so steady-state rebuilds are O(jobs) scatter
+/// stores with no zeroing pass; a sorted-vec fallback handles id spaces
+/// too sparse for the dense table.
+#[derive(Debug, Default)]
+pub(crate) struct JobIndex {
+    /// `slots[id] = (generation, position)`; valid iff the stamp matches.
+    slots: Vec<(u32, u32)>,
+    gen: u32,
+    /// Sorted `(id, position)` fallback when ids are too sparse.
+    sparse: Vec<(JobId, u32)>,
+    dense: bool,
+}
+
+impl JobIndex {
+    /// Re-points the index at `jobs` (by slice position).
+    pub(crate) fn rebuild(&mut self, jobs: &[JobSnapshot]) {
+        let max_id = jobs.iter().map(|s| s.id()).max().unwrap_or(0);
+        self.dense = (max_id as usize) < 8 * jobs.len() + 1024;
+        if self.dense {
+            if self.slots.len() <= max_id as usize {
+                self.slots.resize(max_id as usize + 1, (0, 0));
+            }
+            self.gen = self.gen.wrapping_add(1);
+            if self.gen == 0 {
+                // Generation wrapped: stale stamps could collide, so pay
+                // one full clear every 2^32 rebuilds.
+                self.slots.fill((0, 0));
+                self.gen = 1;
+            }
+            let gen = self.gen;
+            for (pos, snap) in jobs.iter().enumerate() {
+                self.slots[snap.id() as usize] = (gen, pos as u32);
+            }
+            self.sparse.clear();
+        } else {
+            self.sparse.clear();
+            self.sparse
+                .extend(jobs.iter().enumerate().map(|(pos, s)| (s.id(), pos as u32)));
+            self.sparse.sort_unstable_by_key(|&(id, _)| id);
+        }
+    }
+
+    /// The slice position of `id`, if it is in the current round.
+    pub(crate) fn get(&self, id: JobId) -> Option<usize> {
+        if self.dense {
+            let slot = self.slots.get(id as usize)?;
+            (slot.0 == self.gen).then_some(slot.1 as usize)
+        } else {
+            self.sparse
+                .binary_search_by_key(&id, |&(id, _)| id)
+                .ok()
+                .map(|i| self.sparse[i].1 as usize)
+        }
+    }
+}
+
+/// A job's classification for this round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Verdict {
+    /// Planning inputs changed; re-run the plan search.
+    Dirty,
+    /// Satiated clean: skipped unconditionally.
+    SkipAlways,
+    /// Non-satiated clean: skipped only while the round state is still
+    /// untouched (`state.changed` empty).
+    QuietSkip,
+}
+
+/// How this round's jobs partition, as decided by
+/// [`DirtyTracker::classify`] (fingerprints + epoch) and then tightened by
+/// the caller (ledger check, which may demote the quiet-clean set or
+/// everything). Verdicts are stored positionally, parallel to the jobs
+/// slice; demotions are flags folded in by [`Classification::verdict`]
+/// instead of set moves.
 #[derive(Debug, Default)]
 pub(crate) struct Classification {
-    /// Jobs whose plan search must re-run.
-    pub(crate) dirty: BTreeSet<JobId>,
-    /// Satiated clean jobs: skipped unconditionally.
-    pub(crate) skip_always: BTreeSet<JobId>,
-    /// Non-satiated clean jobs: skipped only while the round state is
-    /// still untouched (`state.changed` empty).
-    pub(crate) quiet_skip: BTreeSet<JobId>,
-    /// Whether the stored epoch matched (cached parts are reusable).
+    verdicts: Vec<Verdict>,
+    dirty_count: u64,
+    skip_always_count: u64,
+    quiet_skip_count: u64,
+    quiet_demoted: bool,
+    all_demoted: bool,
+    /// Whether the stored epoch matched (skip certificates are usable).
+    /// The policy consumes this indirectly through the verdicts (a
+    /// mismatch marks everything dirty); tests pin it directly.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) epoch_matched: bool,
-    /// All clean + previous round quiet + no vanished jobs: the round may
-    /// take the fast path if the ledger also matches.
-    pub(crate) fast_eligible: bool,
+    /// Whether the cached per-job parts survive this round (the epoch
+    /// components they depend on are unchanged, even if quotas or node
+    /// capacities moved — see [`Epoch::parts_compatible`]).
+    pub(crate) parts_reusable: bool,
+    /// Fingerprint comparisons performed: O(changed + running) on the
+    /// delta path, O(jobs) on the fallback, 0 on an epoch mismatch.
+    pub(crate) classified: u64,
+    /// All clean + previous round quiet + no vanished jobs (before
+    /// demotions): with an unchanged ledger the round may fast-path.
+    fast_base: bool,
+    /// The job → position index built for this round; the policy takes it
+    /// for its own dense context maps and returns it to the tracker.
+    index: JobIndex,
 }
 
 impl Classification {
+    /// The effective verdict of the job at slice position `pos`, with
+    /// demotions applied.
+    pub(crate) fn verdict(&self, pos: usize) -> Verdict {
+        let v = self.verdicts[pos];
+        if self.all_demoted {
+            return Verdict::Dirty;
+        }
+        if self.quiet_demoted && v == Verdict::QuietSkip {
+            return Verdict::Dirty;
+        }
+        v
+    }
+
+    /// The effective verdict of job `id`, if it is in this round. Only
+    /// valid before [`Classification::take_index`].
+    #[cfg(test)]
+    pub(crate) fn verdict_of(&self, id: JobId) -> Option<Verdict> {
+        self.index.get(id).map(|pos| self.verdict(pos))
+    }
+
     /// Demotes every quiet-clean job to dirty (ledger grew, a running job
     /// changed, or the previous round was not quiet).
     pub(crate) fn demote_quiet(&mut self) {
-        self.dirty.append(&mut self.quiet_skip);
-        self.fast_eligible = false;
+        self.quiet_demoted = true;
     }
 
-    /// Demotes *everything* to dirty (epoch mismatch or ledger shrink).
+    /// Demotes *everything* to dirty (ledger shrink).
     pub(crate) fn demote_all(&mut self) {
-        self.dirty.append(&mut self.quiet_skip);
-        self.dirty.append(&mut self.skip_always);
-        self.fast_eligible = false;
+        self.all_demoted = true;
+    }
+
+    /// Whether the round may take the verbatim re-emit fast path (the
+    /// caller must additionally verify `LedgerDelta::Unchanged`).
+    pub(crate) fn fast_eligible(&self) -> bool {
+        self.fast_base && !self.quiet_demoted && !self.all_demoted
+    }
+
+    /// Effective dirty-job count, demotions included.
+    pub(crate) fn dirty_len(&self) -> u64 {
+        if self.all_demoted {
+            self.dirty_count + self.skip_always_count + self.quiet_skip_count
+        } else if self.quiet_demoted {
+            self.dirty_count + self.quiet_skip_count
+        } else {
+            self.dirty_count
+        }
+    }
+
+    /// Effective clean-job count, demotions included.
+    pub(crate) fn clean_len(&self) -> u64 {
+        (self.verdicts.len() as u64).saturating_sub(self.dirty_len())
+    }
+
+    /// Moves the round's [`JobIndex`] out (the policy keys its dense
+    /// context vectors by it); hand it back to the tracker via
+    /// [`DirtyTracker::restore_index`] so the allocation is reused.
+    pub(crate) fn take_index(&mut self) -> JobIndex {
+        std::mem::take(&mut self.index)
     }
 }
 
 /// End-of-round memory of the incremental planner: fingerprints, the
 /// emitted assignments, the satiated set, a bit-exact projection of the
 /// next round's post-`charge_running` free ledger, and the epoch they
-/// were all recorded under.
+/// were all recorded under. History lives in `JobId`-sorted flat vecs —
+/// binary-search probes, cache-friendly rebuilds.
 #[derive(Default)]
 pub(crate) struct DirtyTracker {
-    fingerprints: BTreeMap<JobId, Fingerprint>,
-    /// What was handed to the engine last round, keyed by job. Used for
+    /// `(id, fingerprint)` sorted by id.
+    fingerprints: Vec<(JobId, Fingerprint)>,
+    /// What was handed to the engine last round, sorted by id. Used for
     /// the emitted-consistency check: a running job whose snapshot does
     /// not match what we emitted (or a queued job we *did* emit for —
     /// a failed launch) is dirty.
-    emitted: BTreeMap<JobId, (Allocation, ExecutionPlan)>,
-    /// Jobs whose emitted allocation already met their useful cap.
-    satiated: BTreeSet<JobId>,
+    emitted: Vec<(JobId, (Allocation, ExecutionPlan))>,
+    /// Jobs whose emitted allocation already met their useful cap, sorted.
+    satiated: Vec<JobId>,
     /// Projected per-node free ledger for the next round, computed with
     /// the same `free[n] -= r` op sequence as `RoundContext::new` +
     /// `charge_running` so equality is bit-exact.
@@ -170,11 +347,20 @@ pub(crate) struct DirtyTracker {
     /// Whether the last round ended with `state.changed` empty.
     prev_round_quiet: bool,
     epoch: Option<Epoch>,
-    /// Per-job context parts cache, valid while the epoch is unchanged.
+    /// Per-job context parts cache, valid while the epoch's
+    /// parts-relevant components are unchanged.
     pub(crate) parts: BTreeMap<JobId, CachedParts>,
     /// Set by [`Scheduler::notify`](rubick_sim::Scheduler::notify) on a
     /// cluster delta; forces a full re-plan on the next round.
     force_dirty: bool,
+    /// Accumulated [`JobDelta`] from
+    /// [`Scheduler::notify_jobs`](rubick_sim::Scheduler::notify_jobs);
+    /// consumed by the next classify. `None` means no delta was supplied
+    /// and classification falls back to the full fingerprint pass.
+    pending_delta: Option<JobDelta>,
+    /// Index allocation reused across rounds (see
+    /// [`DirtyTracker::restore_index`]).
+    scratch_index: JobIndex,
     /// Statistics of the most recent round, surfaced through
     /// [`Scheduler::last_round_stats`](rubick_sim::Scheduler::last_round_stats).
     stats: Option<RoundStats>,
@@ -192,6 +378,30 @@ impl DirtyTracker {
         self.force_dirty = true;
     }
 
+    /// Accumulates an engine-supplied job delta for the next classify.
+    /// Multiple notifications between rounds merge (sorted union).
+    pub(crate) fn push_delta(&mut self, delta: &JobDelta) {
+        match &mut self.pending_delta {
+            None => self.pending_delta = Some(delta.clone()),
+            Some(d) => {
+                merge_sorted(&mut d.changed, &delta.changed);
+                merge_sorted(&mut d.removed, &delta.removed);
+            }
+        }
+    }
+
+    /// Drops any pending delta: the next classify falls back to the full
+    /// fingerprint pass. Used when the caller filtered the jobs slice
+    /// (lazy profiling), so the engine's delta no longer describes it.
+    pub(crate) fn clear_delta(&mut self) {
+        self.pending_delta = None;
+    }
+
+    /// Returns the round index allocation for reuse by the next round.
+    pub(crate) fn restore_index(&mut self, index: JobIndex) {
+        self.scratch_index = index;
+    }
+
     /// Statistics of the most recent round, if one ran incrementally.
     pub(crate) fn stats(&self) -> Option<RoundStats> {
         self.stats
@@ -207,53 +417,104 @@ impl DirtyTracker {
         &self.projected_free
     }
 
-    /// Partitions `jobs` by comparing fingerprints and the epoch. The
-    /// caller must still apply the ledger check (demoting the quiet set
-    /// on growth, everything on shrink) before trusting the skip sets.
+    fn fingerprint_of(&self, id: JobId) -> Option<&Fingerprint> {
+        self.fingerprints
+            .binary_search_by_key(&id, |&(id, _)| id)
+            .ok()
+            .map(|i| &self.fingerprints[i].1)
+    }
+
+    fn emitted_of(&self, id: JobId) -> Option<&(Allocation, ExecutionPlan)> {
+        self.emitted
+            .binary_search_by_key(&id, |(id, _)| *id)
+            .ok()
+            .map(|i| &self.emitted[i].1)
+    }
+
+    fn satiated_contains(&self, id: JobId) -> bool {
+        self.satiated.binary_search(&id).is_ok()
+    }
+
+    /// Partitions `jobs` by comparing fingerprints and the epoch, using a
+    /// pending engine delta when one was supplied and the sharded full
+    /// fingerprint pass otherwise (`threads` bounds the shard count; the
+    /// result is byte-identical at any value). The caller must still
+    /// apply the ledger check (demoting the quiet set on growth,
+    /// everything on shrink) before trusting the skip sets.
     ///
-    /// Consumes the force-dirty flag: a notified cluster delta dirties
-    /// exactly one round.
+    /// Consumes the force-dirty flag and the pending delta: a notified
+    /// cluster delta dirties exactly one round, and a job delta describes
+    /// exactly one inter-round window.
     pub(crate) fn classify(
         &mut self,
         jobs: &[JobSnapshot],
         epoch_now: &Epoch,
         reconfig_threshold: f64,
+        threads: usize,
     ) -> Classification {
         let force = std::mem::take(&mut self.force_dirty);
+        let delta = self.pending_delta.take();
+        let mut index = std::mem::take(&mut self.scratch_index);
+        index.rebuild(jobs);
         let epoch_matched = !force && self.epoch.as_ref() == Some(epoch_now);
+        let parts_reusable = self
+            .epoch
+            .as_ref()
+            .is_some_and(|e| e.parts_compatible(epoch_now));
+        if !parts_reusable {
+            self.parts.clear();
+        }
+        if !epoch_matched {
+            // No certificate survives; re-plan everything from scratch.
+            return Classification {
+                verdicts: vec![Verdict::Dirty; jobs.len()],
+                dirty_count: jobs.len() as u64,
+                parts_reusable,
+                index,
+                ..Classification::default()
+            };
+        }
+
+        let vanished = self
+            .fingerprints
+            .iter()
+            .any(|&(id, _)| index.get(id).is_none());
+        let (verdicts, any_running_dirty, classified) = match &delta {
+            Some(d) => {
+                let out = self.classify_delta(jobs, &index, d, reconfig_threshold);
+                #[cfg(debug_assertions)]
+                {
+                    let (ref_verdicts, ref_ard, _) =
+                        self.classify_fallback(jobs, reconfig_threshold, 1);
+                    debug_assert_eq!(
+                        out.0, ref_verdicts,
+                        "delta-driven verdicts diverge from the fingerprint pass \
+                         (the engine under-reported a change)"
+                    );
+                    debug_assert_eq!(out.1, ref_ard, "delta path missed a dirty running job");
+                }
+                out
+            }
+            None => self.classify_fallback(jobs, reconfig_threshold, threads),
+        };
+
+        let mut counts = [0u64; 3];
+        for v in &verdicts {
+            counts[*v as usize] += 1;
+        }
         let mut cls = Classification {
-            epoch_matched,
+            dirty_count: counts[Verdict::Dirty as usize],
+            skip_always_count: counts[Verdict::SkipAlways as usize],
+            quiet_skip_count: counts[Verdict::QuietSkip as usize],
+            verdicts,
+            epoch_matched: true,
+            parts_reusable,
+            classified,
+            fast_base: false,
+            index,
             ..Classification::default()
         };
-        if !epoch_matched {
-            // Everything the cached parts were computed from may have
-            // changed; drop them and re-plan from scratch.
-            self.parts.clear();
-            cls.dirty = jobs.iter().map(|s| s.id()).collect();
-            return cls;
-        }
-        let mut seen = BTreeSet::new();
-        let mut any_running_dirty = false;
-        for snap in jobs {
-            let id = snap.id();
-            seen.insert(id);
-            let fp = Fingerprint::of(snap, reconfig_threshold);
-            let clean = self.fingerprints.get(&id) == Some(&fp) && self.emitted_consistent(snap);
-            if clean {
-                if self.satiated.contains(&id) {
-                    cls.skip_always.insert(id);
-                } else {
-                    cls.quiet_skip.insert(id);
-                }
-            } else {
-                cls.dirty.insert(id);
-                if snap.status.is_running() {
-                    any_running_dirty = true;
-                }
-            }
-        }
-        let vanished = self.fingerprints.keys().any(|id| !seen.contains(id));
-        cls.fast_eligible = cls.dirty.is_empty() && !vanished && self.prev_round_quiet;
+        cls.fast_base = cls.dirty_count == 0 && !vanished && self.prev_round_quiet;
         // A dirty *running* job shifts victim economics (and possibly
         // quota accounting) for every other search; only satiated jobs —
         // which provably read neither — keep their skip. Ditto when the
@@ -265,6 +526,129 @@ impl DirtyTracker {
         cls
     }
 
+    /// One job's verdict under the full fingerprint + emitted-consistency
+    /// check. Pure in (`self`, snapshot), so shard boundaries cannot
+    /// change the result.
+    fn classify_one(&self, snap: &JobSnapshot, reconfig_threshold: f64) -> (Verdict, bool) {
+        let id = snap.id();
+        let fp = Fingerprint::of(snap, reconfig_threshold);
+        let clean = self.fingerprint_of(id) == Some(&fp) && self.emitted_consistent(snap);
+        if clean {
+            (self.clean_verdict(id), false)
+        } else {
+            (Verdict::Dirty, snap.status.is_running())
+        }
+    }
+
+    fn clean_verdict(&self, id: JobId) -> Verdict {
+        if self.satiated_contains(id) {
+            Verdict::SkipAlways
+        } else {
+            Verdict::QuietSkip
+        }
+    }
+
+    /// The full fingerprint pass over every job, sharded across up to
+    /// `threads` scoped workers on large rounds. Shard ranges are cut
+    /// preferentially at tenant boundaries (a shard maps to a tenant /
+    /// failure domain when tenants are contiguous in the jobs slice), and
+    /// each shard writes a disjoint verdict sub-slice — the merged output
+    /// is independent of where the cuts land.
+    fn classify_fallback(
+        &self,
+        jobs: &[JobSnapshot],
+        reconfig_threshold: f64,
+        threads: usize,
+    ) -> (Vec<Verdict>, bool, u64) {
+        let mut verdicts = vec![Verdict::Dirty; jobs.len()];
+        let mut any_running_dirty = false;
+        let ranges = shard_ranges(jobs, threads);
+        if ranges.len() <= 1 || jobs.len() < MIN_SHARD_JOBS {
+            for (v, snap) in verdicts.iter_mut().zip(jobs) {
+                let (verdict, running_dirty) = self.classify_one(snap, reconfig_threshold);
+                *v = verdict;
+                any_running_dirty |= running_dirty;
+            }
+        } else {
+            crossbeam::scope(|scope| {
+                let mut rest: &mut [Verdict] = &mut verdicts;
+                let mut handles = Vec::with_capacity(ranges.len());
+                for &(start, end) in &ranges {
+                    let (head, tail) = rest.split_at_mut(end - start);
+                    rest = tail;
+                    let shard = &jobs[start..end];
+                    handles.push(scope.spawn(move || {
+                        let mut running_dirty = false;
+                        for (v, snap) in head.iter_mut().zip(shard) {
+                            let (verdict, rd) = self.classify_one(snap, reconfig_threshold);
+                            *v = verdict;
+                            running_dirty |= rd;
+                        }
+                        running_dirty
+                    }));
+                }
+                for h in handles {
+                    any_running_dirty |= h.join().expect("classify shard panicked");
+                }
+            })
+            .expect("classify scope panicked");
+        }
+        (verdicts, any_running_dirty, jobs.len() as u64)
+    }
+
+    /// Delta-driven classification: trust every stored job outside the
+    /// delta, re-check fingerprints only for the delta's jobs and the
+    /// frozen-bit suspects (stored *running* jobs, whose penalty gate can
+    /// flip as runtime grows without any engine transition). Jobs with no
+    /// stored fingerprint (new arrivals) default to dirty, exactly like
+    /// the fallback.
+    fn classify_delta(
+        &self,
+        jobs: &[JobSnapshot],
+        index: &JobIndex,
+        delta: &JobDelta,
+        reconfig_threshold: f64,
+    ) -> (Vec<Verdict>, bool, u64) {
+        let mut verdicts = vec![Verdict::Dirty; jobs.len()];
+        let mut any_running_dirty = false;
+        let mut classified = 0u64;
+        let mut changed = delta.changed.iter().copied().peekable();
+        for &(id, ref fp) in &self.fingerprints {
+            while changed.peek().is_some_and(|&c| c < id) {
+                changed.next();
+            }
+            let in_delta = changed.peek() == Some(&id);
+            let Some(pos) = index.get(id) else {
+                // Vanished (finished/removed): handled by the caller's
+                // vanished check; nothing to classify.
+                continue;
+            };
+            let snap = &jobs[pos];
+            verdicts[pos] = if in_delta {
+                classified += 1;
+                let (verdict, running_dirty) = self.classify_one(snap, reconfig_threshold);
+                any_running_dirty |= running_dirty;
+                verdict
+            } else if fp.running {
+                // Frozen-bit suspect: recompute only the gate.
+                classified += 1;
+                let frozen_now =
+                    snap.status.is_running() && !snap.reconfig_allowed(reconfig_threshold);
+                if frozen_now != fp.frozen {
+                    any_running_dirty = true;
+                    Verdict::Dirty
+                } else {
+                    self.clean_verdict(id)
+                }
+            } else {
+                // Queued, untouched by the engine: every fingerprint field
+                // of a queued job only moves through marked transitions.
+                self.clean_verdict(id)
+            };
+        }
+        (verdicts, any_running_dirty, classified)
+    }
+
     /// Whether the engine state reflects what we handed it: a running job
     /// must match its emitted `(allocation, plan)` verbatim, and a queued
     /// job must not have one (an emitted-but-still-queued job is a failed
@@ -274,11 +658,10 @@ impl DirtyTracker {
             JobStatus::Running {
                 allocation, plan, ..
             } => self
-                .emitted
-                .get(&snap.id())
+                .emitted_of(snap.id())
                 .map(|(a, p)| a == allocation && p == plan)
                 .unwrap_or(false),
-            _ => !self.emitted.contains_key(&snap.id()),
+            _ => self.emitted_of(snap.id()).is_none(),
         }
     }
 
@@ -286,7 +669,7 @@ impl DirtyTracker {
     /// running job's `(allocation, plan)` verbatim, in id order — exactly
     /// what `emit` produces in a quiet round. Valid only when the caller
     /// verified fast-eligibility *and* `LedgerDelta::Unchanged`.
-    pub(crate) fn fast_path(&mut self, jobs: &[JobSnapshot]) -> Vec<Assignment> {
+    pub(crate) fn fast_path(&mut self, jobs: &[JobSnapshot], classified: u64) -> Vec<Assignment> {
         let mut ids: Vec<&JobSnapshot> = jobs.iter().collect();
         ids.sort_by_key(|s| s.id());
         let mut out = Vec::new();
@@ -310,6 +693,7 @@ impl DirtyTracker {
             clean: jobs.len() as u64,
             reused: out.len() as u64,
             searched: 0,
+            classified,
         });
         // History (fingerprints, projection, satiated set, quietness) is
         // untouched: the round changed nothing, so it stays valid.
@@ -320,7 +704,9 @@ impl DirtyTracker {
     /// round planned over, the emitted assignments, which of them are
     /// satiated (per `satiated`, evaluated against epoch-stable context),
     /// and the ledger projection replaying `node_caps` minus every
-    /// emitted allocation in id order.
+    /// emitted allocation in id order. `index` (when the caller still has
+    /// this round's [`JobIndex`]) makes the parts-cache liveness pruning
+    /// O(1) per entry.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn record(
         &mut self,
@@ -331,20 +717,27 @@ impl DirtyTracker {
         quiet: bool,
         reconfig_threshold: f64,
         satiated: impl Fn(JobId, &Allocation) -> bool,
+        index: Option<&JobIndex>,
     ) {
-        self.fingerprints = jobs
-            .iter()
-            .map(|s| (s.id(), Fingerprint::of(s, reconfig_threshold)))
-            .collect();
-        self.emitted = out
-            .iter()
-            .map(|a| (a.job, (a.allocation.clone(), a.plan)))
-            .collect();
-        self.satiated = out
-            .iter()
-            .filter(|a| satiated(a.job, &a.allocation))
-            .map(|a| a.job)
-            .collect();
+        self.fingerprints.clear();
+        self.fingerprints.extend(
+            jobs.iter()
+                .map(|s| (s.id(), Fingerprint::of(s, reconfig_threshold))),
+        );
+        // Engine snapshots arrive id-sorted, making this near-O(n); the
+        // probes require sorted order regardless of the caller.
+        self.fingerprints.sort_unstable_by_key(|&(id, _)| id);
+        self.emitted.clear();
+        self.emitted
+            .extend(out.iter().map(|a| (a.job, (a.allocation.clone(), a.plan))));
+        self.emitted.sort_unstable_by_key(|&(id, _)| id);
+        self.satiated.clear();
+        self.satiated.extend(
+            out.iter()
+                .filter(|a| satiated(a.job, &a.allocation))
+                .map(|a| a.job),
+        );
+        self.satiated.sort_unstable();
         let mut free = node_caps;
         for a in out {
             for (node, res) in &a.allocation.per_node {
@@ -356,10 +749,49 @@ impl DirtyTracker {
         self.projected_free = free;
         self.prev_round_quiet = quiet;
         // Cached parts for jobs that left the system are dead weight.
-        let live: BTreeSet<JobId> = jobs.iter().map(|s| s.id()).collect();
-        self.parts.retain(|id, _| live.contains(id));
+        match index {
+            Some(ix) => self.parts.retain(|id, _| ix.get(*id).is_some()),
+            None => {
+                let live: std::collections::BTreeSet<JobId> = jobs.iter().map(|s| s.id()).collect();
+                self.parts.retain(|id, _| live.contains(id));
+            }
+        }
         self.epoch = Some(epoch);
     }
+}
+
+/// Merges the sorted, deduped `src` ids into the sorted, deduped `dst`.
+fn merge_sorted(dst: &mut Vec<JobId>, src: &[JobId]) {
+    if src.is_empty() {
+        return;
+    }
+    dst.extend_from_slice(src);
+    dst.sort_unstable();
+    dst.dedup();
+}
+
+/// Cuts `jobs` into at most `threads` contiguous ranges of roughly equal
+/// size, preferring cut points where the tenant changes so a shard aligns
+/// with a tenant / failure domain; a single over-large tenant is hard-cut
+/// at twice the target size so one domain cannot serialize the pass.
+fn shard_ranges(jobs: &[JobSnapshot], threads: usize) -> Vec<(usize, usize)> {
+    let n = jobs.len();
+    if threads <= 1 || n == 0 {
+        return vec![(0, n)];
+    }
+    let target = n.div_ceil(threads);
+    let mut ranges = Vec::with_capacity(threads);
+    let mut start = 0;
+    while start < n {
+        let mut end = (start + target).min(n);
+        let hard_cap = (start + 2 * target).min(n);
+        while end < hard_cap && jobs[end].spec.tenant == jobs[end - 1].spec.tenant {
+            end += 1;
+        }
+        ranges.push((start, end));
+        start = end;
+    }
+    ranges
 }
 
 #[cfg(test)]
@@ -412,32 +844,40 @@ mod tests {
         }
     }
 
+    fn record_simple(t: &mut DirtyTracker, jobs: &[JobSnapshot], out: &[Assignment], quiet: bool) {
+        t.record(
+            jobs,
+            out,
+            epoch().node_caps,
+            epoch(),
+            quiet,
+            0.97,
+            |_, _| false,
+            None,
+        );
+    }
+
     #[test]
     fn first_round_is_all_dirty_then_steady_state_is_clean() {
         let mut t = DirtyTracker::new();
         let jobs = vec![running(1), snap(2, JobStatus::Queued)];
-        let cls = t.classify(&jobs, &epoch(), 0.97);
-        assert_eq!(cls.dirty.len(), 2);
-        assert!(!cls.fast_eligible);
+        let cls = t.classify(&jobs, &epoch(), 0.97, 1);
+        assert_eq!(cls.dirty_len(), 2);
+        assert!(!cls.fast_eligible());
 
         let out = vec![Assignment {
             job: 1,
             allocation: Allocation::on_node(0, Resources::new(1, 12, 100.0)),
             plan: ExecutionPlan::dp(1),
         }];
-        t.record(
-            &jobs,
-            &out,
-            epoch().node_caps,
-            epoch(),
-            true,
-            0.97,
-            |_, _| false,
-        );
-        let cls = t.classify(&jobs, &epoch(), 0.97);
-        assert!(cls.dirty.is_empty());
-        assert_eq!(cls.quiet_skip.len(), 2);
-        assert!(cls.fast_eligible);
+        record_simple(&mut t, &jobs, &out, true);
+        let cls = t.classify(&jobs, &epoch(), 0.97, 1);
+        assert_eq!(cls.dirty_len(), 0);
+        assert_eq!(cls.verdict_of(1), Some(Verdict::QuietSkip));
+        assert_eq!(cls.verdict_of(2), Some(Verdict::QuietSkip));
+        assert!(cls.fast_eligible());
+        // The fallback pass fingerprinted every job.
+        assert_eq!(cls.classified, 2);
     }
 
     #[test]
@@ -454,7 +894,7 @@ mod tests {
                 })
             })
             .collect();
-        t.classify(&jobs, &epoch(), 0.97);
+        t.classify(&jobs, &epoch(), 0.97, 1);
         t.record(
             &jobs,
             &out,
@@ -463,6 +903,7 @@ mod tests {
             true,
             0.97,
             |id, _| id == 2,
+            None,
         );
 
         // Job 1's throughput moved: it and the queued job are dirty, the
@@ -471,11 +912,13 @@ mod tests {
         if let JobStatus::Running { throughput, .. } = &mut jobs2[0].status {
             *throughput = 2.0;
         }
-        let cls = t.classify(&jobs2, &epoch(), 0.97);
-        assert!(cls.dirty.contains(&1) && cls.dirty.contains(&3));
-        assert_eq!(cls.skip_always, BTreeSet::from([2]));
-        assert!(cls.quiet_skip.is_empty());
-        assert!(!cls.fast_eligible);
+        let cls = t.classify(&jobs2, &epoch(), 0.97, 1);
+        assert_eq!(cls.verdict_of(1), Some(Verdict::Dirty));
+        assert_eq!(cls.verdict_of(3), Some(Verdict::Dirty));
+        assert_eq!(cls.verdict_of(2), Some(Verdict::SkipAlways));
+        assert_eq!(cls.dirty_len(), 2);
+        assert_eq!(cls.clean_len(), 1);
+        assert!(!cls.fast_eligible());
     }
 
     #[test]
@@ -487,7 +930,7 @@ mod tests {
             allocation: Allocation::on_node(0, Resources::new(1, 12, 100.0)),
             plan: ExecutionPlan::dp(1),
         }];
-        t.classify(&jobs, &epoch(), 0.97);
+        t.classify(&jobs, &epoch(), 0.97, 1);
         t.record(
             &jobs,
             &out,
@@ -496,12 +939,16 @@ mod tests {
             true,
             0.97,
             |_, _| true,
+            None,
         );
 
         let mut other = epoch();
         other.registry_version = 7;
-        let cls = t.classify(&jobs, &other, 0.97);
-        assert!(!cls.epoch_matched && cls.dirty.contains(&1));
+        let cls = t.classify(&jobs, &other, 0.97, 1);
+        assert!(!cls.epoch_matched);
+        assert_eq!(cls.verdict_of(1), Some(Verdict::Dirty));
+        // A registry bump invalidates the cached parts too.
+        assert!(!cls.parts_reusable);
 
         // Re-record, then a notified cluster delta forces one dirty round.
         t.record(
@@ -512,13 +959,19 @@ mod tests {
             true,
             0.97,
             |_, _| true,
+            None,
         );
         t.force_dirty();
-        let cls = t.classify(&jobs, &epoch(), 0.97);
-        assert!(!cls.epoch_matched && cls.dirty.contains(&1));
+        let cls = t.classify(&jobs, &epoch(), 0.97, 1);
+        assert!(!cls.epoch_matched);
+        assert_eq!(cls.verdict_of(1), Some(Verdict::Dirty));
+        // The epoch itself is unchanged, so the parts cache survives the
+        // forced re-plan.
+        assert!(cls.parts_reusable);
         // The flag is one-shot.
-        let cls = t.classify(&jobs, &epoch(), 0.97);
-        assert!(cls.epoch_matched && cls.skip_always.contains(&1));
+        let cls = t.classify(&jobs, &epoch(), 0.97, 1);
+        assert!(cls.epoch_matched);
+        assert_eq!(cls.verdict_of(1), Some(Verdict::SkipAlways));
     }
 
     #[test]
@@ -530,22 +983,14 @@ mod tests {
             allocation: Allocation::on_node(0, Resources::new(1, 12, 100.0)),
             plan: ExecutionPlan::dp(1),
         }];
-        t.classify(&queued, &epoch(), 0.97);
+        t.classify(&queued, &epoch(), 0.97, 1);
         // We emitted a launch for job 1 and the previous round was *not*
         // quiet (it admitted a job)…
-        t.record(
-            &queued,
-            &out,
-            epoch().node_caps,
-            epoch(),
-            false,
-            0.97,
-            |_, _| false,
-        );
+        record_simple(&mut t, &queued, &out, false);
         // …but the job is still queued: the launch failed, so it is dirty
         // even though its snapshot fingerprint is unchanged.
-        let cls = t.classify(&queued, &epoch(), 0.97);
-        assert!(cls.dirty.contains(&1));
+        let cls = t.classify(&queued, &epoch(), 0.97, 1);
+        assert_eq!(cls.verdict_of(1), Some(Verdict::Dirty));
     }
 
     #[test]
@@ -557,19 +1002,252 @@ mod tests {
             allocation: Allocation::on_node(0, Resources::new(1, 12, 100.0)),
             plan: ExecutionPlan::dp(1),
         }];
-        t.record(
-            &jobs,
-            &out,
-            epoch().node_caps,
-            epoch(),
-            true,
-            0.97,
-            |_, _| false,
-        );
+        record_simple(&mut t, &jobs, &out, true);
         let cap = NodeShape::a800().capacity();
         assert_eq!(
             t.projected_free(),
             &[cap - Resources::new(1, 12, 100.0)][..]
         );
+    }
+
+    #[test]
+    fn quota_only_epoch_change_keeps_cached_parts() {
+        let mut t = DirtyTracker::new();
+        let jobs = vec![running(1)];
+        let out = vec![Assignment {
+            job: 1,
+            allocation: Allocation::on_node(0, Resources::new(1, 12, 100.0)),
+            plan: ExecutionPlan::dp(1),
+        }];
+        record_simple(&mut t, &jobs, &out, true);
+        t.parts.insert(
+            1,
+            CachedParts {
+                search: PlanSearch::Fixed(ExecutionPlan::dp(1)),
+                curve: None,
+                baseline: Some(1.0),
+                minimum: Resources::new(1, 1, 1.0),
+            },
+        );
+
+        // Quotas moved, registry and capacity did not: every plan
+        // certificate dies, but the curve/baseline/minimum cache survives.
+        let mut quota_change = epoch();
+        quota_change.tenants = vec![Tenant::new("t", Resources::new(4, 8, 100.0))];
+        let cls = t.classify(&jobs, &quota_change, 0.97, 1);
+        assert!(!cls.epoch_matched);
+        assert_eq!(cls.verdict_of(1), Some(Verdict::Dirty));
+        assert!(cls.parts_reusable);
+        assert!(t.parts.contains_key(&1));
+
+        // A capacity change (total GPUs moved) kills the parts too.
+        let mut capacity_change = epoch();
+        capacity_change.total_gpus = 16;
+        let cls = t.classify(&jobs, &capacity_change, 0.97, 1);
+        assert!(!cls.epoch_matched && !cls.parts_reusable);
+        assert!(t.parts.is_empty());
+    }
+
+    #[test]
+    fn empty_delta_classifies_only_running_suspects() {
+        let mut t = DirtyTracker::new();
+        let mut jobs = vec![running(1)];
+        for id in 2..6 {
+            jobs.push(snap(id, JobStatus::Queued));
+        }
+        let out = vec![Assignment {
+            job: 1,
+            allocation: Allocation::on_node(0, Resources::new(1, 12, 100.0)),
+            plan: ExecutionPlan::dp(1),
+        }];
+        record_simple(&mut t, &jobs, &out, true);
+
+        t.push_delta(&JobDelta::default());
+        let cls = t.classify(&jobs, &epoch(), 0.97, 1);
+        // One frozen-bit recheck for the running job; the four queued jobs
+        // are trusted clean without touching their fingerprints.
+        assert_eq!(cls.classified, 1);
+        assert_eq!(cls.dirty_len(), 0);
+        assert_eq!(cls.clean_len(), 5);
+        assert!(cls.fast_eligible());
+        // The delta is one-shot: the next round falls back to the full
+        // pass and fingerprints everything.
+        let cls = t.classify(&jobs, &epoch(), 0.97, 1);
+        assert_eq!(cls.classified, 5);
+    }
+
+    #[test]
+    fn delta_rechecks_exactly_the_named_jobs() {
+        let mut t = DirtyTracker::new();
+        let jobs = vec![
+            running(1),
+            snap(2, JobStatus::Queued),
+            snap(3, JobStatus::Queued),
+        ];
+        let out = vec![Assignment {
+            job: 1,
+            allocation: Allocation::on_node(0, Resources::new(1, 12, 100.0)),
+            plan: ExecutionPlan::dp(1),
+        }];
+        record_simple(&mut t, &jobs, &out, true);
+
+        // Job 2 re-queued at a later time; the engine marks it.
+        let mut jobs2 = jobs.clone();
+        jobs2[1].queued_since = 50.0;
+        t.push_delta(&JobDelta {
+            changed: vec![2],
+            removed: vec![],
+        });
+        let cls = t.classify(&jobs2, &epoch(), 0.97, 1);
+        assert_eq!(cls.verdict_of(2), Some(Verdict::Dirty));
+        assert_eq!(cls.verdict_of(3), Some(Verdict::QuietSkip));
+        // Job 2's fingerprint compare + job 1's frozen recheck.
+        assert_eq!(cls.classified, 2);
+        assert!(!cls.fast_eligible());
+    }
+
+    #[test]
+    fn delta_removed_job_blocks_the_fast_path() {
+        let mut t = DirtyTracker::new();
+        let jobs = vec![running(1), snap(2, JobStatus::Queued)];
+        let out = vec![Assignment {
+            job: 1,
+            allocation: Allocation::on_node(0, Resources::new(1, 12, 100.0)),
+            plan: ExecutionPlan::dp(1),
+        }];
+        record_simple(&mut t, &jobs, &out, true);
+
+        // Job 2 finished and left the snapshot set.
+        let jobs2 = vec![jobs[0].clone()];
+        t.push_delta(&JobDelta {
+            changed: vec![],
+            removed: vec![2],
+        });
+        let cls = t.classify(&jobs2, &epoch(), 0.97, 1);
+        // The survivor stays clean, but a vanished job frees capacity the
+        // quiet certificates never saw: no fast path.
+        assert_eq!(cls.dirty_len(), 0);
+        assert!(!cls.fast_eligible());
+    }
+
+    #[test]
+    fn frozen_bit_flip_is_caught_without_a_delta_entry() {
+        // gpt2-xl's checkpoint is heavy enough that the §5.2 gate blocks a
+        // 2-minute-old job but allows a long-running one (see the gate's
+        // own unit tests in rubick-sim).
+        let frozen_snap = |runtime: f64| {
+            let mut s = running(1);
+            let mut spec = (*s.spec).clone();
+            spec.model = ModelSpec::gpt2_xl();
+            s.spec = Arc::new(spec);
+            s.runtime = runtime;
+            s
+        };
+        let young = vec![frozen_snap(120.0)];
+        assert!(!young[0].reconfig_allowed(0.97), "gate must start closed");
+        let old = vec![frozen_snap(100_000.0)];
+        assert!(old[0].reconfig_allowed(0.97), "gate must open with age");
+
+        let mut t = DirtyTracker::new();
+        let out = vec![Assignment {
+            job: 1,
+            allocation: Allocation::on_node(0, Resources::new(1, 12, 100.0)),
+            plan: ExecutionPlan::dp(1),
+        }];
+        record_simple(&mut t, &young, &out, true);
+
+        // Runtime grew past the gate with no engine transition: the empty
+        // delta must still catch the flip via the running-suspect recheck.
+        t.push_delta(&JobDelta::default());
+        let cls = t.classify(&old, &epoch(), 0.97, 1);
+        assert_eq!(cls.verdict_of(1), Some(Verdict::Dirty));
+        assert_eq!(cls.classified, 1);
+    }
+
+    #[test]
+    fn push_delta_merges_sorted_unions() {
+        let mut t = DirtyTracker::new();
+        t.push_delta(&JobDelta {
+            changed: vec![1, 5],
+            removed: vec![9],
+        });
+        t.push_delta(&JobDelta {
+            changed: vec![3, 5],
+            removed: vec![2],
+        });
+        let d = t.pending_delta.as_ref().unwrap();
+        assert_eq!(d.changed, vec![1, 3, 5]);
+        assert_eq!(d.removed, vec![2, 9]);
+        t.clear_delta();
+        assert!(t.pending_delta.is_none());
+    }
+
+    #[test]
+    fn sharded_fallback_matches_sequential() {
+        let mut t = DirtyTracker::new();
+        let mut jobs: Vec<JobSnapshot> = Vec::new();
+        for id in 0..300u64 {
+            let mut s = if id % 3 == 0 {
+                running(id)
+            } else {
+                snap(id, JobStatus::Queued)
+            };
+            let mut spec = (*s.spec).clone();
+            spec.tenant = TenantId::new(if id < 150 { "a" } else { "b" });
+            s.spec = Arc::new(spec);
+            jobs.push(s);
+        }
+        let out: Vec<Assignment> = jobs
+            .iter()
+            .filter_map(|s| {
+                s.allocation().map(|a| Assignment {
+                    job: s.id(),
+                    allocation: a.clone(),
+                    plan: *s.plan().unwrap(),
+                })
+            })
+            .collect();
+        record_simple(&mut t, &jobs, &out, true);
+        // Perturb a few jobs so the verdicts are non-trivial.
+        let mut jobs2 = jobs.clone();
+        jobs2[7].queued_since = 1.0;
+        jobs2[211].queued_since = 2.0;
+
+        let seq = t.classify(&jobs2, &epoch(), 0.97, 1);
+        let par = t.classify(&jobs2, &epoch(), 0.97, 4);
+        for pos in 0..jobs2.len() {
+            assert_eq!(seq.verdict(pos), par.verdict(pos), "verdict at {pos}");
+        }
+        assert_eq!(seq.dirty_len(), par.dirty_len());
+        assert_eq!(seq.clean_len(), par.clean_len());
+    }
+
+    #[test]
+    fn job_index_dense_and_sparse_agree() {
+        let dense_jobs: Vec<JobSnapshot> =
+            (0..40u64).map(|id| snap(id, JobStatus::Queued)).collect();
+        let mut ix = JobIndex::default();
+        ix.rebuild(&dense_jobs);
+        assert!(ix.dense);
+        for (pos, s) in dense_jobs.iter().enumerate() {
+            assert_eq!(ix.get(s.id()), Some(pos));
+        }
+        assert_eq!(ix.get(40), None);
+
+        // Sparse ids force the sorted-vec fallback.
+        let sparse_jobs: Vec<JobSnapshot> = (0..4u64)
+            .map(|i| snap(i * 1_000_000 + 17, JobStatus::Queued))
+            .collect();
+        ix.rebuild(&sparse_jobs);
+        assert!(!ix.dense);
+        for (pos, s) in sparse_jobs.iter().enumerate() {
+            assert_eq!(ix.get(s.id()), Some(pos));
+        }
+        assert_eq!(ix.get(18), None);
+
+        // Rebuilding back to dense invalidates all stale entries.
+        ix.rebuild(&dense_jobs);
+        assert_eq!(ix.get(17), Some(17));
+        assert_eq!(ix.get(1_000_017), None);
     }
 }

@@ -30,7 +30,9 @@ pub use minres::min_res;
 use crate::registry::ModelRegistry;
 use parking_lot::Mutex;
 use rubick_sim::cluster::Cluster;
-use rubick_sim::scheduler::{Assignment, ClusterDelta, JobSnapshot, RoundStats, Scheduler};
+use rubick_sim::scheduler::{
+    Assignment, ClusterDelta, JobDelta, JobSnapshot, RoundStats, Scheduler,
+};
 use rubick_sim::tenant::Tenant;
 use rubick_testbed::TestbedOracle;
 use std::collections::HashMap;
@@ -184,6 +186,16 @@ impl Scheduler for RubickScheduler {
         // epoch field is relaxed.
         let _ = delta;
         self.tracker.lock().force_dirty();
+    }
+
+    fn notify_jobs(&mut self, delta: &JobDelta) {
+        // The engine's per-round job delta: accumulated between rounds and
+        // consumed by the next classification, which then only fingerprints
+        // the named jobs (plus running-job penalty-gate suspects) instead
+        // of the whole cluster. Deltas over-approximate, so pushing one is
+        // always sound; classification falls back to full fingerprinting
+        // whenever no delta was pushed.
+        self.tracker.lock().push_delta(delta);
     }
 
     fn last_round_stats(&self) -> Option<RoundStats> {

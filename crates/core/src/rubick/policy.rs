@@ -1,6 +1,6 @@
 //! The per-round scheduling logic (lines 1–24 of Algorithm 1).
 
-use super::dirty::{CachedParts, Classification, Epoch};
+use super::dirty::{CachedParts, Classification, Epoch, JobIndex, Verdict};
 use super::RubickScheduler;
 use crate::common::{job_baseline, job_gpu_curve, PlanSearch};
 use crate::round::{LedgerDelta, RoundContext};
@@ -23,14 +23,18 @@ const EPS_SLOPE: f64 = 1e-9;
 const SHRINK_HYSTERESIS: f64 = 0.45;
 
 /// Per-round immutable context: snapshots, curves, baselines, minima.
+/// Stored as dense vectors parallel to the jobs slice, addressed through
+/// the round's [`JobIndex`] — per-job probes are array reads instead of
+/// tree walks, which is what keeps 100k-job rounds cache-friendly.
 struct Ctx<'a> {
     sched: &'a RubickScheduler,
-    snaps: BTreeMap<JobId, &'a JobSnapshot>,
-    searches: BTreeMap<JobId, PlanSearch>,
-    minima: BTreeMap<JobId, Resources>,
-    baselines: BTreeMap<JobId, f64>,
-    curves: BTreeMap<JobId, Arc<SensitivityCurve>>,
-    frozen: BTreeSet<JobId>,
+    index: JobIndex,
+    snaps: Vec<&'a JobSnapshot>,
+    searches: Vec<PlanSearch>,
+    minima: Vec<Resources>,
+    baselines: Vec<Option<f64>>,
+    curves: Vec<Option<Arc<SensitivityCurve>>>,
+    frozen: Vec<bool>,
     estimator: MemoryEstimator,
     total_gpus: u32,
 }
@@ -49,8 +53,28 @@ struct State<'a> {
 }
 
 impl<'a> Ctx<'a> {
+    fn idx(&self, id: JobId) -> usize {
+        self.index.get(id).expect("job known to round context")
+    }
+
     fn snap(&self, id: JobId) -> &JobSnapshot {
-        self.snaps[&id]
+        self.snaps[self.idx(id)]
+    }
+
+    fn curve(&self, id: JobId) -> Option<&Arc<SensitivityCurve>> {
+        self.curves[self.idx(id)].as_ref()
+    }
+
+    fn minimum(&self, id: JobId) -> Resources {
+        self.minima[self.idx(id)]
+    }
+
+    fn search(&self, id: JobId) -> &PlanSearch {
+        &self.searches[self.idx(id)]
+    }
+
+    fn is_frozen(&self, id: JobId) -> bool {
+        self.frozen[self.idx(id)]
     }
 
     /// Slope normalization constant: the geometric mean of the job's SLA
@@ -61,10 +85,10 @@ impl<'a> Ctx<'a> {
     /// peak normalization alone is scale-free but sacrifices average JCT.
     /// The geometric mean interpolates between the two.
     fn norm(&self, id: JobId) -> f64 {
-        let baseline = self.baselines.get(&id).copied().unwrap_or(1.0).max(1e-9);
-        let peak = self
-            .curves
-            .get(&id)
+        let pos = self.idx(id);
+        let baseline = self.baselines[pos].unwrap_or(1.0).max(1e-9);
+        let peak = self.curves[pos]
+            .as_ref()
             .map(|c| c.value(self.total_gpus))
             .filter(|v| *v > 0.0)
             .unwrap_or(baseline);
@@ -76,7 +100,7 @@ impl<'a> Ctx<'a> {
     /// value of the *next useful amount* is what matters when growing —
     /// `(value(g') − value(g)) / (g' − g)` for the smallest improving `g'`.
     fn jump_gain(&self, id: JobId, gpus: u32) -> f64 {
-        let Some(curve) = self.curves.get(&id) else {
+        let Some(curve) = self.curve(id) else {
             return 0.0;
         };
         let here = curve.value(gpus);
@@ -89,8 +113,7 @@ impl<'a> Ctx<'a> {
 
     /// Normalized marginal loss of one fewer GPU at `gpus` (envelope step).
     fn loss_slope(&self, id: JobId, gpus: u32) -> f64 {
-        self.curves
-            .get(&id)
+        self.curve(id)
             .map(|c| c.loss_slope(gpus) / self.norm(id))
             .unwrap_or(f64::INFINITY)
     }
@@ -98,7 +121,7 @@ impl<'a> Ctx<'a> {
     /// The useful GPU cap: the smallest amount achieving (within 0.5 %) the
     /// best throughput the curve reaches on this cluster.
     fn g_star(&self, id: JobId) -> u32 {
-        let Some(curve) = self.curves.get(&id) else {
+        let Some(curve) = self.curve(id) else {
             return self.snap(id).spec.requested.gpus;
         };
         let peak = curve.value(self.total_gpus);
@@ -117,7 +140,7 @@ impl<'a> Ctx<'a> {
         if gpus == 0 {
             return false;
         }
-        let min_gpus = self.minima.get(&victim).map(|m| m.gpus).unwrap_or(0);
+        let min_gpus = self.minimum(victim).gpus;
         if gpus <= min_gpus {
             return false;
         }
@@ -125,8 +148,7 @@ impl<'a> Ctx<'a> {
         if new_gpus == 0 {
             return self.snap(victim).spec.class == JobClass::BestEffort;
         }
-        self.curves
-            .get(&victim)
+        self.curve(victim)
             .map(|c| c.value(new_gpus) > 0.0)
             .unwrap_or(false)
     }
@@ -325,7 +347,20 @@ pub(super) fn run_round(
     });
     let mut tracker = cfg.incremental.then(|| sched.tracker.lock());
     let mut cls: Option<Classification> = match (&mut tracker, &epoch_now) {
-        (Some(t), Some(e)) => Some(t.classify(jobs, e, cfg.reconfig_threshold)),
+        (Some(t), Some(e)) => {
+            // Lazy profiling filters the jobs slice, so the engine's delta
+            // (expressed against the unfiltered job set) cannot be trusted
+            // this round — fall back to full fingerprinting.
+            if filtered.is_some() {
+                t.clear_delta();
+            }
+            Some(t.classify(
+                jobs,
+                e,
+                cfg.reconfig_threshold,
+                effective_threads(cfg.parallelism, jobs.len()),
+            ))
+        }
         _ => None,
     };
 
@@ -353,8 +388,10 @@ pub(super) fn run_round(
             LedgerDelta::Grown(_) => c.demote_quiet(),
             LedgerDelta::Shrunk(_) => c.demote_all(),
         }
-        if c.fast_eligible {
-            return t.fast_path(jobs);
+        if c.fast_eligible() {
+            let classified = c.classified;
+            t.restore_index(c.take_index());
+            return t.fast_path(jobs, classified);
         }
     }
 
@@ -372,19 +409,25 @@ pub(super) fn run_round(
     // tracker's cache (`build_job_parts` is pure in epoch-stable inputs)
     // and only rebuild jobs the cache has not seen.
     let estimator = MemoryEstimator::new(cluster.shape().gpu_mem_gb);
+    let mut index = cls.as_mut().map(|c| c.take_index()).unwrap_or_default();
+    if cls.is_none() {
+        index.rebuild(jobs);
+    }
+    let n = jobs.len();
     let mut ctx = Ctx {
         sched,
-        snaps: BTreeMap::new(),
-        searches: BTreeMap::new(),
-        minima: BTreeMap::new(),
-        baselines: BTreeMap::new(),
-        curves: BTreeMap::new(),
-        frozen: BTreeSet::new(),
+        index,
+        snaps: Vec::with_capacity(n),
+        searches: Vec::with_capacity(n),
+        minima: Vec::with_capacity(n),
+        baselines: Vec::with_capacity(n),
+        curves: Vec::with_capacity(n),
+        frozen: Vec::with_capacity(n),
         estimator,
         total_gpus,
     };
     let cached: Vec<Option<CachedParts>> = match (&tracker, &cls) {
-        (Some(t), Some(c)) if c.epoch_matched => {
+        (Some(t), Some(c)) if c.parts_reusable => {
             jobs.iter().map(|s| t.parts.get(&s.id()).cloned()).collect()
         }
         _ => vec![None; jobs.len()],
@@ -424,7 +467,7 @@ pub(super) fn run_round(
     let mut built = built.into_iter();
     for (snap, hit) in jobs.iter().zip(cached) {
         let id = snap.id();
-        ctx.snaps.insert(id, snap);
+        ctx.snaps.push(snap);
         let parts = match hit {
             Some(parts) => parts,
             None => {
@@ -435,19 +478,14 @@ pub(super) fn run_round(
                 parts
             }
         };
-        if let Some(curve) = parts.curve {
-            ctx.curves.insert(id, curve);
-        }
-        if let Some(b) = parts.baseline {
-            ctx.baselines.insert(id, b);
-        }
-        ctx.minima.insert(id, parts.minimum);
+        ctx.curves.push(parts.curve);
+        ctx.baselines.push(parts.baseline);
+        ctx.minima.push(parts.minimum);
         // The penalty gate reads the job's accumulated runtime, which
         // grows every round — never cached.
-        if snap.status.is_running() && !snap.reconfig_allowed(cfg.reconfig_threshold) {
-            ctx.frozen.insert(id);
-        }
-        ctx.searches.insert(id, parts.search);
+        ctx.frozen
+            .push(snap.status.is_running() && !snap.reconfig_allowed(cfg.reconfig_threshold));
+        ctx.searches.push(parts.search);
     }
 
     // The skip predicate of the incremental round: satiated-clean jobs
@@ -456,8 +494,10 @@ pub(super) fn run_round(
     // lasting mutation voids every positional no-op certificate, and all
     // later jobs are searched exactly as in a full round.
     let may_skip = |state: &State<'_>, id: &JobId| -> bool {
-        cls.as_ref().is_some_and(|c| {
-            c.skip_always.contains(id) || (c.quiet_skip.contains(id) && state.changed.is_empty())
+        cls.as_ref().is_some_and(|c| match c.verdict(ctx.idx(*id)) {
+            Verdict::SkipAlways => true,
+            Verdict::QuietSkip => state.changed.is_empty(),
+            Verdict::Dirty => false,
         })
     };
     let mut searched: u64 = 0;
@@ -556,10 +596,11 @@ pub(super) fn run_round(
     if let (Some(mut t), Some(c), Some(e)) = (tracker, cls, epoch_now) {
         let running_total = jobs.iter().filter(|s| s.status.is_running()).count() as u64;
         t.set_stats(RoundStats {
-            dirty: c.dirty.len() as u64,
-            clean: (c.skip_always.len() + c.quiet_skip.len()) as u64,
+            dirty: c.dirty_len(),
+            clean: c.clean_len(),
             reused: running_total.saturating_sub(running_searched),
             searched,
+            classified: c.classified,
         });
         let node_caps = e.node_caps.clone();
         t.record(
@@ -570,7 +611,9 @@ pub(super) fn run_round(
             quiet,
             cfg.reconfig_threshold,
             |id, alloc| is_satiated(&ctx, id, alloc),
+            Some(&ctx.index),
         );
+        t.restore_index(std::mem::take(&mut ctx.index));
     }
     out
 }
@@ -592,7 +635,7 @@ fn is_satiated(ctx: &Ctx<'_>, id: JobId, alloc: &Allocation) -> bool {
     if cap_gpus == 0 {
         return false;
     }
-    let minimum = ctx.minima.get(&id).copied().unwrap_or(Resources::zero());
+    let minimum = ctx.minimum(id);
     let cap_cpus = if ctx.sched.config.resource_realloc {
         (10 * cap_gpus + 4).max(minimum.cpus)
     } else {
@@ -616,10 +659,10 @@ fn quota_allows(ctx: &Ctx<'_>, state: &State<'_>, tenants: &[Tenant], id: JobId)
         }
         let o = ctx.snap(*other);
         if o.spec.class == JobClass::Guaranteed && o.spec.tenant == snap.spec.tenant {
-            used += ctx.minima.get(other).copied().unwrap_or(Resources::zero());
+            used += ctx.minimum(*other);
         }
     }
-    let want = ctx.minima.get(&id).copied().unwrap_or(snap.spec.requested);
+    let want = ctx.minimum(id);
     tenant.quota.dominates(&(used + want))
 }
 
@@ -630,12 +673,12 @@ fn schedule_job(ctx: &Ctx<'_>, state: &mut State<'_>, id: JobId) -> bool {
     // hard-block a clear win: a gated job may still absorb *free* capacity
     // (no victims disturbed) when the predicted saving clears a stricter
     // amortization bar — see the commit guard below.
-    let frozen = ctx.frozen.contains(&id);
+    let frozen = ctx.is_frozen(id);
     let snap = ctx.snap(id);
     let Some(model) = ctx.sched.registry.model(&snap.spec.model.name) else {
         return false;
     };
-    let search = &ctx.searches[&id];
+    let search = ctx.search(id);
     let backup = state.clone();
 
     let cur_alloc = state
@@ -643,7 +686,7 @@ fn schedule_job(ctx: &Ctx<'_>, state: &mut State<'_>, id: JobId) -> bool {
         .get(&id)
         .cloned()
         .unwrap_or_else(Allocation::empty);
-    let minimum = ctx.minima.get(&id).copied().unwrap_or(Resources::zero());
+    let minimum = ctx.minimum(id);
     // Admission is capped at the user's request (or the smallest runnable
     // amount if the request itself is invalid): a job may not hoard the
     // whole idle cluster the moment it arrives. Growth beyond the request
@@ -656,8 +699,7 @@ fn schedule_job(ctx: &Ctx<'_>, state: &mut State<'_>, id: JobId) -> bool {
         ctx.g_star(id)
     } else {
         let first_useful = ctx
-            .curves
-            .get(&id)
+            .curve(id)
             .and_then(|c| c.min_amount_reaching(1e-12))
             .unwrap_or(snap.spec.requested.gpus);
         ctx.g_star(id)
@@ -758,7 +800,7 @@ fn schedule_job(ctx: &Ctx<'_>, state: &mut State<'_>, id: JobId) -> bool {
 
     // If some grabbed GPUs are useless (invalid plan sizes), return them.
     let mut plan = plan;
-    if let Some(curve) = ctx.curves.get(&id) {
+    if let Some(curve) = ctx.curve(id) {
         let envelope = curve.value(total.gpus);
         if envelope > tput * 1.005 {
             if let Some(target) = curve.min_amount_reaching(envelope) {
@@ -912,8 +954,9 @@ fn reclaim_cpus(
             break;
         }
         let placement = tentative.to_placement();
-        let Some((plan, _)) =
-            ctx.searches[&id].best_plan(model, snap.spec.global_batch, &placement)
+        let Some((plan, _)) = ctx
+            .search(id)
+            .best_plan(model, snap.spec.global_batch, &placement)
         else {
             break;
         };
@@ -924,7 +967,7 @@ fn reclaim_cpus(
         // Lowest CPU-loss victim on the node.
         let mut best: Option<(JobId, f64)> = None;
         for (cand, alloc) in &state.alloc {
-            if *cand == id || ctx.frozen.contains(cand) {
+            if *cand == id || ctx.is_frozen(*cand) {
                 continue;
             }
             let on_node = alloc
@@ -933,7 +976,7 @@ fn reclaim_cpus(
                 .find(|(i, _)| *i == n)
                 .map(|(_, r)| r.cpus)
                 .unwrap_or(0);
-            let min_cpus = ctx.minima.get(cand).map(|m| m.cpus).unwrap_or(0);
+            let min_cpus = ctx.minimum(*cand).cpus;
             if on_node < CPU_DELTA || alloc.total().cpus < min_cpus + CPU_DELTA {
                 continue;
             }
@@ -1040,17 +1083,19 @@ fn emit(ctx: &Ctx<'_>, mut state: State<'_>) -> Vec<Assignment> {
         };
         let mut alloc = alloc;
         let placement = alloc.to_placement();
-        let best = ctx.searches[&id]
+        let best = ctx
+            .search(id)
             .best_plan(&model, snap.spec.global_batch, &placement)
             .or_else(|| {
                 // The exact GPU count has no valid plan (common under
                 // DP-rescaling, whose valid counts are sparse): trim the
                 // allocation down to the largest runnable amount instead of
                 // preempting the job outright.
-                let curve = ctx.curves.get(&id)?;
+                let curve = ctx.curve(id)?;
                 let (plan, _) = curve.best_plan_at(alloc.gpus())?;
                 shrink_alloc_to(state.round.free_mut(), &mut alloc, plan.gpus());
-                ctx.searches[&id].best_plan(&model, snap.spec.global_batch, &alloc.to_placement())
+                ctx.search(id)
+                    .best_plan(&model, snap.spec.global_batch, &alloc.to_placement())
             });
         let Some((plan, _)) = best else {
             // Genuinely no feasible plan: preempt to queue.

@@ -21,7 +21,9 @@ use rubick_obs::VecSink;
 use rubick_sim::cluster::{Allocation, Cluster};
 use rubick_sim::engine::{Engine, EngineConfig};
 use rubick_sim::job::{JobClass, JobSpec, JobStatus};
-use rubick_sim::scheduler::{JobSnapshot, Scheduler};
+use rubick_sim::scheduler::{
+    Assignment, ClusterDelta, JobDelta, JobSnapshot, RoundStats, Scheduler,
+};
 use rubick_sim::tenant::{Tenant, TenantId};
 use rubick_testbed::TestbedOracle;
 use std::sync::{Arc, OnceLock};
@@ -194,6 +196,108 @@ proptest! {
     }
 }
 
+/// Forwards every engine callback to the wrapped scheduler EXCEPT
+/// [`Scheduler::notify_jobs`], which it drops on alternate rounds.
+///
+/// Rounds whose delta arrives classify O(delta); rounds whose delta was
+/// dropped find no pending delta and fall back to full fingerprint
+/// classification. Interleaving the two paths mid-simulation is sound
+/// because `record()` refreshes every stored fingerprint after each
+/// round, so a dropped delta's changes are re-discovered by the very
+/// fallback it forces — the contract the delta-equivalence proptest
+/// below pins end to end.
+struct FlakyDelta {
+    inner: RubickScheduler,
+    calls: u64,
+}
+
+impl Scheduler for FlakyDelta {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn set_parallelism(&mut self, parallelism: Option<usize>) {
+        self.inner.set_parallelism(parallelism);
+    }
+
+    fn notify(&mut self, delta: &ClusterDelta) {
+        self.inner.notify(delta);
+    }
+
+    fn notify_jobs(&mut self, delta: &JobDelta) {
+        self.calls += 1;
+        if self.calls % 2 == 1 {
+            self.inner.notify_jobs(delta);
+        }
+    }
+
+    fn last_round_stats(&self) -> Option<RoundStats> {
+        self.inner.last_round_stats()
+    }
+
+    fn schedule(
+        &mut self,
+        now: f64,
+        jobs: &[JobSnapshot],
+        cluster: &Cluster,
+        tenants: &[Tenant],
+    ) -> Vec<Assignment> {
+        self.inner.schedule(now, jobs, cluster, tenants)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Interleaved delta-fed and fingerprint-fallback rounds under
+    /// scripted chaos: a simulation whose scheduler receives every
+    /// delta, one that receives only every other delta, and one that
+    /// re-plans everything must produce byte-identical reports and
+    /// event streams. This is the strongest form of the delta contract:
+    /// deltas (and their absence) are pure performance hints.
+    #[test]
+    fn interleaved_delta_and_fallback_rounds_are_equivalent(
+        fail_at in 1_000u64..4_000,
+        recover_at in 6_000u64..11_000,
+        node in 1usize..4,
+    ) {
+        let scenario = format!(
+            "restart-penalty-secs 90\nfail {node} {fail_at}\nrecover {node} {recover_at}\n"
+        );
+        let run = |scheduler: Box<dyn Scheduler>| {
+            let oracle = TestbedOracle::new(2025);
+            let cfg = ChaosConfig::parse(&scenario).unwrap();
+            let plan = FaultPlan::compile(&cfg, 8, EngineConfig::default().max_time).unwrap();
+            let mut engine = Engine::new(
+                &oracle,
+                scheduler,
+                Cluster::a800_testbed(),
+                vec![],
+                EngineConfig::default(),
+            )
+            .with_chaos(plan);
+            let mut sink = VecSink::default();
+            let report = engine.run_with_sink(chaos_trace(), &mut sink);
+            let stream: Vec<String> = sink.events.iter().map(|e| e.to_jsonl()).collect();
+            (report, stream)
+        };
+        let fresh_registry = || {
+            let oracle = TestbedOracle::new(2025);
+            Arc::new(ModelRegistry::from_oracle(&oracle, &ModelSpec::zoo()).unwrap())
+        };
+        let delta_fed = run(Box::new(scheduler_with(fresh_registry(), true)));
+        let flaky = run(Box::new(FlakyDelta {
+            inner: scheduler_with(fresh_registry(), true),
+            calls: 0,
+        }));
+        let full = run(Box::new(scheduler_with(fresh_registry(), false)));
+        prop_assert_eq!(&delta_fed.0, &full.0, "delta-fed SimReport diverges");
+        prop_assert_eq!(&delta_fed.1, &full.1, "delta-fed event stream diverges");
+        prop_assert_eq!(&flaky.0, &full.0, "interleaved SimReport diverges");
+        prop_assert_eq!(&flaky.1, &full.1, "interleaved event stream diverges");
+    }
+}
+
 fn chaos_trace() -> Vec<JobSpec> {
     let oracle = TestbedOracle::new(2025);
     rubick_trace::generate_base(
@@ -356,5 +460,127 @@ fn clean_round_reuses_plans_without_search() {
     assert!(
         full.last_round_stats().is_none(),
         "full rounds report no stats"
+    );
+}
+
+/// Quiet rounds classify O(delta), not O(jobs): with an empty engine
+/// delta the tracker fingerprints only the running jobs (whose penalty
+/// gate evolves with runtime and is always rechecked), while the same
+/// round without a delta falls back to fingerprinting the whole mix.
+/// Both paths re-emit identical assignments without a single search.
+#[test]
+fn quiet_round_classification_is_o_delta() {
+    const RUNNERS: u64 = 8;
+    const QUEUED: u64 = 24;
+    const NOW: f64 = 50_000.0;
+
+    let oracle = TestbedOracle::new(ORACLE_SEED);
+    let registry = Arc::new(ModelRegistry::from_oracle(&oracle, &ModelSpec::zoo()).unwrap());
+    let cluster = Cluster::new(1, NodeShape::a800());
+    let model = ModelSpec::roberta_large();
+    let fitted = registry.model(&model.name).expect("zoo model fitted");
+    let batch = model.default_batch;
+
+    // Eight equal-norm runners tile the node (see
+    // `clean_round_reuses_plans_without_search`); the queued tail can
+    // never be admitted, so after the first round the cluster is steady.
+    let jobs: Vec<JobSnapshot> = (0..RUNNERS + QUEUED)
+        .map(|id| {
+            let res = Resources::new(1, 12, 200.0);
+            let plan = ExecutionPlan::dp(1);
+            if id < RUNNERS {
+                let alloc = Allocation::on_node(0, res);
+                let throughput = fitted
+                    .throughput(&plan, batch, &alloc.to_placement())
+                    .expect("dp(1) feasible for roberta");
+                JobSnapshot {
+                    spec: Arc::new(JobSpec {
+                        id,
+                        model: model.clone(),
+                        global_batch: batch,
+                        submit_time: 0.0,
+                        target_batches: 1000,
+                        requested: res,
+                        initial_plan: plan,
+                        class: JobClass::Guaranteed,
+                        tenant: TenantId::default(),
+                    }),
+                    status: JobStatus::Running {
+                        allocation: alloc,
+                        plan,
+                        throughput,
+                        resume_at: 0.0,
+                    },
+                    remaining_batches: 50.0,
+                    queued_since: 0.0,
+                    runtime: NOW,
+                    reconfig_count: 0,
+                    baseline_throughput: Some(throughput),
+                }
+            } else {
+                JobSnapshot {
+                    spec: Arc::new(JobSpec {
+                        id,
+                        model: model.clone(),
+                        global_batch: batch,
+                        submit_time: 0.0,
+                        target_batches: 1000,
+                        requested: res,
+                        initial_plan: plan,
+                        class: JobClass::BestEffort,
+                        tenant: TenantId::default(),
+                    }),
+                    status: JobStatus::Queued,
+                    remaining_batches: 1000.0,
+                    queued_since: 0.0,
+                    runtime: 0.0,
+                    reconfig_count: 0,
+                    baseline_throughput: None,
+                }
+            }
+        })
+        .collect();
+
+    let mut inc = scheduler_with(Arc::clone(&registry), true);
+    let first = inc.schedule(NOW, &jobs, &cluster, &[]);
+
+    // Quiet round WITHOUT a delta: fingerprint fallback touches the
+    // whole mix.
+    let fallback = inc.schedule(NOW, &jobs, &cluster, &[]);
+    assert_eq!(first, fallback, "fallback quiet round diverges");
+    let stats = inc.last_round_stats().expect("fallback stats");
+    assert_eq!(stats.searched, 0, "quiet round must not search");
+    assert_eq!(
+        stats.classified,
+        RUNNERS + QUEUED,
+        "no delta: fallback fingerprints every job"
+    );
+
+    // Quiet round WITH an empty delta: only the running jobs are
+    // fingerprinted, independent of how long the queue is.
+    inc.notify_jobs(&JobDelta::default());
+    let quiet = inc.schedule(NOW, &jobs, &cluster, &[]);
+    assert_eq!(first, quiet, "delta-fed quiet round diverges");
+    let stats = inc.last_round_stats().expect("delta stats");
+    assert_eq!(stats.searched, 0, "quiet round must not search");
+    assert_eq!(
+        stats.classified, RUNNERS,
+        "empty delta: classification probes only running suspects"
+    );
+
+    // A named delta re-classifies exactly the named jobs on top of the
+    // running suspects, and the (unchanged) job stays clean.
+    inc.notify_jobs(&JobDelta {
+        changed: vec![RUNNERS + 1],
+        removed: vec![],
+    });
+    let named = inc.schedule(NOW, &jobs, &cluster, &[]);
+    assert_eq!(first, named, "named-delta round diverges");
+    let stats = inc.last_round_stats().expect("named-delta stats");
+    assert_eq!(stats.searched, 0, "unchanged named job must stay clean");
+    assert_eq!(
+        stats.classified,
+        RUNNERS + 1,
+        "named delta adds exactly one probe"
     );
 }

@@ -233,6 +233,14 @@ pub enum SimEvent {
         /// Clean running jobs whose allocation/plan were emitted verbatim
         /// without invoking the plan search.
         reused: u64,
+        /// Jobs actually visited by a plan search this round (dirty jobs
+        /// plus any clean jobs whose quiet-skip certificate was voided
+        /// mid-round). Absent in pre-delta streams; parses as 0.
+        searched: u64,
+        /// Fingerprint comparisons performed while classifying this round.
+        /// Delta-fed quiet rounds keep this at O(changed) instead of
+        /// O(jobs); absent in pre-delta streams, parses as 0.
+        classified: u64,
     },
 }
 
@@ -417,12 +425,16 @@ impl SimEvent {
                 dirty,
                 clean,
                 reused,
+                searched,
+                classified,
             } => {
                 w.num("at", *at);
                 w.uint("round", *round);
                 w.uint("dirty", *dirty);
                 w.uint("clean", *clean);
                 w.uint("reused", *reused);
+                w.uint("searched", *searched);
+                w.uint("classified", *classified);
             }
         }
         w.finish()
@@ -525,6 +537,10 @@ impl SimEvent {
                 dirty: f.uint("dirty")?,
                 clean: f.uint("clean")?,
                 reused: f.uint("reused")?,
+                // Added after v3 shipped: older streams omit them, and a
+                // missing counter means "not measured", i.e. zero.
+                searched: f.uint_or(0, "searched")?,
+                classified: f.uint_or(0, "classified")?,
             },
             other => {
                 return Err(EventParseError::new(format!(
@@ -768,6 +784,17 @@ impl Fields {
     fn uint32(&self, key: &str) -> Result<u32, EventParseError> {
         u32::try_from(self.uint(key)?)
             .map_err(|_| EventParseError::new(format!("field {key:?} overflows u32")))
+    }
+
+    /// Like [`Fields::uint`], but a *missing* key yields `default` instead
+    /// of an error — for counters added to an event after its schema
+    /// version shipped. A present-but-malformed value still errors.
+    fn uint_or(&self, default: u64, key: &str) -> Result<u64, EventParseError> {
+        if self.map.contains_key(key) {
+            self.uint(key)
+        } else {
+            Ok(default)
+        }
     }
 }
 
@@ -1364,6 +1391,10 @@ pub struct CountersSink {
     pub jobs_clean: u64,
     /// Running jobs whose assignment was reused verbatim.
     pub jobs_reused: u64,
+    /// Jobs actually visited by a plan search across all planned rounds.
+    pub jobs_searched: u64,
+    /// Fingerprint comparisons performed across all planned rounds.
+    pub jobs_classified: u64,
     /// Wall-clock latency distribution of scheduling rounds.
     pub round_latency: LatencyHistogram,
 }
@@ -1415,8 +1446,14 @@ impl CountersSink {
             use fmt::Write as _;
             let _ = write!(
                 out,
-                " rounds_planned={} jobs_dirty={} jobs_clean={} jobs_reused={}",
-                self.rounds_planned, self.jobs_dirty, self.jobs_clean, self.jobs_reused,
+                " rounds_planned={} jobs_dirty={} jobs_clean={} jobs_reused={} \
+                 jobs_searched={} jobs_classified={}",
+                self.rounds_planned,
+                self.jobs_dirty,
+                self.jobs_clean,
+                self.jobs_reused,
+                self.jobs_searched,
+                self.jobs_classified,
             );
         }
         out
@@ -1444,12 +1481,16 @@ impl EventSink for CountersSink {
                 dirty,
                 clean,
                 reused,
+                searched,
+                classified,
                 ..
             } => {
                 self.rounds_planned += 1;
                 self.jobs_dirty += dirty;
                 self.jobs_clean += clean;
                 self.jobs_reused += reused;
+                self.jobs_searched += searched;
+                self.jobs_classified += classified;
             }
         }
     }
@@ -1831,6 +1872,8 @@ mod tests {
             dirty: 2,
             clean: 40,
             reused: 30,
+            searched: 12,
+            classified: 5,
         };
         let line = ev.to_jsonl();
         assert_eq!(SimEvent::from_jsonl(&line).unwrap(), ev, "line: {line}");
@@ -1848,14 +1891,40 @@ mod tests {
         assert_eq!(sink.jobs_dirty, 4);
         assert_eq!(sink.jobs_clean, 80);
         assert_eq!(sink.jobs_reused, 60);
+        assert_eq!(sink.jobs_searched, 24);
+        assert_eq!(sink.jobs_classified, 10);
         assert_eq!(sink.total_events(), 2);
         assert!(sink.summary().contains("rounds_planned=2"));
+        assert!(sink.summary().contains("jobs_classified=10"));
         // Chaos-free, incremental-free folds keep the old summary shape.
         let mut plain = CountersSink::default();
         for e in sample_events() {
             plain.on_event(&e);
         }
         assert!(!plain.summary().contains("rounds_planned"));
+    }
+
+    #[test]
+    fn round_planned_parses_pre_delta_streams() {
+        // Streams written before the searched/classified counters existed
+        // carry five fields; missing counters read back as zero, while a
+        // malformed present value still errors.
+        let old = r#"{"type":"round_planned","at":600,"round":3,"dirty":2,"clean":40,"reused":30}"#;
+        let ev = SimEvent::from_jsonl(old).unwrap();
+        assert_eq!(
+            ev,
+            SimEvent::RoundPlanned {
+                at: 600.0,
+                round: 3,
+                dirty: 2,
+                clean: 40,
+                reused: 30,
+                searched: 0,
+                classified: 0,
+            }
+        );
+        let bad = r#"{"type":"round_planned","at":600,"round":3,"dirty":2,"clean":40,"reused":30,"searched":"nope"}"#;
+        assert!(SimEvent::from_jsonl(bad).is_err());
     }
 
     #[test]

@@ -58,6 +58,7 @@ impl<'a> Engine<'a> {
                     rt.status = JobStatus::Queued;
                     rt.queued_since = self.now;
                     rt.epoch += 1;
+                    self.mark_changed(id);
                     self.emit(
                         sink,
                         SimEvent::DecisionApplied {
@@ -78,6 +79,12 @@ impl<'a> Engine<'a> {
         // Phase 2: apply new configurations in the scheduler's order.
         to_configure.sort_by_key(|id| order.iter().position(|o| o == id));
         for id in to_configure {
+            // Every configured job is marked changed, even when the
+            // snapshot fields end up identical (e.g. a queued job whose
+            // launch fails right back to queued): the scheduler's emitted
+            // memory may have turned stale, and deltas must over-, never
+            // under-approximate.
+            self.mark_changed(id);
             let assignment = target_map.get(&id).expect("targeted job").clone();
             if assignment.allocation.is_empty() {
                 self.queue_job(id);

@@ -33,7 +33,7 @@ use crate::cluster::Cluster;
 use crate::job::{JobId, JobSpec, JobStatus};
 use crate::metrics::{JobRecord, SimReport};
 use crate::report::{self, ReportSink};
-use crate::scheduler::{Assignment, JobSnapshot, Scheduler};
+use crate::scheduler::{Assignment, JobDelta, JobSnapshot, Scheduler};
 use crate::tenant::Tenant;
 use event_queue::{EventKind, EventQueue};
 use rubick_chaos::{FaultKind, FaultPlan};
@@ -41,7 +41,7 @@ use rubick_model::Placement;
 use rubick_obs::{EventSink, NullSink, SimEvent};
 use rubick_testbed::TestbedOracle;
 use runtime::JobRuntime;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -108,6 +108,11 @@ pub struct Engine<'a> {
     rounds: u64,
     fold: ReportSink,
     chaos: Option<FaultPlan>,
+    /// Jobs whose snapshot-visible state mutated since the last scheduling
+    /// round (drained into a [`JobDelta`] at round start).
+    delta_changed: BTreeSet<JobId>,
+    /// Jobs that finished (left the snapshot set) since the last round.
+    delta_removed: BTreeSet<JobId>,
 }
 
 impl<'a> Engine<'a> {
@@ -135,7 +140,23 @@ impl<'a> Engine<'a> {
             rounds: 0,
             fold: ReportSink::new(),
             chaos: None,
+            delta_changed: BTreeSet::new(),
+            delta_removed: BTreeSet::new(),
         }
+    }
+
+    /// Records that `id`'s snapshot-visible state changed since the last
+    /// round. Every engine transition that can alter a [`JobSnapshot`]
+    /// field, the job's running allocation/plan, or its queued/running
+    /// status must call this (or [`Engine::mark_removed`]).
+    pub(crate) fn mark_changed(&mut self, id: JobId) {
+        self.delta_changed.insert(id);
+    }
+
+    /// Records that `id` finished and left the snapshot set.
+    fn mark_removed(&mut self, id: JobId) {
+        self.delta_changed.remove(&id);
+        self.delta_removed.insert(id);
     }
 
     /// Arms deterministic fault injection: the plan's node fault timeline
@@ -213,6 +234,18 @@ impl<'a> Engine<'a> {
                 active_jobs: snaps.len() as u64,
             },
         );
+        // Hand the scheduler exactly the jobs that mutated since it last
+        // ran. Drained (not cleared) only when a round actually reaches the
+        // scheduler: skipped empty-snapshot ticks keep accumulating.
+        let delta = JobDelta {
+            changed: std::mem::take(&mut self.delta_changed)
+                .into_iter()
+                .collect(),
+            removed: std::mem::take(&mut self.delta_removed)
+                .into_iter()
+                .collect(),
+        };
+        self.scheduler.notify_jobs(&delta);
         let started = Instant::now();
         let targets = self
             .scheduler
@@ -229,6 +262,8 @@ impl<'a> Engine<'a> {
                         dirty: stats.dirty,
                         clean: stats.clean,
                         reused: stats.reused,
+                        searched: stats.searched,
+                        classified: stats.classified,
                     },
                 );
             }
@@ -258,6 +293,7 @@ impl<'a> Engine<'a> {
             })
             .collect();
         for id in victims {
+            self.mark_changed(id);
             let rt = self.jobs.get_mut(&id).expect("victim exists");
             let (alloc, plan) = match &rt.status {
                 JobStatus::Running {
@@ -366,6 +402,7 @@ impl<'a> Engine<'a> {
                             id,
                             JobRuntime::submitted(Arc::new(spec), self.now, baseline),
                         );
+                        self.mark_changed(id);
                         self.emit(sink, submitted);
                         need_round = true;
                     }
@@ -376,6 +413,7 @@ impl<'a> Engine<'a> {
                         }
                         if rt.remaining <= 1e-6 {
                             let record = self.finalize(id);
+                            self.mark_removed(id);
                             self.emit(sink, report::finished_event(&record));
                             need_round = true;
                         } else {

@@ -269,6 +269,20 @@ pub trait ScenarioBackend: Sync {
     ) -> Result<(Vec<JobSpec>, Vec<Tenant>), String>;
 }
 
+/// Wall-clock cost of one sweep cell, captured only when the executor
+/// runs timed ([`sweep::run_cells_with`] with `timings = true`). Timings
+/// are machine-dependent by nature, so they never appear in goldens and
+/// the byte-determinism gates run untimed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellTiming {
+    /// Wall-clock for the whole cell (workload generation plus the full
+    /// simulation), in milliseconds.
+    pub wall_ms: f64,
+    /// Mean cost per scheduling round: the cell's wall time divided by
+    /// the report's round count, in nanoseconds.
+    pub mean_round_ns: f64,
+}
+
 /// Everything a scenario run produced.
 #[derive(Debug, Clone)]
 pub struct ScenarioOutcome {
@@ -279,6 +293,8 @@ pub struct ScenarioOutcome {
     pub report: SimReport,
     /// Fault-metric fold, present when the cell ran with chaos enabled.
     pub faults: Option<FaultMetricsSink>,
+    /// Per-cell wall-clock cost, present only on timed sweep runs.
+    pub timing: Option<CellTiming>,
 }
 
 /// Runs one scenario the canonical way (no extra sinks, chaos from the
@@ -343,6 +359,7 @@ pub fn run_scenario_with(
         spec: spec.clone(),
         report,
         faults,
+        timing: None,
     })
 }
 

@@ -8,22 +8,32 @@
 //! parallelism only changes wall-clock time, never a single output byte.
 //! The `sweep_golden`/`sweep_equivalence` suites in `rubick-core` pin
 //! this property.
+//!
+//! Timed runs ([`run_cells_with`] with `timings = true`) additionally
+//! stamp each cell with its wall-clock cost; those two columns are the
+//! only machine-dependent bytes in a row, so determinism gates and
+//! goldens always run untimed (the CLI's `--no-timings`).
 
-use super::{run_scenario, ScenarioBackend, ScenarioOutcome, ScenarioSpec};
+use super::{run_scenario, CellTiming, ScenarioBackend, ScenarioOutcome, ScenarioSpec};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// The fixed CSV header: one row per cell, spec dimensions first (so any
 /// row is self-describing), then the Table 4 metrics, then the fault
-/// metrics (zero when the cell ran without chaos).
+/// metrics (zero when the cell ran without chaos), then the wall-clock
+/// columns (empty when the sweep ran untimed).
 pub const SWEEP_CSV_HEADER: &str = "cell,trace,scheduler,jobs,load,large_frac,seed,nodes,\
      chaos_rate,chaos_seed,finished,unfinished,avg_jct_s,p99_jct_s,makespan_s,gpu_hours,\
      reconfigs,reconfig_share,sla,avg_jct_guar_s,avg_jct_be_s,node_failures,fault_evictions,\
-     restarts,goodput_lost_gpu_h";
+     restarts,goodput_lost_gpu_h,wall_ms,mean_round_ns";
 
 /// Sweep JSONL schema version (bumped when row fields change).
-pub const SWEEP_SCHEMA_VERSION: u32 = 1;
+///
+/// * v1 — spec dimensions + Table 4 metrics + fault metrics.
+/// * v2 — adds `wall_ms` and `mean_round_ns` per cell (`null` untimed).
+pub const SWEEP_SCHEMA_VERSION: u32 = 2;
 
 /// Resolves the worker-thread count for `cells` cells: `None` = 1
 /// (sequential), `Some(0)` = all cores, `Some(n)` = at most `n`, always
@@ -39,10 +49,29 @@ pub fn resolve_workers(threads: Option<usize>, cells: usize) -> usize {
     requested.clamp(1, cells.max(1))
 }
 
-/// Runs every cell, fanning out across `threads` workers (see
-/// [`resolve_workers`]). Outcomes come back in cell (grid) order
-/// regardless of which worker ran which cell or in what order they
-/// finished.
+/// Runs one cell, stamping wall-clock timing onto the outcome when the
+/// sweep runs timed. The timestamps never influence the simulation —
+/// they wrap [`run_scenario`] from the outside — so a timed run's report
+/// bytes are identical to an untimed run's.
+fn run_cell(
+    spec: &ScenarioSpec,
+    backend: &dyn ScenarioBackend,
+    timed: bool,
+) -> Result<ScenarioOutcome, String> {
+    if !timed {
+        return run_scenario(spec, backend);
+    }
+    let start = Instant::now();
+    let mut outcome = run_scenario(spec, backend)?;
+    let wall = start.elapsed().as_secs_f64();
+    outcome.timing = Some(CellTiming {
+        wall_ms: wall * 1e3,
+        mean_round_ns: wall * 1e9 / outcome.report.rounds.max(1) as f64,
+    });
+    Ok(outcome)
+}
+
+/// Runs every cell untimed. See [`run_cells_with`].
 ///
 /// # Errors
 ///
@@ -53,6 +82,28 @@ pub fn run_cells(
     backend: &dyn ScenarioBackend,
     threads: Option<usize>,
 ) -> Result<Vec<ScenarioOutcome>, String> {
+    run_cells_with(specs, backend, threads, false)
+}
+
+/// Runs every cell, fanning out across `threads` workers (see
+/// [`resolve_workers`]). Outcomes come back in cell (grid) order
+/// regardless of which worker ran which cell or in what order they
+/// finished.
+///
+/// With `timings` set, each outcome carries a [`CellTiming`] measured
+/// around that cell's run. Timed rows are machine-dependent — pass
+/// `false` (or use [`run_cells`]) wherever byte-determinism matters.
+///
+/// # Errors
+///
+/// The lowest-index failing cell's error, prefixed with its index and
+/// label — deterministic even when several cells fail concurrently.
+pub fn run_cells_with(
+    specs: &[ScenarioSpec],
+    backend: &dyn ScenarioBackend,
+    threads: Option<usize>,
+    timings: bool,
+) -> Result<Vec<ScenarioOutcome>, String> {
     if specs.is_empty() {
         return Err("empty grid: no cells to run".to_string());
     }
@@ -60,7 +111,7 @@ pub fn run_cells(
     let results: Vec<Result<ScenarioOutcome, String>> = if workers <= 1 {
         specs
             .iter()
-            .map(|spec| run_scenario(spec, backend))
+            .map(|spec| run_cell(spec, backend, timings))
             .collect()
     } else {
         let cursor = AtomicUsize::new(0);
@@ -73,7 +124,7 @@ pub fn run_cells(
                     if i >= specs.len() {
                         break;
                     }
-                    let result = run_scenario(&specs[i], backend);
+                    let result = run_cell(&specs[i], backend, timings);
                     *slots[i].lock().expect("sweep slot poisoned") = Some(result);
                 });
             }
@@ -124,6 +175,8 @@ struct Row {
     fault_evictions: u64,
     restarts: u64,
     goodput_lost_gpu_h: String,
+    wall_ms: Option<String>,
+    mean_round_ns: Option<String>,
 }
 
 impl Row {
@@ -176,17 +229,23 @@ impl Row {
             fault_evictions,
             restarts,
             goodput_lost_gpu_h: format!("{:.3}", goodput_lost),
+            wall_ms: outcome.timing.map(|t| format!("{:.3}", t.wall_ms)),
+            mean_round_ns: outcome.timing.map(|t| format!("{:.0}", t.mean_round_ns)),
         }
     }
 }
 
 /// Renders one cell as a CSV line (no trailing newline), columns exactly
-/// as in [`SWEEP_CSV_HEADER`].
+/// as in [`SWEEP_CSV_HEADER`]; the timing columns are empty when the
+/// sweep ran untimed.
 pub fn csv_row(cell: usize, outcome: &ScenarioOutcome) -> String {
     let r = Row::new(cell, outcome);
     let large_frac = r.large_frac.map(|f| f.to_string()).unwrap_or_default();
+    let wall_ms = r.wall_ms.unwrap_or_default();
+    let mean_round_ns = r.mean_round_ns.unwrap_or_default();
     format!(
-        "{},{},{},{},{},{large_frac},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{large_frac},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},\
+         {wall_ms},{mean_round_ns}",
         r.cell,
         r.trace,
         r.scheduler,
@@ -252,13 +311,16 @@ pub fn jsonl_header(name: &str, cells: usize) -> String {
 }
 
 /// Renders one cell as a JSON object (no trailing newline), fields
-/// mirroring the CSV columns; `large_frac` is `null` when unset.
+/// mirroring the CSV columns; `large_frac` is `null` when unset, and the
+/// timing fields are `null` when the sweep ran untimed.
 pub fn jsonl_row(cell: usize, outcome: &ScenarioOutcome) -> String {
     let r = Row::new(cell, outcome);
     let large_frac = r
         .large_frac
         .map(|f| f.to_string())
         .unwrap_or_else(|| "null".to_string());
+    let wall_ms = r.wall_ms.unwrap_or_else(|| "null".to_string());
+    let mean_round_ns = r.mean_round_ns.unwrap_or_else(|| "null".to_string());
     format!(
         "{{\"cell\":{},\"trace\":\"{}\",\"scheduler\":\"{}\",\"jobs\":{},\"load\":{},\
          \"large_frac\":{large_frac},\"seed\":{},\"nodes\":{},\"chaos_rate\":{},\
@@ -266,7 +328,7 @@ pub fn jsonl_row(cell: usize, outcome: &ScenarioOutcome) -> String {
          \"p99_jct_s\":{},\"makespan_s\":{},\"gpu_hours\":{},\"reconfigs\":{},\
          \"reconfig_share\":{},\"sla\":{},\"avg_jct_guar_s\":{},\"avg_jct_be_s\":{},\
          \"node_failures\":{},\"fault_evictions\":{},\"restarts\":{},\
-         \"goodput_lost_gpu_h\":{}}}",
+         \"goodput_lost_gpu_h\":{},\"wall_ms\":{wall_ms},\"mean_round_ns\":{mean_round_ns}}}",
         r.cell,
         r.trace,
         json_escape(&r.scheduler),
@@ -330,6 +392,7 @@ mod tests {
                 ..SimReport::default()
             },
             faults: None,
+            timing: None,
         }
     }
 
@@ -354,10 +417,30 @@ mod tests {
     fn jsonl_header_and_rows_are_well_formed() {
         let header = jsonl_header("fig\"10\"", 2);
         assert!(header.contains("\\\"10\\\""), "{header}");
+        assert!(header.contains("\"version\":2"), "{header}");
         let row = jsonl_row(1, &outcome("rubick", false));
         assert!(row.contains("\"large_frac\":null"), "{row}");
         assert!(row.contains("\"makespan_s\":1234.500"), "{row}");
+        assert!(row.contains("\"wall_ms\":null"), "{row}");
+        assert!(row.contains("\"mean_round_ns\":null"), "{row}");
         assert_eq!(row.matches('{').count(), row.matches('}').count());
+    }
+
+    #[test]
+    fn timed_outcomes_render_the_wall_clock_columns() {
+        let mut oc = outcome("rubick", false);
+        oc.timing = Some(CellTiming {
+            wall_ms: 12.3456,
+            mean_round_ns: 4_115_200.4,
+        });
+        let csv = csv_row(0, &oc);
+        assert!(csv.ends_with(",12.346,4115200"), "{csv}");
+        assert_eq!(csv.split(',').count(), SWEEP_CSV_HEADER.split(',').count());
+        let json = jsonl_row(0, &oc);
+        assert!(
+            json.contains("\"wall_ms\":12.346") && json.contains("\"mean_round_ns\":4115200"),
+            "{json}"
+        );
     }
 
     #[test]

@@ -43,11 +43,11 @@ pub mod tenant;
 pub use cluster::{Allocation, Cluster, Node};
 pub use engine::{Engine, EngineConfig};
 pub use harness::{
-    run_scenario, run_scenario_with, ChaosKnobs, ScenarioBackend, ScenarioOutcome, ScenarioSpec,
-    TraceKind,
+    run_scenario, run_scenario_with, CellTiming, ChaosKnobs, ScenarioBackend, ScenarioOutcome,
+    ScenarioSpec, TraceKind,
 };
 pub use job::{JobClass, JobId, JobSpec, JobStatus};
 pub use metrics::{JobRecord, SimReport};
 pub use report::ReportSink;
-pub use scheduler::{Assignment, JobSnapshot, Scheduler};
+pub use scheduler::{Assignment, JobDelta, JobSnapshot, Scheduler};
 pub use tenant::{Tenant, TenantId};

@@ -89,6 +89,35 @@ pub struct RoundStats {
     /// Jobs that went through the full plan search this round (dirty jobs
     /// plus any clean jobs that lost their skip certificate mid-round).
     pub searched: u64,
+    /// Fingerprint comparisons performed while classifying this round.
+    /// With delta-driven classification a quiet round compares O(changed)
+    /// fingerprints instead of O(jobs); the fallback path compares all.
+    pub classified: u64,
+}
+
+/// The set of jobs whose snapshots changed since the scheduler last ran,
+/// as tracked by the engine between rounds. Both lists are sorted by
+/// [`JobId`] and deduplicated; a job never appears in both.
+///
+/// Incremental policies use the delta to classify only the jobs that
+/// could have changed instead of fingerprinting every job. The delta is
+/// advisory: a policy that receives none (or distrusts it) falls back to
+/// full fingerprint classification with identical output.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JobDelta {
+    /// Jobs submitted, re-queued, launched, reconfigured, preempted,
+    /// evicted, or otherwise mutated since the last scheduling round.
+    pub changed: Vec<JobId>,
+    /// Jobs that finished (and left the snapshot set) since the last
+    /// scheduling round.
+    pub removed: Vec<JobId>,
+}
+
+impl JobDelta {
+    /// True when nothing changed since the last round.
+    pub fn is_empty(&self) -> bool {
+        self.changed.is_empty() && self.removed.is_empty()
+    }
 }
 
 /// A cluster-level input change the engine pushes into schedulers between
@@ -142,6 +171,19 @@ pub trait Scheduler: Send {
     /// truth; notifications only help incremental policies avoid stale
     /// fast paths.
     fn notify(&mut self, delta: &ClusterDelta) {
+        let _ = delta;
+    }
+
+    /// Hands the policy the set of jobs whose snapshots changed since the
+    /// last round, immediately before [`Scheduler::schedule`]. Incremental
+    /// policies use it to classify O(changed) jobs instead of O(jobs); the
+    /// default does nothing.
+    ///
+    /// Like [`Scheduler::notify`], deltas must never change the returned
+    /// assignments — the snapshots passed to `schedule` remain the source
+    /// of truth, and a policy that ignores the delta must produce the same
+    /// output via full classification.
+    fn notify_jobs(&mut self, delta: &JobDelta) {
         let _ = delta;
     }
 
