@@ -5,6 +5,9 @@
 #   make sweep-smoke   run the small end-to-end sweep spec twice (sequential
 #                      and parallel) and fail unless the CSVs are
 #                      byte-identical
+#   make serve-smoke   pipe the committed serve session script through
+#                      `rubick serve` and fail unless the reply stream is
+#                      byte-identical to the committed expectation
 #   make bench         scheduling-round latency benchmarks (BENCH_*.json)
 #   make bench-check   replay policy/incremental_round and fail on a >20%
 #                      regression of the fastest sample vs the committed
@@ -15,9 +18,9 @@
 # (opt-in: bench timings are machine-dependent, so the default CI gate
 # stays deterministic).
 
-.PHONY: verify fmt lint test build bench bench-check bench-smoke sweep-smoke
+.PHONY: verify fmt lint test build bench bench-check bench-smoke sweep-smoke serve-smoke
 
-verify: fmt lint test sweep-smoke bench-smoke
+verify: fmt lint test sweep-smoke serve-smoke bench-smoke
 
 ifeq ($(BENCH),1)
 verify: bench-check
@@ -54,6 +57,30 @@ sweep-smoke:
 		--no-timings --parallelism 4 --out target/sweep-smoke/par.csv
 	cmp target/sweep-smoke/seq.csv target/sweep-smoke/par.csv
 	@echo "sweep-smoke: byte-identical at 1 and 4 workers"
+
+# End-to-end serve gate: a scripted NDJSON session (submit/advance/
+# status/cancel/shutdown) pipes through `rubick serve` and the reply
+# stream — including the final report line — must be byte-identical to
+# the committed golden. Also round-trips the write-ahead log: a second
+# run journals the same session to a scratch log, restarts from it, and
+# the recovered state must answer `status` identically.
+serve-smoke:
+	cargo build --release -p rubick-cli
+	mkdir -p target/serve-smoke
+	target/release/rubick serve --scheduler rubick --seed 7 --nodes 2 \
+		--log-level error < examples/serve/smoke-session.jsonl \
+		> target/serve-smoke/replies.jsonl
+	cmp examples/serve/smoke-expected.jsonl target/serve-smoke/replies.jsonl
+	rm -f target/serve-smoke/session.log
+	target/release/rubick serve --scheduler rubick --seed 7 --nodes 2 \
+		--log-level error --log target/serve-smoke/session.log \
+		< examples/serve/smoke-session.jsonl > /dev/null
+	printf '{"type":"status"}\n{"type":"shutdown"}\n' | \
+		target/release/rubick serve --scheduler rubick --seed 7 --nodes 2 \
+		--log-level error --log target/serve-smoke/session.log \
+		> target/serve-smoke/recovered.jsonl
+	grep -q '"type":"recovered"' target/serve-smoke/recovered.jsonl
+	@echo "serve-smoke: reply stream matches golden; log recovery round-trips"
 
 bench:
 	cargo bench -p rubick-bench --bench scheduling

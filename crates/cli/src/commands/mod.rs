@@ -4,6 +4,7 @@ pub mod compare;
 pub mod plans;
 pub mod profile;
 pub mod run;
+pub mod serve;
 pub mod sweep;
 pub mod trace;
 

@@ -10,7 +10,7 @@ use crate::output::{
     render_decisions, render_fault_csv, render_fault_report, render_report, render_report_csv,
     Logger,
 };
-use rubick_obs::{BufferedJsonlSink, EventSink};
+use rubick_obs::{BufferedJsonlSink, EventSink, ProgressSink, TeeSink};
 use rubick_sim::run_scenario_with;
 
 /// Executes the `run` subcommand.
@@ -26,6 +26,7 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
         "verbose",
         "parallelism",
         "events",
+        "progress",
         "log-level",
         "chaos",
         "chaos-seed",
@@ -55,25 +56,42 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
             plan.stragglers().len()
         ));
     }
-    let outcome = match args.get("events") {
-        Some(path) => {
-            // Events stream through the buffered background-writer sink,
-            // so serialization never blocks the simulation loop.
-            let mut sink = BufferedJsonlSink::create(path)
-                .map_err(|e| format!("cannot create events file '{path}': {e}"))?;
-            let outcome = run_scenario_with(
-                &spec,
-                &backend,
-                chaos,
-                Some(&mut sink as &mut dyn EventSink),
-            )?;
-            sink.flush()
-                .map_err(|e| format!("failed writing events file '{path}': {e}"))?;
-            log.info(&format!("wrote {} events to {path}", sink.events_written()));
-            outcome
-        }
-        None => run_scenario_with(&spec, &backend, chaos, None)?,
+    // The event spine fans out to up to two sinks: the buffered JSONL
+    // writer (--events) and the live stderr progress line (--progress).
+    let mut progress = args
+        .flag("progress")
+        .then(|| ProgressSink::new(std::io::stderr()));
+    let mut events = match args.get("events") {
+        Some(path) => Some(
+            BufferedJsonlSink::create(path)
+                .map_err(|e| format!("cannot create events file '{path}': {e}"))?,
+        ),
+        None => None,
     };
+    let outcome = match (&mut events, &mut progress) {
+        (Some(events), Some(progress)) => {
+            let mut tee = TeeSink::new(events, progress);
+            run_scenario_with(&spec, &backend, chaos, Some(&mut tee as &mut dyn EventSink))?
+        }
+        (Some(events), None) => {
+            run_scenario_with(&spec, &backend, chaos, Some(events as &mut dyn EventSink))?
+        }
+        (None, Some(progress)) => {
+            run_scenario_with(&spec, &backend, chaos, Some(progress as &mut dyn EventSink))?
+        }
+        (None, None) => run_scenario_with(&spec, &backend, chaos, None)?,
+    };
+    if let Some(progress) = &mut progress {
+        progress
+            .finish()
+            .map_err(|e| format!("failed writing progress line: {e}"))?;
+    }
+    if let Some(sink) = &mut events {
+        let path = args.get("events").expect("events sink implies the flag");
+        sink.flush()
+            .map_err(|e| format!("failed writing events file '{path}': {e}"))?;
+        log.info(&format!("wrote {} events to {path}", sink.events_written()));
+    }
     let report = &outcome.report;
     log.debug(&format!(
         "{} scheduling rounds, {} decisions",

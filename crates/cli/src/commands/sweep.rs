@@ -10,13 +10,21 @@
 use super::{CliBackend, CliError, SCHEDULER_NAMES};
 use crate::args::Args;
 use crate::output::Logger;
+use rubick_sim::harness::baseline::{diff_outcomes, parse_baseline};
 use rubick_sim::harness::grid::SweepSpec;
 use rubick_sim::harness::sweep::{render_csv, render_jsonl, resolve_workers, run_cells_with};
 use std::collections::BTreeSet;
 
 /// Executes the `sweep` subcommand.
 pub fn execute(args: &Args) -> Result<(), CliError> {
-    args.allow(&["out", "jsonl", "parallelism", "log-level", "no-timings"])?;
+    args.allow(&[
+        "out",
+        "jsonl",
+        "baseline",
+        "parallelism",
+        "log-level",
+        "no-timings",
+    ])?;
     let log = Logger::from_args(args)?;
     let spec_path = args
         .operand
@@ -36,6 +44,19 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
             return Err(format!("--{flag} would overwrite the sweep spec '{spec_path}'").into());
         }
     }
+
+    // The baseline parses before any cell runs, so a bad path or a
+    // malformed file fails fast instead of after minutes of sweeping.
+    let baseline = match args.get("baseline") {
+        None => None,
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read baseline '{path}': {e}"))?;
+            let parsed =
+                parse_baseline(&text).map_err(|e| format!("invalid baseline '{path}': {e}"))?;
+            Some((path, parsed))
+        }
+    };
 
     let text = std::fs::read_to_string(spec_path)
         .map_err(|e| format!("cannot read sweep spec '{spec_path}': {e}"))?;
@@ -91,6 +112,26 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
         std::fs::write(path, &text)
             .map_err(|e| format!("cannot write sweep JSONL '{path}': {e}"))?;
         log.info(&format!("wrote {} cells to {path}", outcomes.len()));
+    }
+
+    // The regression gate runs last, after outputs are safely written —
+    // a failing diff must not suppress the fresh results it points at.
+    if let Some((path, baseline)) = baseline {
+        let diff = diff_outcomes(&baseline, &outcomes);
+        log.info(&format!(
+            "baseline '{path}': {} matched, {} changed, {} added, {} missing",
+            diff.matched,
+            diff.changed.len(),
+            diff.added.len(),
+            diff.missing.len()
+        ));
+        if !diff.is_clean() {
+            return Err(format!(
+                "sweep regressed against baseline '{path}':\n{}",
+                diff.render()
+            )
+            .into());
+        }
     }
     Ok(())
 }

@@ -31,6 +31,9 @@ COMMANDS:
     compare   Run the same trace through every scheduler side by side
     sweep     Run a declarative scenario grid from a spec file (one CSV row
               per cell; see examples/sweeps/ and EXPERIMENTS.md)
+    serve     Run a long-lived scheduling session: accept streaming job
+              submissions/cancellations over NDJSON (stdin or TCP) with an
+              optional write-ahead session log for crash recovery
     plans     List feasible execution plans for a model on a GPU count
     profile   Profile a model type and show the fitted performance model
     trace     Generate a synthetic trace and print a summary (or CSV)
@@ -54,6 +57,8 @@ RUN / COMPARE FLAGS:
     --events <path>      (run) stream every simulation event to <path> as
                          JSON Lines (one event per line, buffered through a
                          background writer thread)
+    --progress           (run) live progress line on stderr (running/queued/
+                         finished counts) while the simulation executes
     --chaos <path>       Inject faults from a chaos config file: node
                          failures/recoveries, straggler slowdowns, transient
                          launch failures, restart penalties (see DESIGN.md
@@ -61,9 +66,24 @@ RUN / COMPARE FLAGS:
     --chaos-seed <u64>   Override the seed in the chaos config (requires
                          --chaos); same seed = identical fault timeline
 
+SERVE:
+    rubick serve [--scheduler <name>] [--seed <u64>] [--nodes <n>]
+                 [--log <path>] [--events <path>] [--echo-events]
+                 [--listen <addr>] [--tick-ms <ms>] [--time-scale <f64>]
+    Reads NDJSON ops (submit/cancel/advance/status/snapshot/shutdown) one
+    per line and replies one line per op. --log journals every
+    state-changing op write-ahead: restarting with the same flags and an
+    existing log recovers the exact session state by deterministic
+    replay (a 'snapshot' op compacts the log to bound replay cost).
+    --listen serves one TCP connection instead of stdin; --tick-ms
+    advances simulation time by tick*time-scale seconds of idle wall
+    clock; --echo-events inlines the simulation events each op caused
+    before its reply line.
+
 SWEEP:
     rubick sweep <spec.toml> [--out <csv>] [--jsonl <path>]
-                 [--parallelism <n>] [--log-level <lvl>] [--no-timings]
+                 [--baseline <path>] [--parallelism <n>]
+                 [--log-level <lvl>] [--no-timings]
     Expands the spec's [grid] blocks into cells (trace x scheduler x jobs
     x load x large_frac x nodes x chaos_rate x chaos_seed x seed), runs
     every cell, and emits one row per cell in grid order. Output is
@@ -71,6 +91,10 @@ SWEEP:
     goes to stdout; --jsonl additionally writes a JSON-Lines file. Each
     row ends with per-cell wall_ms/mean_round_ns wall-clock columns;
     --no-timings leaves them empty for run-to-run reproducible output.
+    --baseline diffs the sweep against a previous run's --out CSV or
+    --jsonl file: cells are matched by spec dimensions, metrics compared
+    numerically (timing columns ignored), and any changed cell fails the
+    command — a per-cell regression gate for CI.
 
 PLANS FLAGS:
     --model <name>       Zoo model name (vit-86m, roberta-355m, bert-336m,
@@ -106,6 +130,7 @@ fn main() -> ExitCode {
     let result = match args.command.as_deref() {
         Some("run") => commands::run::execute(&args),
         Some("compare") => commands::compare::execute(&args),
+        Some("serve") => commands::serve::execute(&args),
         Some("sweep") => commands::sweep::execute(&args),
         Some("plans") => commands::plans::execute(&args),
         Some("profile") => commands::profile::execute(&args),

@@ -70,6 +70,24 @@ impl Logger {
     }
 }
 
+/// The `serve` session's final protocol line: the report's headline
+/// numbers as one JSON object (full fidelity stays in `--events`).
+pub fn render_serve_report_line(report: &SimReport) -> String {
+    format!(
+        "{{\"type\":\"report\",\"scheduler\":\"{}\",\"finished\":{},\"unfinished\":{},\
+         \"avg_jct_s\":{:.3},\"p99_jct_s\":{:.3},\"makespan_s\":{:.3},\"gpu_hours\":{:.3},\
+         \"sla\":{:.4}}}",
+        report.scheduler,
+        report.jobs.len(),
+        report.unfinished.len(),
+        report.avg_jct(),
+        report.p99_jct(),
+        report.makespan,
+        report.gpu_hours(),
+        report.sla_attainment()
+    )
+}
+
 /// The `run --csv` key/value block.
 pub fn render_report_csv(report: &SimReport) -> String {
     let mut s = String::new();
@@ -217,6 +235,9 @@ pub fn render_decisions(report: &SimReport) -> String {
             }
             Decision::Finish { at, job } => {
                 let _ = writeln!(s, "  [{at:>8.0}s] finish   job {job}");
+            }
+            Decision::Cancel { at, job } => {
+                let _ = writeln!(s, "  [{at:>8.0}s] cancel   job {job}");
             }
         }
     }

@@ -23,7 +23,9 @@ fn help_lists_all_commands() {
     let out = rubick(&["help"]);
     assert!(out.status.success());
     let text = stdout(&out);
-    for cmd in ["run", "compare", "sweep", "plans", "profile", "trace"] {
+    for cmd in [
+        "run", "compare", "sweep", "serve", "plans", "profile", "trace",
+    ] {
         assert!(text.contains(cmd), "help must mention {cmd}");
     }
 }
@@ -564,4 +566,313 @@ fn compare_keeps_fixed_row_order_under_chaos() {
         "{text}"
     );
     std::fs::remove_file(&cfg).ok();
+}
+
+/// Runs the binary with `input` piped to stdin (how a serve session is
+/// scripted in tests).
+fn rubick_stdin(args: &[&str], input: &str) -> Output {
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rubick"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(input.as_bytes())
+        .expect("session script written");
+    child.wait_with_output().expect("binary exits")
+}
+
+const SERVE_SESSION: &str = "\
+{\"type\":\"submit\",\"job\":1,\"model\":\"roberta-355m\",\"gpus\":4,\"target_batches\":60}\n\
+{\"type\":\"advance\",\"until\":1}\n\
+{\"type\":\"status\"}\n\
+{\"type\":\"cancel\",\"job\":1}\n\
+{\"type\":\"shutdown\"}\n";
+
+const SERVE_FLAGS: &[&str] = &[
+    "serve",
+    "--scheduler",
+    "rubick",
+    "--seed",
+    "7",
+    "--nodes",
+    "2",
+    "--log-level",
+    "error",
+];
+
+#[test]
+fn serve_stdin_session_replies_one_line_per_op() {
+    let out = rubick_stdin(SERVE_FLAGS, SERVE_SESSION);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 6, "5 replies + report:\n{text}");
+    assert_eq!(lines[0], "{\"type\":\"ok\",\"op\":\"submit\",\"job\":1}");
+    assert!(
+        lines[1].starts_with("{\"type\":\"state\",\"clock\":1,")
+            && lines[1].contains("\"running\":1"),
+        "{}",
+        lines[1]
+    );
+    assert!(lines[2].contains("\"type\":\"state\""), "{}", lines[2]);
+    assert_eq!(lines[3], "{\"type\":\"ok\",\"op\":\"cancel\",\"job\":1}");
+    assert_eq!(lines[4], "{\"type\":\"ok\",\"op\":\"shutdown\"}");
+    assert!(
+        lines[5].starts_with("{\"type\":\"report\",\"scheduler\":\"rubick\","),
+        "{}",
+        lines[5]
+    );
+
+    // Serve sessions are deterministic end to end.
+    let again = rubick_stdin(SERVE_FLAGS, SERVE_SESSION);
+    assert_eq!(text, stdout(&again));
+}
+
+#[test]
+fn serve_reports_protocol_errors_without_dying() {
+    let session = "not json\n\
+        {\"type\":\"submit\",\"job\":1,\"model\":\"alexnet\",\"gpus\":4}\n\
+        {\"type\":\"shutdown\"}\n";
+    let out = rubick_stdin(SERVE_FLAGS, session);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines[0].starts_with("{\"type\":\"error\","), "{}", lines[0]);
+    assert!(lines[1].contains("unknown model 'alexnet'"), "{}", lines[1]);
+    assert_eq!(lines[2], "{\"type\":\"ok\",\"op\":\"shutdown\"}");
+}
+
+#[test]
+fn serve_echo_events_inlines_the_stream_before_each_reply() {
+    let mut args = SERVE_FLAGS.to_vec();
+    args.push("--echo-events");
+    // The cancel lands at the session clock, so a trailing advance is
+    // what makes its event fire and get echoed.
+    let session = "\
+        {\"type\":\"submit\",\"job\":1,\"model\":\"roberta-355m\",\"gpus\":4,\"target_batches\":60}\n\
+        {\"type\":\"advance\",\"until\":1}\n\
+        {\"type\":\"cancel\",\"job\":1}\n\
+        {\"type\":\"advance\",\"until\":2}\n\
+        {\"type\":\"shutdown\"}\n";
+    let out = rubick_stdin(&args, session);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    let submitted = text
+        .lines()
+        .position(|l| l.contains("\"type\":\"job_submitted\""))
+        .expect("submit event echoed");
+    let state = text
+        .lines()
+        .position(|l| l.starts_with("{\"type\":\"state\""))
+        .expect("advance reply");
+    assert!(submitted < state, "events precede the reply:\n{text}");
+    assert!(
+        text.contains("\"type\":\"job_cancelled\""),
+        "cancel event echoed:\n{text}"
+    );
+}
+
+#[test]
+fn serve_restart_recovers_the_logged_session() {
+    let log = std::env::temp_dir().join(format!("rubick-serve-log-{}.jsonl", std::process::id()));
+    std::fs::remove_file(&log).ok();
+    let log_str = log.to_str().unwrap();
+    let mut args = SERVE_FLAGS.to_vec();
+    args.extend(["--log", log_str]);
+
+    // First session: submit and advance, then the process "dies" (EOF
+    // without shutdown still folds a report; the journal survives).
+    let first = rubick_stdin(
+        &args,
+        "{\"type\":\"submit\",\"job\":1,\"model\":\"roberta-355m\",\"gpus\":4,\
+         \"target_batches\":60}\n{\"type\":\"advance\",\"until\":1}\n",
+    );
+    assert!(first.status.success(), "stderr: {}", stderr(&first));
+
+    // Second session recovers from the journal: job 1 is running again.
+    let second = rubick_stdin(&args, "{\"type\":\"status\"}\n{\"type\":\"shutdown\"}\n");
+    assert!(second.status.success(), "stderr: {}", stderr(&second));
+    let text = stdout(&second);
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(
+        lines[0].starts_with("{\"type\":\"recovered\",\"ops\":2,"),
+        "{text}"
+    );
+    assert!(
+        lines[1].contains("\"type\":\"state\"") && lines[1].contains("\"running\":1"),
+        "{text}"
+    );
+    std::fs::remove_file(&log).ok();
+}
+
+#[test]
+fn serve_listen_serves_one_tcp_connection() {
+    use std::io::{BufRead, BufReader, Write as _};
+    use std::process::Stdio;
+    let mut args = SERVE_FLAGS.to_vec();
+    args.extend(["--listen", "127.0.0.1:0"]);
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rubick"))
+        .args(&args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary spawns");
+    let mut console = BufReader::new(child.stdout.take().expect("stdout piped"));
+    let mut line = String::new();
+    console.read_line(&mut line).expect("listening line");
+    assert!(
+        line.starts_with("{\"type\":\"listening\",\"addr\":\""),
+        "{line}"
+    );
+    let addr = line
+        .split("\"addr\":\"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .expect("addr in listening line")
+        .to_string();
+
+    let stream = std::net::TcpStream::connect(&addr).expect("connects");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    writer
+        .write_all(SERVE_SESSION.as_bytes())
+        .expect("ops sent");
+    let mut replies = Vec::new();
+    loop {
+        let mut reply = String::new();
+        if reader.read_line(&mut reply).expect("reply read") == 0 {
+            break;
+        }
+        replies.push(reply.trim().to_string());
+    }
+    let status = child.wait().expect("server exits");
+    assert!(status.success());
+    assert_eq!(replies.len(), 6, "{replies:?}");
+    assert_eq!(replies[0], "{\"type\":\"ok\",\"op\":\"submit\",\"job\":1}");
+    assert!(
+        replies[5].starts_with("{\"type\":\"report\","),
+        "{replies:?}"
+    );
+}
+
+#[test]
+fn run_progress_renders_a_live_line_on_stderr() {
+    let quiet = rubick(&[
+        "run",
+        "--jobs",
+        "8",
+        "--seed",
+        "4",
+        "--csv",
+        "--log-level",
+        "error",
+    ]);
+    let progress = rubick(&[
+        "run",
+        "--jobs",
+        "8",
+        "--seed",
+        "4",
+        "--csv",
+        "--log-level",
+        "error",
+        "--progress",
+    ]);
+    assert!(quiet.status.success() && progress.status.success());
+    // The progress line lives on stderr and never disturbs the report.
+    assert_eq!(stdout(&quiet), stdout(&progress));
+    let err = stderr(&progress);
+    assert!(err.contains("running="), "progress line on stderr: {err}");
+    assert!(err.contains("finished="), "progress line on stderr: {err}");
+    assert!(err.ends_with('\n'), "finish() terminates the line: {err:?}");
+    assert!(stderr(&quiet).is_empty(), "{}", stderr(&quiet));
+}
+
+#[test]
+fn sweep_baseline_gates_on_metric_drift() {
+    let spec = sweep_spec("baseline", TINY_SWEEP);
+    let path = spec.to_str().unwrap();
+    let csv =
+        std::env::temp_dir().join(format!("rubick-sweep-baseline-{}.csv", std::process::id()));
+    let csv_str = csv.to_str().unwrap();
+    let out = rubick(&["sweep", path, "--no-timings", "--out", csv_str]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+
+    // An identical re-run diffs clean against its own output...
+    let clean = rubick(&["sweep", path, "--no-timings", "--baseline", csv_str]);
+    assert!(clean.status.success(), "stderr: {}", stderr(&clean));
+    assert!(
+        stderr(&clean).contains("4 matched, 0 changed"),
+        "stderr: {}",
+        stderr(&clean)
+    );
+
+    // ...and a doctored metric fails the gate, naming cell and column.
+    let text = std::fs::read_to_string(&csv).unwrap();
+    let (line_no, line) = text
+        .lines()
+        .enumerate()
+        .find(|(_, l)| l.starts_with("0,"))
+        .expect("cell 0 row");
+    let cols: Vec<&str> = line.split(',').collect();
+    let mut doctored_cols = cols.clone();
+    let avg_jct_col = 12; // avg_jct_s per SWEEP_CSV_HEADER
+    let doctored_value = "123456.789";
+    doctored_cols[avg_jct_col] = doctored_value;
+    let mut lines: Vec<String> = text.lines().map(String::from).collect();
+    lines[line_no] = doctored_cols.join(",");
+    std::fs::write(&csv, lines.join("\n") + "\n").unwrap();
+    let gate = rubick(&["sweep", path, "--no-timings", "--baseline", csv_str]);
+    assert!(!gate.status.success(), "doctored baseline must fail");
+    let err = stderr(&gate);
+    assert!(err.contains("regressed against baseline"), "stderr: {err}");
+    assert!(err.contains("avg_jct_s"), "stderr: {err}");
+    assert!(err.contains(doctored_value), "stderr: {err}");
+    std::fs::remove_file(&spec).ok();
+    std::fs::remove_file(&csv).ok();
+}
+
+#[test]
+fn sweep_baseline_accepts_jsonl_and_rejects_garbage() {
+    let spec = sweep_spec("baseline-jsonl", TINY_SWEEP);
+    let path = spec.to_str().unwrap();
+    let jsonl = std::env::temp_dir().join(format!(
+        "rubick-sweep-baseline-{}.jsonl",
+        std::process::id()
+    ));
+    let jsonl_str = jsonl.to_str().unwrap();
+    let out = rubick(&["sweep", path, "--no-timings", "--jsonl", jsonl_str]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let clean = rubick(&["sweep", path, "--no-timings", "--baseline", jsonl_str]);
+    assert!(clean.status.success(), "stderr: {}", stderr(&clean));
+
+    // A malformed baseline fails before any cell runs.
+    let garbage =
+        std::env::temp_dir().join(format!("rubick-sweep-garbage-{}.csv", std::process::id()));
+    std::fs::write(&garbage, "not,a,sweep\n1,2,3\n").unwrap();
+    let bad = rubick(&[
+        "sweep",
+        path,
+        "--no-timings",
+        "--baseline",
+        garbage.to_str().unwrap(),
+    ]);
+    assert!(!bad.status.success());
+    assert!(
+        stderr(&bad).contains("invalid baseline"),
+        "stderr: {}",
+        stderr(&bad)
+    );
+    std::fs::remove_file(&spec).ok();
+    std::fs::remove_file(&jsonl).ok();
+    std::fs::remove_file(&garbage).ok();
 }

@@ -216,6 +216,20 @@ pub enum SimEvent {
         /// Extra restart delay charged on top of checkpoint-resume, s.
         penalty: f64,
     },
+    /// A job was cancelled by its owner before completing (schema v4).
+    /// Cancelled jobs leave the simulation without a
+    /// [`SimEvent::JobFinished`] record: they count neither as finished
+    /// nor as unfinished in the report fold.
+    JobCancelled {
+        /// Simulation time, s.
+        at: f64,
+        /// Job id.
+        job: u64,
+        /// GPUs released (0 if the job was queued).
+        gpus: u32,
+        /// Execution-plan label vacated (empty if the job was queued).
+        plan: String,
+    },
     /// Incremental-planning statistics for one scheduling round (schema
     /// v3). Emitted right after the policy returns, before decisions are
     /// applied, and only when the engine is configured to surface them
@@ -259,6 +273,7 @@ impl SimEvent {
             | SimEvent::NodeRecovered { at, .. }
             | SimEvent::JobPreemptedByFault { at, .. }
             | SimEvent::JobRestarted { at, .. }
+            | SimEvent::JobCancelled { at, .. }
             | SimEvent::RoundPlanned { at, .. } => *at,
         }
     }
@@ -277,6 +292,7 @@ impl SimEvent {
             SimEvent::NodeRecovered { .. } => "node_recovered",
             SimEvent::JobPreemptedByFault { .. } => "job_preempted_by_fault",
             SimEvent::JobRestarted { .. } => "job_restarted",
+            SimEvent::JobCancelled { .. } => "job_cancelled",
             SimEvent::RoundPlanned { .. } => "round_planned",
         }
     }
@@ -419,6 +435,17 @@ impl SimEvent {
                 w.str("plan", plan);
                 w.num("penalty", *penalty);
             }
+            SimEvent::JobCancelled {
+                at,
+                job,
+                gpus,
+                plan,
+            } => {
+                w.num("at", *at);
+                w.uint("job", *job);
+                w.uint("gpus", u64::from(*gpus));
+                w.str("plan", plan);
+            }
             SimEvent::RoundPlanned {
                 at,
                 round,
@@ -443,6 +470,32 @@ impl SimEvent {
     /// Parses one JSONL line produced by [`SimEvent::to_jsonl`].
     pub fn from_jsonl(line: &str) -> Result<SimEvent, EventParseError> {
         let f = Fields::parse(line)?;
+        SimEvent::from_fields(&f)
+    }
+
+    /// Whether `ty` is a `type` label this crate's event taxonomy knows.
+    /// Serve/session logs interleave event lines with non-event records;
+    /// [`read_event_log`] uses this to route lines without re-parsing.
+    pub fn known_type(ty: &str) -> bool {
+        matches!(
+            ty,
+            "job_submitted"
+                | "round_started"
+                | "decision_applied"
+                | "reconfigured"
+                | "launch_failed"
+                | "job_finished"
+                | "tick_skipped"
+                | "node_failed"
+                | "node_recovered"
+                | "job_preempted_by_fault"
+                | "job_restarted"
+                | "job_cancelled"
+                | "round_planned"
+        )
+    }
+
+    fn from_fields(f: &Fields) -> Result<SimEvent, EventParseError> {
         let ev = match f.str("type")? {
             "job_submitted" => SimEvent::JobSubmitted {
                 at: f.num("at")?,
@@ -531,6 +584,12 @@ impl SimEvent {
                 plan: f.str("plan")?.to_string(),
                 penalty: f.num("penalty")?,
             },
+            "job_cancelled" => SimEvent::JobCancelled {
+                at: f.num("at")?,
+                job: f.uint("job")?,
+                gpus: f.uint32("gpus")?,
+                plan: f.str("plan")?.to_string(),
+            },
             "round_planned" => SimEvent::RoundPlanned {
                 at: f.num("at")?,
                 round: f.uint("round")?,
@@ -560,8 +619,10 @@ impl SimEvent {
 /// [`SimEvent::JobRestarted`]) and the `{"type":"schema",...}` header line;
 /// **3** — adds [`SimEvent::RoundPlanned`], the per-round incremental
 /// planning statistics (off by default; streams without it parse
-/// unchanged).
-pub const SCHEMA_VERSION: u32 = 3;
+/// unchanged); **4** — adds [`SimEvent::JobCancelled`], emitted when a
+/// serve-session owner withdraws a job (batch simulations never emit it,
+/// so their streams are byte-identical to v3).
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// The one-line schema header the stream sinks ([`JsonlSink`],
 /// [`BufferedJsonlSink`]) write before the first event (no trailing
@@ -597,6 +658,237 @@ pub fn parse_jsonl_line(line: &str) -> Result<JsonlLine, EventParseError> {
         return Ok(JsonlLine::Schema(version));
     }
     SimEvent::from_jsonl(line).map(JsonlLine::Event)
+}
+
+// ---------------------------------------------------------------------------
+// Event-log files: streaming reader over sink-produced (or serve-session)
+// JSONL, schema-header aware and tolerant of interleaved non-event records.
+// ---------------------------------------------------------------------------
+
+/// One parsed flat JSON object with tolerant, by-key accessors.
+///
+/// This is the public face of the crate's internal JSON decoder: records
+/// that are *not* simulation events (serve-session ops, sweep JSONL rows,
+/// compaction markers) parse into a `JsonObject` so callers can read their
+/// fields without writing another JSON parser. Unknown fields are simply
+/// never looked up; missing fields error (or default, via the `*_or`
+/// accessors) at lookup time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonObject {
+    fields: Fields,
+}
+
+impl JsonObject {
+    /// Parses one line holding a flat JSON object (string / number / null
+    /// values only).
+    pub fn parse(line: &str) -> Result<JsonObject, EventParseError> {
+        Ok(JsonObject {
+            fields: Fields::parse(line)?,
+        })
+    }
+
+    /// The `type` field, present on every record this workspace writes.
+    pub fn ty(&self) -> Result<&str, EventParseError> {
+        self.fields.str("type")
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: &str) -> bool {
+        self.fields.map.contains_key(key)
+    }
+
+    /// A required string field.
+    pub fn str(&self, key: &str) -> Result<&str, EventParseError> {
+        self.fields.str(key)
+    }
+
+    /// A required numeric field.
+    pub fn num(&self, key: &str) -> Result<f64, EventParseError> {
+        self.fields.num(key)
+    }
+
+    /// A required unsigned-integer field.
+    pub fn uint(&self, key: &str) -> Result<u64, EventParseError> {
+        self.fields.uint(key)
+    }
+
+    /// A required unsigned-integer field that must fit in `u32`.
+    pub fn uint32(&self, key: &str) -> Result<u32, EventParseError> {
+        self.fields.uint32(key)
+    }
+
+    /// A numeric-or-null field (`null` reads as `None`).
+    pub fn opt_num(&self, key: &str) -> Result<Option<f64>, EventParseError> {
+        self.fields.opt_num(key)
+    }
+
+    /// A string field that may be absent.
+    pub fn opt_str(&self, key: &str) -> Result<Option<&str>, EventParseError> {
+        if self.contains(key) {
+            self.fields.str(key).map(Some)
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// An unsigned-integer field defaulting when absent (present-but-bad
+    /// still errors).
+    pub fn uint_or(&self, default: u64, key: &str) -> Result<u64, EventParseError> {
+        self.fields.uint_or(default, key)
+    }
+
+    /// A numeric field defaulting when absent (present-but-bad still
+    /// errors).
+    pub fn num_or(&self, default: f64, key: &str) -> Result<f64, EventParseError> {
+        if self.contains(key) {
+            self.fields.num(key)
+        } else {
+            Ok(default)
+        }
+    }
+}
+
+/// One classified line of an event-log file.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogLine {
+    /// The `{"type":"schema","version":N}` header.
+    Schema(u32),
+    /// A simulation event.
+    Event(SimEvent),
+    /// A record whose `type` is not in the event taxonomy (serve-session
+    /// ops, compaction markers, future extensions) — carried as a parsed
+    /// object rather than an error so logs stay forward-readable.
+    Other(JsonObject),
+}
+
+/// An error while reading an event log: carries the 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventLogError {
+    /// 1-based line the error occurred on.
+    pub line: u64,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for EventLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event log line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for EventLogError {}
+
+/// A streaming reader over a JSONL event-log file. Yields one [`LogLine`]
+/// per non-empty line; see [`read_event_log`].
+pub struct EventLogReader {
+    lines: io::Lines<io::BufReader<File>>,
+    line_no: u64,
+}
+
+impl EventLogReader {
+    fn classify(line: &str, line_no: u64) -> Result<LogLine, EventLogError> {
+        let err = |e: EventParseError| EventLogError {
+            line: line_no,
+            message: e.to_string(),
+        };
+        let obj = JsonObject::parse(line).map_err(err)?;
+        let ty = obj.ty().map_err(err)?;
+        if ty == "schema" {
+            let version =
+                u32::try_from(obj.uint("version").map_err(err)?).map_err(|_| EventLogError {
+                    line: line_no,
+                    message: "schema version overflows u32".into(),
+                })?;
+            return Ok(LogLine::Schema(version));
+        }
+        if SimEvent::known_type(ty) {
+            return SimEvent::from_fields(&obj.fields)
+                .map(LogLine::Event)
+                .map_err(err);
+        }
+        Ok(LogLine::Other(obj))
+    }
+}
+
+impl Iterator for EventLogReader {
+    type Item = Result<LogLine, EventLogError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let line = match self.lines.next()? {
+                Ok(line) => line,
+                Err(e) => {
+                    self.line_no += 1;
+                    return Some(Err(EventLogError {
+                        line: self.line_no,
+                        message: format!("read error: {e}"),
+                    }));
+                }
+            };
+            self.line_no += 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            return Some(EventLogReader::classify(&line, self.line_no));
+        }
+    }
+}
+
+/// Opens a JSONL event log for streaming. Every non-empty line is
+/// classified as schema header, [`SimEvent`], or [`LogLine::Other`];
+/// unknown *fields* inside known records are tolerated, and unknown record
+/// *types* surface as `Other` rather than an error so mixed logs (serve
+/// sessions, annotated streams) remain readable.
+pub fn read_event_log(path: impl AsRef<Path>) -> io::Result<EventLogReader> {
+    use std::io::BufRead as _;
+    let file = File::open(path)?;
+    Ok(EventLogReader {
+        lines: io::BufReader::new(file).lines(),
+        line_no: 0,
+    })
+}
+
+/// A fully-read event log, with a crash-tolerance flag.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventLog {
+    /// Every parsed line, in file order.
+    pub lines: Vec<LogLine>,
+    /// Whether the final line was torn (unparseable) and dropped — the
+    /// signature of a process killed mid-append.
+    pub torn_tail: bool,
+}
+
+/// Reads a whole event log, forgiving a torn *final* line: a process
+/// killed mid-append leaves a partial last line, which recovery must
+/// treat as "never written". Any malformed line before the end is still
+/// an error.
+pub fn read_event_log_tolerant(
+    path: impl AsRef<Path>,
+) -> io::Result<Result<EventLog, EventLogError>> {
+    let reader = read_event_log(path)?;
+    let mut lines = Vec::new();
+    let mut deferred: Option<EventLogError> = None;
+    for item in reader {
+        match item {
+            Ok(line) => {
+                if let Some(e) = deferred.take() {
+                    // The bad line was not the last one after all.
+                    return Ok(Err(e));
+                }
+                lines.push(line);
+            }
+            Err(e) => {
+                if let Some(prior) = deferred.take() {
+                    return Ok(Err(prior));
+                }
+                deferred = Some(e);
+            }
+        }
+    }
+    Ok(Ok(EventLog {
+        lines,
+        torn_tail: deferred.is_some(),
+    }))
 }
 
 /// Error produced when a JSONL line cannot be parsed back into a
@@ -720,6 +1012,7 @@ enum JsonValue {
     Str(String),
 }
 
+#[derive(Debug, Clone, PartialEq)]
 struct Fields {
     map: BTreeMap<String, JsonValue>,
 }
@@ -1375,6 +1668,8 @@ pub struct CountersSink {
     pub launch_failures: u64,
     /// Jobs completed.
     pub finished: u64,
+    /// Jobs cancelled by their owner (serve sessions).
+    pub cancelled: u64,
     /// Node failures (fault injection).
     pub node_failures: u64,
     /// Node recoveries (fault injection).
@@ -1410,6 +1705,7 @@ impl CountersSink {
             + self.reconfigs
             + self.launch_failures
             + self.finished
+            + self.cancelled
             + self.node_failures
             + self.node_recoveries
             + self.fault_evictions
@@ -1434,6 +1730,10 @@ impl CountersSink {
             self.finished,
             self.round_latency.mean_ns() / 1e3,
         );
+        if self.cancelled > 0 {
+            use fmt::Write as _;
+            let _ = write!(out, " cancelled={}", self.cancelled);
+        }
         if self.node_failures + self.node_recoveries + self.fault_evictions + self.restarts > 0 {
             use fmt::Write as _;
             let _ = write!(
@@ -1473,6 +1773,7 @@ impl EventSink for CountersSink {
             SimEvent::Reconfigured { .. } => self.reconfigs += 1,
             SimEvent::LaunchFailed { .. } => self.launch_failures += 1,
             SimEvent::JobFinished { .. } => self.finished += 1,
+            SimEvent::JobCancelled { .. } => self.cancelled += 1,
             SimEvent::NodeFailed { .. } => self.node_failures += 1,
             SimEvent::NodeRecovered { .. } => self.node_recoveries += 1,
             SimEvent::JobPreemptedByFault { .. } => self.fault_evictions += 1,
@@ -1497,6 +1798,161 @@ impl EventSink for CountersSink {
 
     fn on_round_latency(&mut self, nanos: u64) {
         self.round_latency.record(nanos);
+    }
+}
+
+/// Tracks one job's coarse phase inside [`ProgressSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProgressPhase {
+    Queued,
+    Running,
+}
+
+/// A live progress line folded from the event stream.
+///
+/// Counts jobs running / queued / finished (plus cancellations) and the
+/// current simulation time, re-rendering one carriage-return-terminated
+/// line on every scheduling-round event — cheap enough to leave on for
+/// interactive runs. The output writer is injected (the CLI passes
+/// stderr; tests pass a `Vec<u8>`), keeping this crate free of direct
+/// terminal I/O. Call [`ProgressSink::finish`] after the run to terminate
+/// the line with a newline.
+pub struct ProgressSink<W: Write> {
+    out: W,
+    jobs: BTreeMap<u64, ProgressPhase>,
+    finished: u64,
+    cancelled: u64,
+    sim_time: f64,
+    last_len: usize,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> ProgressSink<W> {
+    /// Wraps a writer; every round event re-renders the progress line.
+    pub fn new(out: W) -> ProgressSink<W> {
+        ProgressSink {
+            out,
+            jobs: BTreeMap::new(),
+            finished: 0,
+            cancelled: 0,
+            sim_time: 0.0,
+            last_len: 0,
+            error: None,
+        }
+    }
+
+    /// Jobs currently holding resources.
+    pub fn running(&self) -> u64 {
+        self.jobs
+            .values()
+            .filter(|p| **p == ProgressPhase::Running)
+            .count() as u64
+    }
+
+    /// Jobs waiting in the queue.
+    pub fn queued(&self) -> u64 {
+        self.jobs
+            .values()
+            .filter(|p| **p == ProgressPhase::Queued)
+            .count() as u64
+    }
+
+    /// Jobs completed so far.
+    pub fn finished(&self) -> u64 {
+        self.finished
+    }
+
+    /// The rendered progress line (without the leading carriage return).
+    fn line(&self) -> String {
+        let mut line = format!(
+            "[sim t={:.0}s] running={} queued={} finished={}",
+            self.sim_time,
+            self.running(),
+            self.queued(),
+            self.finished,
+        );
+        if self.cancelled > 0 {
+            use fmt::Write as _;
+            let _ = write!(line, " cancelled={}", self.cancelled);
+        }
+        line
+    }
+
+    fn render(&mut self) {
+        if self.error.is_some() {
+            return;
+        }
+        let line = self.line();
+        // Pad with spaces so a shrinking line fully overwrites the prior
+        // one before the cursor returns.
+        let pad = self.last_len.saturating_sub(line.len());
+        self.last_len = line.len();
+        let mut buf = String::with_capacity(line.len() + pad + 1);
+        buf.push('\r');
+        buf.push_str(&line);
+        for _ in 0..pad {
+            buf.push(' ');
+        }
+        if let Err(e) = self
+            .out
+            .write_all(buf.as_bytes())
+            .and_then(|()| self.out.flush())
+        {
+            self.error = Some(e);
+        }
+    }
+
+    /// Terminates the progress line with a newline (call once, after the
+    /// run). Reports the first sticky write error, if any.
+    pub fn finish(&mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        if self.last_len > 0 {
+            self.out.write_all(b"\n")?;
+            self.out.flush()?;
+        }
+        Ok(())
+    }
+}
+
+impl<W: Write> EventSink for ProgressSink<W> {
+    fn on_event(&mut self, event: &SimEvent) {
+        self.sim_time = event.at();
+        match event {
+            SimEvent::JobSubmitted { job, .. } => {
+                self.jobs.insert(*job, ProgressPhase::Queued);
+            }
+            SimEvent::DecisionApplied { job, kind, .. } => {
+                let phase = match kind {
+                    DecisionKind::Launch => ProgressPhase::Running,
+                    DecisionKind::Preempt => ProgressPhase::Queued,
+                };
+                self.jobs.insert(*job, phase);
+            }
+            // A reconfiguration implies the job holds resources — this is
+            // also how fault-evicted jobs re-enter the running set (the
+            // relaunch emits `job_restarted` + `reconfigured`, not a
+            // launch decision).
+            SimEvent::Reconfigured { job, .. } => {
+                self.jobs.insert(*job, ProgressPhase::Running);
+            }
+            SimEvent::JobPreemptedByFault { job, .. } => {
+                self.jobs.insert(*job, ProgressPhase::Queued);
+            }
+            SimEvent::JobFinished { job, .. } => {
+                self.jobs.remove(job);
+                self.finished += 1;
+            }
+            SimEvent::JobCancelled { job, .. } => {
+                self.jobs.remove(job);
+                self.cancelled += 1;
+            }
+            SimEvent::RoundStarted { .. } | SimEvent::TickSkipped { .. } => {
+                self.render();
+            }
+            _ => {}
+        }
     }
 }
 
@@ -1925,6 +2381,184 @@ mod tests {
         );
         let bad = r#"{"type":"round_planned","at":600,"round":3,"dirty":2,"clean":40,"reused":30,"searched":"nope"}"#;
         assert!(SimEvent::from_jsonl(bad).is_err());
+    }
+
+    #[test]
+    fn job_cancelled_round_trips_and_counts() {
+        let ev = SimEvent::JobCancelled {
+            at: 42.5,
+            job: 7,
+            gpus: 8,
+            plan: "DP(8)".into(),
+        };
+        let line = ev.to_jsonl();
+        assert_eq!(SimEvent::from_jsonl(&line).unwrap(), ev, "line: {line}");
+        assert_eq!(
+            parse_jsonl_line(&line).unwrap(),
+            JsonlLine::Event(ev.clone())
+        );
+        assert_eq!(ev.kind(), "job_cancelled");
+        assert!(SimEvent::known_type("job_cancelled"));
+        assert!(!SimEvent::known_type("schema"));
+        let mut sink = CountersSink::default();
+        sink.on_event(&ev);
+        assert_eq!(sink.cancelled, 1);
+        assert_eq!(sink.total_events(), 1);
+        assert!(sink.summary().contains("cancelled=1"));
+        // Cancel-free folds keep the old summary shape.
+        let mut plain = CountersSink::default();
+        for e in sample_events() {
+            plain.on_event(&e);
+        }
+        assert!(!plain.summary().contains("cancelled"));
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rubick-obs-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn read_event_log_classifies_lines() {
+        let path = temp_path("classify.jsonl");
+        let mut text = String::new();
+        text.push_str(&schema_header_line());
+        text.push('\n');
+        for ev in sample_events() {
+            text.push_str(&ev.to_jsonl());
+            text.push('\n');
+        }
+        text.push_str("{\"type\":\"submit_op\",\"job\":9,\"at\":1.5}\n");
+        text.push('\n'); // blank lines are skipped
+        std::fs::write(&path, &text).unwrap();
+
+        let lines: Vec<LogLine> = read_event_log(&path)
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(lines.len(), sample_events().len() + 2);
+        assert_eq!(lines[0], LogLine::Schema(SCHEMA_VERSION));
+        for (i, ev) in sample_events().into_iter().enumerate() {
+            assert_eq!(lines[1 + i], LogLine::Event(ev));
+        }
+        match lines.last().unwrap() {
+            LogLine::Other(obj) => {
+                assert_eq!(obj.ty().unwrap(), "submit_op");
+                assert_eq!(obj.uint("job").unwrap(), 9);
+                assert_eq!(obj.num("at").unwrap(), 1.5);
+                assert!(obj.contains("at"));
+                assert!(!obj.contains("missing"));
+                assert_eq!(obj.uint_or(3, "missing").unwrap(), 3);
+                assert_eq!(obj.num_or(2.5, "missing").unwrap(), 2.5);
+                assert_eq!(obj.opt_str("missing").unwrap(), None);
+            }
+            other => panic!("expected Other, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tolerant_read_forgives_only_a_torn_tail() {
+        let path = temp_path("torn.jsonl");
+        let ev = SimEvent::TickSkipped { at: 1.0, round: 1 };
+        // A log whose final line was cut mid-write.
+        let mut text = String::new();
+        text.push_str(&schema_header_line());
+        text.push('\n');
+        text.push_str(&ev.to_jsonl());
+        text.push('\n');
+        text.push_str("{\"type\":\"tick_skip"); // torn
+        std::fs::write(&path, &text).unwrap();
+        let log = read_event_log_tolerant(&path).unwrap().unwrap();
+        assert!(log.torn_tail);
+        assert_eq!(
+            log.lines,
+            vec![LogLine::Schema(SCHEMA_VERSION), LogLine::Event(ev.clone())]
+        );
+        // A malformed line *before* the end is a real error.
+        let mut bad = String::new();
+        bad.push_str("{\"type\":\"tick_skip\n");
+        bad.push_str(&ev.to_jsonl());
+        bad.push('\n');
+        std::fs::write(&path, &bad).unwrap();
+        let err = read_event_log_tolerant(&path).unwrap().unwrap_err();
+        assert_eq!(err.line, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn progress_sink_tracks_phases_and_renders() {
+        let mut sink = ProgressSink::new(Vec::new());
+        sink.on_event(&SimEvent::JobSubmitted {
+            at: 0.0,
+            job: 1,
+            tenant: String::new(),
+            class: "guaranteed".into(),
+            model: "gpt2".into(),
+            gpus: 4,
+            cpus: 16,
+            mem_gb: 100.0,
+            plan: "DP(4)".into(),
+        });
+        assert_eq!((sink.running(), sink.queued()), (0, 1));
+        sink.on_event(&SimEvent::RoundStarted {
+            at: 0.0,
+            round: 1,
+            active_jobs: 1,
+        });
+        sink.on_event(&SimEvent::DecisionApplied {
+            at: 0.0,
+            job: 1,
+            kind: DecisionKind::Launch,
+            gpus: 4,
+            plan: "DP(4)".into(),
+            throughput: 10.0,
+        });
+        assert_eq!((sink.running(), sink.queued()), (1, 0));
+        sink.on_event(&SimEvent::JobPreemptedByFault {
+            at: 5.0,
+            job: 1,
+            node: 0,
+            gpus: 4,
+            plan: "DP(4)".into(),
+        });
+        assert_eq!((sink.running(), sink.queued()), (0, 1));
+        sink.on_event(&SimEvent::Reconfigured {
+            at: 6.0,
+            job: 1,
+            gpus: 2,
+            plan: "DP(2)".into(),
+            delay: 15.0,
+        });
+        assert_eq!((sink.running(), sink.queued()), (1, 0));
+        sink.on_event(&SimEvent::JobFinished {
+            at: 100.0,
+            job: 1,
+            tenant: String::new(),
+            class: "guaranteed".into(),
+            model: "gpt2".into(),
+            submit_time: 0.0,
+            first_start: Some(0.0),
+            reconfig_count: 1,
+            reconfig_time: 15.0,
+            reconfig_gpu_seconds: 30.0,
+            gpu_seconds: 350.0,
+            runtime: 100.0,
+            target_batches: 100,
+            baseline_throughput: Some(10.0),
+            avg_throughput: 9.0,
+        });
+        sink.on_event(&SimEvent::TickSkipped {
+            at: 100.0,
+            round: 2,
+        });
+        assert_eq!(sink.finished(), 1);
+        sink.finish().unwrap();
+        let text = String::from_utf8(sink.out).unwrap();
+        assert!(text.contains("\r[sim t=0s] running=0 queued=1 finished=0"));
+        assert!(text.contains("\r[sim t=100s] running=0 queued=0 finished=1"));
+        assert!(text.ends_with('\n'));
     }
 
     #[test]

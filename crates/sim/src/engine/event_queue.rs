@@ -16,6 +16,10 @@ pub(crate) enum EventKind {
     Finish(JobId, u64),
     /// Periodic scheduling-round heartbeat.
     Tick,
+    /// The job's owner withdraws it (serve sessions). Cancelling a job
+    /// whose `Submit` has not fired yet quietly drops the submission;
+    /// unknown or already-finished ids are a no-op.
+    Cancel(JobId),
     /// Fault injection: the node fails; running jobs on it are evicted.
     NodeDown(usize),
     /// Fault injection: the node recovers, fully free.
@@ -89,5 +93,12 @@ impl EventQueue {
 
     pub(crate) fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// The time of the earliest queued event without consuming it — how
+    /// the stepped engine decides whether the next batch falls inside the
+    /// caller's bound.
+    pub(crate) fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|r| r.0.time)
     }
 }

@@ -113,6 +113,44 @@ pub struct Engine<'a> {
     delta_changed: BTreeSet<JobId>,
     /// Jobs that finished (left the snapshot set) since the last round.
     delta_removed: BTreeSet<JobId>,
+    /// Specs accepted by [`Engine::submit`] whose `Submit` event has not
+    /// fired yet; drained as the clock reaches each submit time.
+    pending: BTreeMap<JobId, JobSpec>,
+    /// Consecutive deadlock-guard trips (active jobs, empty queue).
+    stall_rounds: u32,
+    /// Whether the fault timeline has been pushed into the queue.
+    chaos_armed: bool,
+}
+
+/// What one [`Engine::step`] call did.
+///
+/// The stepped core makes the caller the owner of time: each call
+/// processes at most one same-instant event batch, and the outcome tells
+/// the driver whether to keep stepping (`Advanced`), wait for more input
+/// (`Idle` / `Waiting`), or stop (`HorizonReached` / `Stalled`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepOutcome {
+    /// One same-instant event batch was processed; the clock now reads
+    /// `now`.
+    Advanced {
+        /// The simulation time after the batch.
+        now: f64,
+    },
+    /// The earliest queued event lies beyond the caller's bound; nothing
+    /// was consumed. `next` is when that event is due.
+    Waiting {
+        /// Simulation time of the earliest queued event.
+        next: f64,
+    },
+    /// The queue is empty: nothing will happen until the caller injects
+    /// more work ([`Engine::submit`] / [`Engine::cancel`]).
+    Idle,
+    /// The earliest queued event lies beyond `max_time`; the run is over.
+    HorizonReached,
+    /// The deadlock guard tripped: jobs remain active but repeated
+    /// heartbeat rounds could not place any of them. Driving further is
+    /// pointless.
+    Stalled,
 }
 
 impl<'a> Engine<'a> {
@@ -142,6 +180,9 @@ impl<'a> Engine<'a> {
             chaos: None,
             delta_changed: BTreeSet::new(),
             delta_removed: BTreeSet::new(),
+            pending: BTreeMap::new(),
+            stall_rounds: 0,
+            chaos_armed: false,
         }
     }
 
@@ -347,6 +388,273 @@ impl<'a> Engine<'a> {
             .count()
     }
 
+    /// The current simulation time, seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// The policy driving this engine, by name.
+    pub fn scheduler_name(&self) -> &str {
+        self.scheduler.name()
+    }
+
+    /// The simulation time of the earliest queued event, if any.
+    pub fn next_event_time(&self) -> Option<f64> {
+        self.queue.peek_time()
+    }
+
+    /// Jobs currently holding resources.
+    pub fn running_jobs(&self) -> usize {
+        self.jobs
+            .values()
+            .filter(|rt| rt.status.is_running())
+            .count()
+    }
+
+    /// Jobs waiting in the queue (submitted, not running, not finished),
+    /// not counting submissions whose `Submit` event has not fired yet.
+    pub fn queued_jobs(&self) -> usize {
+        self.jobs
+            .values()
+            .filter(|rt| rt.status.is_queued())
+            .count()
+    }
+
+    /// Jobs that left the active set (completed or cancelled).
+    pub fn finished_jobs(&self) -> usize {
+        self.jobs.len() - self.active_jobs()
+    }
+
+    /// Whether the engine has ever accepted `id` — pending submission,
+    /// active, or already finished. Serve sessions use this to reject
+    /// duplicate job ids at the protocol boundary.
+    pub fn has_job(&self, id: JobId) -> bool {
+        self.pending.contains_key(&id) || self.jobs.contains_key(&id)
+    }
+
+    /// Accepts a job: its `Submit` event enters the queue at
+    /// `spec.submit_time`, clamped to the current clock so a submission
+    /// arriving "in the past" of a live session fires on the next step
+    /// instead of rewinding time.
+    pub fn submit(&mut self, spec: JobSpec) {
+        let at = spec.submit_time.max(self.now);
+        self.queue.push(at, EventKind::Submit(spec.id));
+        self.pending.insert(spec.id, spec);
+    }
+
+    /// Requests cancellation of `job` at simulation time `at` (clamped to
+    /// the current clock). Cancelling an unknown or already-finished job
+    /// is a silent no-op; cancelling before the job's `Submit` fired drops
+    /// the submission without a trace in the event stream.
+    pub fn cancel(&mut self, at: f64, job: JobId) {
+        self.queue.push(at.max(self.now), EventKind::Cancel(job));
+    }
+
+    /// Pushes the armed fault timeline into the event queue, once. Called
+    /// lazily on the first [`Engine::step`] so live sessions see faults
+    /// too, and explicitly by [`Engine::run_with_sink`] so batch runs
+    /// order chaos events after all submits exactly as before.
+    fn arm_chaos(&mut self) {
+        if self.chaos_armed {
+            return;
+        }
+        self.chaos_armed = true;
+        if let Some(plan) = &self.chaos {
+            for fault in plan.timeline() {
+                let kind = match fault.kind {
+                    FaultKind::Down => EventKind::NodeDown(fault.node),
+                    FaultKind::Up => EventKind::NodeUp(fault.node),
+                };
+                self.queue.push(fault.at, kind);
+            }
+        }
+    }
+
+    /// Processes the next same-instant event batch, if one is due.
+    ///
+    /// This is the resumable core the batch drivers ([`Engine::run`],
+    /// [`Engine::run_with_sink`]) and live serve sessions are built on:
+    /// the caller owns time advancement. With `bound = None` the engine
+    /// consumes the earliest batch unconditionally; with `Some(t)` it
+    /// refuses to advance past `t`, returning [`StepOutcome::Waiting`] —
+    /// which lets a wall-clock driver interleave [`Engine::submit`] /
+    /// [`Engine::cancel`] calls between steps deterministically.
+    ///
+    /// Every event processed is emitted to `sink` (and folded into the
+    /// engine's own report), exactly as during a batch run.
+    pub fn step(&mut self, bound: Option<f64>, sink: &mut dyn EventSink) -> StepOutcome {
+        self.arm_chaos();
+        let Some(head_time) = self.queue.peek_time() else {
+            return StepOutcome::Idle;
+        };
+        if head_time > self.config.max_time {
+            return StepOutcome::HorizonReached;
+        }
+        if let Some(bound) = bound {
+            if head_time > bound {
+                return StepOutcome::Waiting { next: head_time };
+            }
+        }
+        let head = self.queue.pop().expect("peeked event exists");
+        self.advance(head.time);
+        self.now = head.time;
+        let mut need_round = false;
+        let mut batch = vec![head];
+        while let Some(next) = self.queue.pop_at_or_before(self.now) {
+            batch.push(next);
+        }
+        for ev in batch {
+            match ev.kind {
+                EventKind::Submit(id) => {
+                    // A cancel that raced ahead of the submit removes the
+                    // pending spec; the submission then never happened.
+                    let Some(spec) = self.pending.remove(&id) else {
+                        continue;
+                    };
+                    let baseline = self.baseline_throughput(&spec);
+                    let submitted = report::submitted_event(&spec, self.now);
+                    self.jobs.insert(
+                        id,
+                        JobRuntime::submitted(Arc::new(spec), self.now, baseline),
+                    );
+                    self.mark_changed(id);
+                    self.emit(sink, submitted);
+                    need_round = true;
+                }
+                EventKind::Finish(id, epoch) => {
+                    let rt = self.jobs.get(&id).expect("job exists");
+                    if rt.status.is_finished() || rt.epoch != epoch {
+                        continue; // stale
+                    }
+                    if rt.remaining <= 1e-6 {
+                        let record = self.finalize(id);
+                        self.mark_removed(id);
+                        self.emit(sink, report::finished_event(&record));
+                        need_round = true;
+                    } else {
+                        // Float drift: re-arm the finish event.
+                        let (batch_size, remaining) = (rt.spec.global_batch as f64, rt.remaining);
+                        if let JobStatus::Running { throughput, .. } = rt.status {
+                            let t = self.now + remaining * batch_size / throughput;
+                            self.queue.push(t, EventKind::Finish(id, epoch));
+                        }
+                    }
+                }
+                EventKind::Tick => {
+                    self.tick_pending = false;
+                    need_round = true;
+                }
+                EventKind::Cancel(id) => {
+                    if self.pending.remove(&id).is_some() {
+                        // Withdrawn before submission: nothing was ever
+                        // emitted for this job, so nothing is emitted now.
+                        continue;
+                    }
+                    let Some(rt) = self.jobs.get_mut(&id) else {
+                        continue; // unknown id: no-op
+                    };
+                    if rt.status.is_finished() {
+                        continue; // raced with completion: no-op
+                    }
+                    let (gpus, plan, alloc) = match &rt.status {
+                        JobStatus::Running {
+                            allocation, plan, ..
+                        } => (allocation.gpus(), plan.label(), Some(allocation.clone())),
+                        _ => (0, String::new(), None),
+                    };
+                    // Reuse the Finished status so stale Finish events,
+                    // snapshots and the active-job count all exclude the
+                    // job; the fold distinguishes a cancellation by the
+                    // JobCancelled event (no JobFinished is emitted, so
+                    // the job appears in neither `jobs` nor `unfinished`).
+                    rt.status = JobStatus::Finished { at: self.now };
+                    rt.epoch += 1;
+                    if let Some(alloc) = alloc {
+                        self.cluster.release(&alloc);
+                    }
+                    self.mark_removed(id);
+                    self.emit(
+                        sink,
+                        SimEvent::JobCancelled {
+                            at: self.now,
+                            job: id,
+                            gpus,
+                            plan,
+                        },
+                    );
+                    need_round = true;
+                }
+                EventKind::NodeDown(node) => {
+                    if self.cluster.node_is_up(node) {
+                        self.cluster.set_node_up(node, false);
+                        self.emit(
+                            sink,
+                            SimEvent::NodeFailed {
+                                at: self.now,
+                                node: node as u64,
+                            },
+                        );
+                        self.evict_jobs_on(node, sink);
+                        self.scheduler
+                            .notify(&crate::scheduler::ClusterDelta::NodeDown(node));
+                        need_round = true;
+                    }
+                }
+                EventKind::NodeUp(node) => {
+                    if !self.cluster.node_is_up(node) {
+                        self.cluster.set_node_up(node, true);
+                        self.emit(
+                            sink,
+                            SimEvent::NodeRecovered {
+                                at: self.now,
+                                node: node as u64,
+                            },
+                        );
+                        self.scheduler
+                            .notify(&crate::scheduler::ClusterDelta::NodeUp(node));
+                        need_round = true;
+                    }
+                }
+            }
+        }
+        if need_round {
+            self.round(sink);
+        }
+        // Keep a heartbeat while jobs are active.
+        if self.active_jobs() > 0 {
+            if let Some(interval) = self.config.round_interval {
+                if !self.tick_pending {
+                    self.tick_pending = true;
+                    self.queue.push(self.now + interval, EventKind::Tick);
+                }
+            }
+            // Deadlock guard: no future events but active jobs remain.
+            if self.queue.is_empty() {
+                self.stall_rounds += 1;
+                if self.stall_rounds > 3 {
+                    return StepOutcome::Stalled;
+                }
+                self.queue.push(self.now + 3600.0, EventKind::Tick);
+                self.tick_pending = true;
+            } else {
+                self.stall_rounds = 0;
+            }
+        }
+        StepOutcome::Advanced { now: self.now }
+    }
+
+    /// Finishes the fold into the run's [`SimReport`].
+    ///
+    /// The report is the fold of the event stream; the only fact the
+    /// stream cannot carry is jobs whose Submit event never fired
+    /// (simulation hit `max_time` first) — those are supplemented into
+    /// [`SimReport::unfinished`] here.
+    pub fn finish_report(&mut self) -> SimReport {
+        let mut report = self.fold.take_report(self.scheduler.name());
+        report.unfinished.extend(self.pending.keys().copied());
+        report
+    }
+
     /// Runs the whole workload to completion and reports the outcome.
     ///
     /// Jobs that cannot make progress by `max_time` (or for which the
@@ -358,142 +666,20 @@ impl<'a> Engine<'a> {
 
     /// Like [`Engine::run`], forwarding every simulation event to `sink`.
     ///
-    /// The sink observes the exact stream the engine folds into the
-    /// returned [`SimReport`], in emission order — folding the forwarded
-    /// events through [`ReportSink`] reproduces the report. The caller owns
-    /// the sink and is responsible for calling [`EventSink::flush`] after
-    /// the run.
+    /// A thin driver over the stepped core: every spec is submitted up
+    /// front, then [`Engine::step`] runs unbounded until the queue drains
+    /// (or the horizon / deadlock guard ends the run). The sink observes
+    /// the exact stream the engine folds into the returned [`SimReport`],
+    /// in emission order — folding the forwarded events through
+    /// [`ReportSink`] reproduces the report. The caller owns the sink and
+    /// is responsible for calling [`EventSink::flush`] after the run.
     pub fn run_with_sink(&mut self, specs: Vec<JobSpec>, sink: &mut dyn EventSink) -> SimReport {
-        let mut pending: BTreeMap<JobId, JobSpec> = BTreeMap::new();
         for spec in specs {
-            self.queue
-                .push(spec.submit_time, EventKind::Submit(spec.id));
-            pending.insert(spec.id, spec);
+            self.submit(spec);
         }
-        if let Some(plan) = &self.chaos {
-            for fault in plan.timeline() {
-                let kind = match fault.kind {
-                    FaultKind::Down => EventKind::NodeDown(fault.node),
-                    FaultKind::Up => EventKind::NodeUp(fault.node),
-                };
-                self.queue.push(fault.at, kind);
-            }
-        }
-        let mut stall_rounds = 0u32;
-
-        while let Some(head) = self.queue.pop() {
-            if head.time > self.config.max_time {
-                break;
-            }
-            self.advance(head.time);
-            self.now = head.time;
-            let mut need_round = false;
-            let mut batch = vec![head];
-            while let Some(next) = self.queue.pop_at_or_before(self.now) {
-                batch.push(next);
-            }
-            for ev in batch {
-                match ev.kind {
-                    EventKind::Submit(id) => {
-                        let spec = pending.remove(&id).expect("submitted job exists");
-                        let baseline = self.baseline_throughput(&spec);
-                        let submitted = report::submitted_event(&spec, self.now);
-                        self.jobs.insert(
-                            id,
-                            JobRuntime::submitted(Arc::new(spec), self.now, baseline),
-                        );
-                        self.mark_changed(id);
-                        self.emit(sink, submitted);
-                        need_round = true;
-                    }
-                    EventKind::Finish(id, epoch) => {
-                        let rt = self.jobs.get(&id).expect("job exists");
-                        if rt.status.is_finished() || rt.epoch != epoch {
-                            continue; // stale
-                        }
-                        if rt.remaining <= 1e-6 {
-                            let record = self.finalize(id);
-                            self.mark_removed(id);
-                            self.emit(sink, report::finished_event(&record));
-                            need_round = true;
-                        } else {
-                            // Float drift: re-arm the finish event.
-                            let (batch_size, remaining) =
-                                (rt.spec.global_batch as f64, rt.remaining);
-                            if let JobStatus::Running { throughput, .. } = rt.status {
-                                let t = self.now + remaining * batch_size / throughput;
-                                self.queue.push(t, EventKind::Finish(id, epoch));
-                            }
-                        }
-                    }
-                    EventKind::Tick => {
-                        self.tick_pending = false;
-                        need_round = true;
-                    }
-                    EventKind::NodeDown(node) => {
-                        if self.cluster.node_is_up(node) {
-                            self.cluster.set_node_up(node, false);
-                            self.emit(
-                                sink,
-                                SimEvent::NodeFailed {
-                                    at: self.now,
-                                    node: node as u64,
-                                },
-                            );
-                            self.evict_jobs_on(node, sink);
-                            self.scheduler
-                                .notify(&crate::scheduler::ClusterDelta::NodeDown(node));
-                            need_round = true;
-                        }
-                    }
-                    EventKind::NodeUp(node) => {
-                        if !self.cluster.node_is_up(node) {
-                            self.cluster.set_node_up(node, true);
-                            self.emit(
-                                sink,
-                                SimEvent::NodeRecovered {
-                                    at: self.now,
-                                    node: node as u64,
-                                },
-                            );
-                            self.scheduler
-                                .notify(&crate::scheduler::ClusterDelta::NodeUp(node));
-                            need_round = true;
-                        }
-                    }
-                }
-            }
-            if need_round {
-                self.round(sink);
-            }
-            // Keep a heartbeat while jobs are active.
-            if self.active_jobs() > 0 {
-                if let Some(interval) = self.config.round_interval {
-                    if !self.tick_pending {
-                        self.tick_pending = true;
-                        self.queue.push(self.now + interval, EventKind::Tick);
-                    }
-                }
-                // Deadlock guard: no future events but active jobs remain.
-                if self.queue.is_empty() {
-                    stall_rounds += 1;
-                    if stall_rounds > 3 {
-                        break;
-                    }
-                    self.queue.push(self.now + 3600.0, EventKind::Tick);
-                    self.tick_pending = true;
-                } else {
-                    stall_rounds = 0;
-                }
-            }
-        }
-
-        // The report is the fold of the event stream; the only fact the
-        // stream cannot carry is jobs whose Submit event never fired
-        // (simulation hit `max_time` first) — supplement those here.
-        let mut report = self.fold.take_report(self.scheduler.name());
-        report.unfinished.extend(pending.keys().copied());
-        report
+        self.arm_chaos();
+        while let StepOutcome::Advanced { .. } = self.step(None, sink) {}
+        self.finish_report()
     }
 }
 
@@ -661,6 +847,167 @@ mod tests {
     fn sla_met_for_exact_allocation() {
         let report = run_jobs(vec![job(1, 0.0, 500)]);
         assert_eq!(report.sla_attainment(), 1.0);
+    }
+
+    fn engine(oracle: &TestbedOracle) -> Engine<'_> {
+        Engine::new(
+            oracle,
+            Box::new(Fifo),
+            Cluster::new(2, rubick_model::NodeShape::a800()),
+            vec![],
+            EngineConfig::default(),
+        )
+    }
+
+    #[test]
+    fn stepped_drive_reproduces_batch_run() {
+        let oracle = TestbedOracle::new(1);
+        let specs = vec![job(1, 0.0, 300), job(2, 50.0, 300), job(3, 5000.0, 200)];
+
+        let mut batch_sink = rubick_obs::VecSink::default();
+        let batch_report = engine(&oracle).run_with_sink(specs.clone(), &mut batch_sink);
+
+        // Caller-owned loop: submit everything, then step with a finite
+        // bound, advancing the bound to the next event when told to wait —
+        // the stream and report must be identical to the batch driver's.
+        let mut stepped = engine(&oracle);
+        let mut step_sink = rubick_obs::VecSink::default();
+        for spec in specs {
+            stepped.submit(spec);
+        }
+        let mut bound = 0.0;
+        let report = loop {
+            match stepped.step(Some(bound), &mut step_sink) {
+                StepOutcome::Advanced { now } => assert!(now <= bound + 1e-9),
+                StepOutcome::Waiting { next } => {
+                    assert!(next > bound);
+                    bound = next;
+                }
+                StepOutcome::Idle | StepOutcome::HorizonReached | StepOutcome::Stalled => {
+                    break stepped.finish_report();
+                }
+            }
+        };
+        assert_eq!(step_sink.events, batch_sink.events);
+        assert_eq!(report, batch_report);
+    }
+
+    #[test]
+    fn step_outcomes_report_engine_state() {
+        let oracle = TestbedOracle::new(1);
+        let mut e = engine(&oracle);
+        let mut sink = NullSink;
+        // Nothing queued: idle.
+        assert_eq!(e.step(None, &mut sink), StepOutcome::Idle);
+        e.submit(job(1, 100.0, 300));
+        assert_eq!(e.next_event_time(), Some(100.0));
+        // Bounded below the first event: waiting, nothing consumed.
+        assert_eq!(
+            e.step(Some(50.0), &mut sink),
+            StepOutcome::Waiting { next: 100.0 }
+        );
+        assert_eq!(e.now(), 0.0);
+        // Unbounded: the submit batch processes and launches the job.
+        assert_eq!(
+            e.step(None, &mut sink),
+            StepOutcome::Advanced { now: 100.0 }
+        );
+        assert_eq!(e.running_jobs(), 1);
+        assert_eq!(e.queued_jobs(), 0);
+        // An event beyond max_time ends the run.
+        let horizon = e.config.max_time + 1.0;
+        e.cancel(horizon, 1);
+        while e.next_event_time().unwrap() <= e.config.max_time {
+            assert!(matches!(
+                e.step(None, &mut sink),
+                StepOutcome::Advanced { .. }
+            ));
+        }
+        assert_eq!(e.step(None, &mut sink), StepOutcome::HorizonReached);
+    }
+
+    #[test]
+    fn cancel_running_job_releases_resources() {
+        let oracle = TestbedOracle::new(1);
+        let mut e = engine(&oracle);
+        let mut sink = rubick_obs::VecSink::default();
+        // Fill both nodes: jobs 1..4 run, job 5 queues.
+        for i in 1..=5 {
+            e.submit(job(i, 0.0, 5000));
+        }
+        assert!(matches!(
+            e.step(None, &mut sink),
+            StepOutcome::Advanced { .. }
+        ));
+        assert_eq!(e.running_jobs(), 4);
+        assert_eq!(e.queued_jobs(), 1);
+        // Cancel a running job: its GPUs free up and the queued job starts.
+        e.cancel(e.now() + 1.0, 1);
+        assert!(matches!(
+            e.step(None, &mut sink),
+            StepOutcome::Advanced { .. }
+        ));
+        assert_eq!(e.running_jobs(), 4);
+        assert_eq!(e.queued_jobs(), 0);
+        let cancelled = sink
+            .events
+            .iter()
+            .find(|ev| matches!(ev, SimEvent::JobCancelled { job: 1, .. }))
+            .expect("cancel event emitted");
+        match cancelled {
+            SimEvent::JobCancelled { gpus, plan, .. } => {
+                assert_eq!(*gpus, 4);
+                assert!(!plan.is_empty());
+            }
+            _ => unreachable!(),
+        }
+        // Drive to completion: the cancelled job is in neither the records
+        // nor the unfinished list, but the audit trail remembers it.
+        while matches!(e.step(None, &mut sink), StepOutcome::Advanced { .. }) {}
+        let report = e.finish_report();
+        assert!(report.jobs.iter().all(|r| r.id != 1));
+        assert_eq!(report.jobs.len(), 4);
+        assert!(report.unfinished.is_empty());
+        assert!(report
+            .decisions
+            .iter()
+            .any(|d| matches!(d, crate::metrics::Decision::Cancel { job: 1, .. })));
+    }
+
+    #[test]
+    fn cancel_before_submit_drops_silently() {
+        let oracle = TestbedOracle::new(1);
+        let mut e = engine(&oracle);
+        let mut sink = rubick_obs::VecSink::default();
+        e.submit(job(1, 0.0, 300));
+        e.submit(job(2, 500.0, 300));
+        e.cancel(100.0, 2); // before job 2's submit fires
+        e.cancel(100.0, 99); // unknown id: no-op
+        while matches!(e.step(None, &mut sink), StepOutcome::Advanced { .. }) {}
+        let report = e.finish_report();
+        // Job 2 never existed as far as the stream is concerned.
+        assert!(sink.events.iter().all(|ev| !matches!(
+            ev,
+            SimEvent::JobSubmitted { job: 2, .. } | SimEvent::JobCancelled { .. }
+        )));
+        assert_eq!(report.jobs.len(), 1);
+        assert!(report.unfinished.is_empty());
+    }
+
+    #[test]
+    fn cancel_after_finish_is_a_noop() {
+        let oracle = TestbedOracle::new(1);
+        let mut e = engine(&oracle);
+        let mut sink = rubick_obs::VecSink::default();
+        e.submit(job(1, 0.0, 100));
+        while matches!(e.step(None, &mut sink), StepOutcome::Advanced { .. }) {}
+        let finished_events = sink.events.len();
+        e.cancel(e.now() + 1.0, 1);
+        while matches!(e.step(None, &mut sink), StepOutcome::Advanced { .. }) {}
+        // The late cancel emits nothing (stream unchanged bar no events).
+        assert!(sink.events[finished_events..]
+            .iter()
+            .all(|ev| !matches!(ev, SimEvent::JobCancelled { .. })));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! [`sweep`] executes those lists across worker threads with
 //! byte-deterministic output. See `DESIGN.md` §12.
 
+pub mod baseline;
 pub mod grid;
 pub mod sweep;
 

@@ -26,6 +26,9 @@
 //! * [`harness`] — the shared scenario harness: declarative experiment
 //!   specs ([`ScenarioSpec`]), sweep grids, and the deterministic
 //!   parallel cell executor behind `rubick sweep`.
+//! * [`serve`] — live scheduling sessions over the stepped engine core:
+//!   the NDJSON op protocol, the write-ahead session journal, and
+//!   crash recovery by deterministic replay (`rubick serve`).
 
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
@@ -38,10 +41,12 @@ pub mod job;
 pub mod metrics;
 pub mod report;
 pub mod scheduler;
+pub mod serve;
 pub mod tenant;
 
 pub use cluster::{Allocation, Cluster, Node};
-pub use engine::{Engine, EngineConfig};
+pub use engine::{Engine, EngineConfig, StepOutcome};
+pub use harness::baseline::{diff_outcomes, parse_baseline, Baseline, BaselineDiff};
 pub use harness::{
     run_scenario, run_scenario_with, CellTiming, ChaosKnobs, ScenarioBackend, ScenarioOutcome,
     ScenarioSpec, TraceKind,
@@ -50,4 +55,8 @@ pub use job::{JobClass, JobId, JobSpec, JobStatus};
 pub use metrics::{JobRecord, SimReport};
 pub use report::ReportSink;
 pub use scheduler::{Assignment, JobDelta, JobSnapshot, Scheduler};
+pub use serve::{
+    recover, Recovery, RecoveryStats, ServeMeta, ServeOp, ServeReply, ServeSession, SessionState,
+    SubmitOp,
+};
 pub use tenant::{Tenant, TenantId};

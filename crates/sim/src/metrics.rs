@@ -65,6 +65,14 @@ pub enum Decision {
         /// The job.
         job: JobId,
     },
+    /// A job was withdrawn by its owner (serve sessions only; batch
+    /// simulations never record it).
+    Cancel {
+        /// Simulation time, s.
+        at: f64,
+        /// The job.
+        job: JobId,
+    },
 }
 
 impl Decision {
@@ -75,7 +83,8 @@ impl Decision {
             | Decision::Reconfigure { at, .. }
             | Decision::Preempt { at, .. }
             | Decision::Reject { at, .. }
-            | Decision::Finish { at, .. } => *at,
+            | Decision::Finish { at, .. }
+            | Decision::Cancel { at, .. } => *at,
         }
     }
 
@@ -86,7 +95,8 @@ impl Decision {
             | Decision::Reconfigure { job, .. }
             | Decision::Preempt { job, .. }
             | Decision::Reject { job, .. }
-            | Decision::Finish { job, .. } => *job,
+            | Decision::Finish { job, .. }
+            | Decision::Cancel { job, .. } => *job,
         }
     }
 }

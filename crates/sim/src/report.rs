@@ -206,6 +206,14 @@ impl EventSink for ReportSink {
                 self.makespan = self.makespan.max(*at);
                 self.decisions.push(Decision::Finish { at: *at, job: *job });
             }
+            // A cancelled job leaves the run without a completion record:
+            // it is neither finished (no JobRecord, no makespan update)
+            // nor unfinished (its owner withdrew it on purpose). Only the
+            // audit trail remembers it.
+            SimEvent::JobCancelled { at, job, .. } => {
+                self.unfinished.remove(job);
+                self.decisions.push(Decision::Cancel { at: *at, job: *job });
+            }
             // Fault events (schema v2) carry degraded-mode context, not
             // per-job accounting: jobs evicted by a fault fold through the
             // reconfiguration counters of their JobFinished record, and the
