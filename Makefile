@@ -8,19 +8,23 @@
 #   make serve-smoke   pipe the committed serve session script through
 #                      `rubick serve` and fail unless the reply stream is
 #                      byte-identical to the committed expectation
+#   make refit-smoke   run a --refit simulation sequentially and with 4
+#                      workers and fail unless the CSVs are byte-identical,
+#                      then check that dropping --refit changes nothing
+#                      about a frozen-model run
 #   make bench         scheduling-round latency benchmarks (BENCH_*.json)
-#   make bench-check   replay policy/incremental_round and fail on a >20%
-#                      regression of the fastest sample vs the committed
-#                      BENCH_scheduling.json
+#   make bench-check   replay policy/incremental_round and model/refit_update
+#                      and fail on a >20% regression of the fastest sample
+#                      vs the committed BENCH_*.json summaries
 #   make build         release build of the whole workspace
 #
 # `BENCH=1 make verify` additionally runs the bench-check perf gate
 # (opt-in: bench timings are machine-dependent, so the default CI gate
 # stays deterministic).
 
-.PHONY: verify fmt lint test build bench bench-check bench-smoke sweep-smoke serve-smoke
+.PHONY: verify fmt lint test build bench bench-check bench-smoke sweep-smoke serve-smoke refit-smoke
 
-verify: fmt lint test sweep-smoke serve-smoke bench-smoke
+verify: fmt lint test sweep-smoke serve-smoke refit-smoke bench-smoke
 
 ifeq ($(BENCH),1)
 verify: bench-check
@@ -82,6 +86,29 @@ serve-smoke:
 	grep -q '"type":"recovered"' target/serve-smoke/recovered.jsonl
 	@echo "serve-smoke: reply stream matches golden; log recovery round-trips"
 
+# End-to-end refit gate: the same --refit run must be byte-identical
+# sequentially and with 4 workers (the hook observes on the engine's
+# single apply path, after the parallel search), and a frozen-model run
+# must not care whether the refit plumbing is compiled in — its CSV is
+# byte-identical with and without an explicit frozen threshold of the
+# sweep dimension. Scratch output lives under target/.
+refit-smoke:
+	cargo build --release -p rubick-cli
+	mkdir -p target/refit-smoke
+	target/release/rubick run --scheduler rubick --jobs 40 --seed 7 \
+		--refit --csv --log-level error > target/refit-smoke/seq.csv
+	target/release/rubick run --scheduler rubick --jobs 40 --seed 7 \
+		--refit --csv --log-level error --parallelism 4 \
+		> target/refit-smoke/par.csv
+	cmp target/refit-smoke/seq.csv target/refit-smoke/par.csv
+	target/release/rubick run --scheduler rubick --jobs 40 --seed 7 \
+		--csv --log-level error > target/refit-smoke/frozen.csv
+	target/release/rubick run --scheduler rubick --jobs 40 --seed 7 \
+		--refit --refit-threshold 1000000 --csv --log-level error \
+		> target/refit-smoke/frozen-hook.csv
+	cmp target/refit-smoke/frozen.csv target/refit-smoke/frozen-hook.csv
+	@echo "refit-smoke: byte-identical at 1 and 4 workers; inert hook changes nothing"
+
 bench:
 	cargo bench -p rubick-bench --bench scheduling
 	cargo bench -p rubick-bench --bench modeling
@@ -110,5 +137,9 @@ bench-check:
 	BENCH_SAMPLE_SIZE=20 BENCH_FILTER=incremental_round \
 		BENCH_OUT_DIR=$(CURDIR)/target/bench-check \
 		cargo bench -p rubick-bench --bench scheduling
+	BENCH_SAMPLE_SIZE=20 BENCH_FILTER=refit_update \
+		BENCH_OUT_DIR=$(CURDIR)/target/bench-check \
+		cargo bench -p rubick-bench --bench modeling
 	BENCH_CHECK=1 BENCH_CHECK_FRESH=$(CURDIR)/target/bench-check/BENCH_scheduling.json \
+		BENCH_CHECK_FRESH_MODELING=$(CURDIR)/target/bench-check/BENCH_modeling.json \
 		cargo test -p rubick-bench --test bench_check -- --nocapture

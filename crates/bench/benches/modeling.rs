@@ -6,7 +6,7 @@
 //! then cached for reuse" (§5.2).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rubick_model::fit::{fit_perf_params, DataPoint, FitOptions};
+use rubick_model::fit::{fit_perf_params, refit_params, DataPoint, FitOptions};
 use rubick_model::prelude::*;
 use rubick_model::reference;
 use std::hint::black_box;
@@ -156,6 +156,43 @@ fn bench_fit(c: &mut Criterion) {
     group.finish();
 }
 
+/// The online-refit hot path: a damped Gauss–Newton update seeded from
+/// stale parameters over a 7-point observation window — what
+/// `RegistryRefitter` pays per material-drift detection at simulation
+/// time (`--refit`). Must stay orders of magnitude cheaper than the
+/// from-scratch Nelder–Mead fit above.
+fn bench_refit_update(c: &mut Criterion) {
+    let spec = ModelSpec::roberta_large();
+    let env = ClusterEnv::a800();
+    let truth = PerfParams::default();
+    let shape = NodeShape::a800();
+    let points: Vec<DataPoint> = [
+        (ExecutionPlan::dp(1), 1u32),
+        (ExecutionPlan::dp(4), 4),
+        (ExecutionPlan::dp(8).with_ga(2), 8),
+        (ExecutionPlan::zero_dp(8), 8),
+        (ExecutionPlan::zero_offload(1), 1),
+        (ExecutionPlan::zero_offload(2), 2),
+        (ExecutionPlan::zero_offload(4).with_gc(), 4),
+    ]
+    .into_iter()
+    .map(|(plan, g)| {
+        let placement = Placement::packed(g, &shape);
+        // The observed truth runs 40% slower than the seed predicts —
+        // the same drift magnitude the refit test suite uses.
+        let t = 1.4 * truth.iter_time(&spec, &plan, 64, &placement, &env);
+        DataPoint::new(plan, placement, 64, t)
+    })
+    .collect();
+    let stale = truth;
+    let mut group = c.benchmark_group("model/refit_update");
+    group.sample_size(20);
+    group.bench_function("gauss_newton_12_steps", |b| {
+        b.iter(|| black_box(refit_params(&spec, &env, &stale, &points, 12)))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_iter_time,
@@ -163,6 +200,7 @@ criterion_group!(
     bench_curve,
     bench_best_plan,
     bench_curve_build,
-    bench_fit
+    bench_fit,
+    bench_refit_update
 );
 criterion_main!(benches);

@@ -35,18 +35,16 @@ fn parse_summary(body: &str) -> Vec<(String, f64)> {
         .collect()
 }
 
-#[test]
-fn incremental_round_has_not_regressed() {
-    if std::env::var("BENCH_CHECK").as_deref() != Ok("1") {
-        eprintln!("bench_check: skipped (set BENCH_CHECK=1 to enable; see `make bench-check`)");
-        return;
-    }
-    let committed_path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("BENCH_scheduling.json");
-    let fresh_path = std::env::var("BENCH_CHECK_FRESH")
+/// Compares one gated tier: every committed entry under `tier` must be
+/// present in the fresh summary with a `min_ns` within [`TOLERANCE`].
+fn check_tier(committed_name: &str, fresh_env: &str, tier: &str) {
+    let committed_path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(committed_name);
+    let fresh_path = std::env::var(fresh_env)
         .map(PathBuf::from)
         .unwrap_or_else(|_| {
             PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-                .join("../../target/bench-check/BENCH_scheduling.json")
+                .join("../../target/bench-check")
+                .join(committed_name)
         });
 
     let committed = std::fs::read_to_string(&committed_path)
@@ -60,11 +58,11 @@ fn incremental_round_has_not_regressed() {
 
     let baseline: Vec<(String, f64)> = parse_summary(&committed)
         .into_iter()
-        .filter(|(id, _)| id.starts_with(TIER))
+        .filter(|(id, _)| id.starts_with(tier))
         .collect();
     assert!(
         !baseline.is_empty(),
-        "committed {} has no {TIER} entries — refresh it with `make bench`",
+        "committed {} has no {tier} entries — refresh it with `make bench`",
         committed_path.display()
     );
     let current = parse_summary(&fresh);
@@ -90,8 +88,30 @@ fn incremental_round_has_not_regressed() {
     }
     assert!(
         failures.is_empty(),
-        "incremental_round regressions:\n  {}",
+        "{tier} regressions:\n  {}",
         failures.join("\n  ")
+    );
+}
+
+#[test]
+fn incremental_round_has_not_regressed() {
+    if std::env::var("BENCH_CHECK").as_deref() != Ok("1") {
+        eprintln!("bench_check: skipped (set BENCH_CHECK=1 to enable; see `make bench-check`)");
+        return;
+    }
+    check_tier("BENCH_scheduling.json", "BENCH_CHECK_FRESH", TIER);
+}
+
+#[test]
+fn refit_update_has_not_regressed() {
+    if std::env::var("BENCH_CHECK").as_deref() != Ok("1") {
+        eprintln!("bench_check: skipped (set BENCH_CHECK=1 to enable; see `make bench-check`)");
+        return;
+    }
+    check_tier(
+        "BENCH_modeling.json",
+        "BENCH_CHECK_FRESH_MODELING",
+        "model/refit_update/",
     );
 }
 

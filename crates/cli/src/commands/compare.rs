@@ -35,6 +35,8 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
         "log-level",
         "chaos",
         "chaos-seed",
+        "refit",
+        "refit-threshold",
     ])?;
     let log = Logger::from_args(args)?;
     let base_spec = scenario_spec_from(args)?;

@@ -15,7 +15,11 @@ use rubick_core::{
     RubickScheduler, SiaScheduler, SynergyScheduler,
 };
 use rubick_model::ModelSpec;
-use rubick_sim::{JobSpec, ScenarioBackend, ScenarioSpec, Scheduler, Tenant, TraceKind};
+use rubick_refit::{RefitConfig, RegistryRefitter};
+use rubick_sim::{
+    JobSpec, RefitHook, ScenarioBackend, ScenarioSpec, Scheduler, SchedulerWithRefit, Tenant,
+    TraceKind,
+};
 use rubick_testbed::TestbedOracle;
 use rubick_trace::{
     best_plan_trace, generate_base, multi_tenant_trace, with_large_model_fraction, TraceConfig,
@@ -91,9 +95,34 @@ pub fn scenario_spec_from(args: &Args) -> Result<ScenarioSpec, CliError> {
         load,
         large_frac,
         seed: args.parse_or("seed", 2025u64)?,
+        refit: refit_from(args)?,
         parallelism: args.parallelism()?,
         ..ScenarioSpec::default()
     })
+}
+
+/// Resolves the `--refit` / `--refit-threshold` pair into the spec's
+/// material-change threshold (`None` = frozen offline fit).
+pub fn refit_from(args: &Args) -> Result<Option<f64>, CliError> {
+    let threshold = match args.get("refit-threshold") {
+        None => None,
+        Some(raw) => {
+            let t: f64 = raw
+                .parse()
+                .map_err(|_| format!("invalid --refit-threshold '{raw}'"))?;
+            if !(t > 0.0 && t.is_finite()) {
+                return Err("--refit-threshold must be a positive number".into());
+            }
+            Some(t)
+        }
+    };
+    if !args.flag("refit") {
+        if threshold.is_some() {
+            return Err("--refit-threshold requires --refit".into());
+        }
+        return Ok(None);
+    }
+    Ok(Some(threshold.unwrap_or(RefitConfig::default().threshold)))
 }
 
 /// The CLI's [`ScenarioBackend`]: resolves scheduler names against
@@ -136,6 +165,22 @@ impl ScenarioBackend for CliBackend {
     fn scheduler(&self, spec: &ScenarioSpec) -> Result<Box<dyn Scheduler>, String> {
         let registry = Arc::new(self.registry(spec.seed)?.clone_fitted());
         scheduler_by_name(&spec.scheduler, &registry).map_err(|e| e.to_string())
+    }
+
+    fn scheduler_with_refit(&self, spec: &ScenarioSpec) -> Result<SchedulerWithRefit, String> {
+        // One deep copy shared by the scheduler and the refitter: a
+        // material refit bumps the copy's version, which the scheduler's
+        // epoch path sees next round — without ever touching the pristine
+        // profiled registry other cells clone from.
+        let registry = Arc::new(self.registry(spec.seed)?.clone_fitted());
+        let scheduler = scheduler_by_name(&spec.scheduler, &registry).map_err(|e| e.to_string())?;
+        let hook = spec.refit.map(|threshold| {
+            Box::new(RegistryRefitter::new(
+                Arc::clone(&registry),
+                RefitConfig::with_threshold(threshold),
+            )) as Box<dyn RefitHook>
+        });
+        Ok((scheduler, hook))
     }
 
     fn workload(

@@ -10,7 +10,8 @@ use crate::output::{
     render_decisions, render_fault_csv, render_fault_report, render_report, render_report_csv,
     Logger,
 };
-use rubick_obs::{BufferedJsonlSink, EventSink, ProgressSink, TeeSink};
+use rubick_model::NodeShape;
+use rubick_obs::{BufferedJsonlSink, EventSink, FanoutSink, ProgressSink, UtilTimelineSink};
 use rubick_sim::run_scenario_with;
 
 /// Executes the `run` subcommand.
@@ -30,6 +31,9 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
         "log-level",
         "chaos",
         "chaos-seed",
+        "refit",
+        "refit-threshold",
+        "util-timeline",
     ])?;
     let log = Logger::from_args(args)?;
     let spec = scenario_spec_from(args)?;
@@ -56,8 +60,14 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
             plan.stragglers().len()
         ));
     }
-    // The event spine fans out to up to two sinks: the buffered JSONL
-    // writer (--events) and the live stderr progress line (--progress).
+    if let Some(threshold) = spec.refit {
+        log.info(&format!(
+            "online refitting enabled (material-change threshold {threshold})"
+        ));
+    }
+    // The event spine fans out to up to three sinks: the buffered JSONL
+    // writer (--events), the live stderr progress line (--progress) and
+    // the per-round utilization timeline (--util-timeline).
     let mut progress = args
         .flag("progress")
         .then(|| ProgressSink::new(std::io::stderr()));
@@ -68,18 +78,29 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
         ),
         None => None,
     };
-    let outcome = match (&mut events, &mut progress) {
-        (Some(events), Some(progress)) => {
-            let mut tee = TeeSink::new(events, progress);
-            run_scenario_with(&spec, &backend, chaos, Some(&mut tee as &mut dyn EventSink))?
+    let mut util = match args.get("util-timeline") {
+        Some(path) => Some(
+            UtilTimelineSink::create(path, spec.nodes as u64, NodeShape::a800().gpus)
+                .map_err(|e| format!("cannot create util timeline '{path}': {e}"))?,
+        ),
+        None => None,
+    };
+    let outcome = {
+        let mut fan = FanoutSink::new();
+        if let Some(events) = &mut events {
+            fan.push(events);
         }
-        (Some(events), None) => {
-            run_scenario_with(&spec, &backend, chaos, Some(events as &mut dyn EventSink))?
+        if let Some(progress) = &mut progress {
+            fan.push(progress);
         }
-        (None, Some(progress)) => {
-            run_scenario_with(&spec, &backend, chaos, Some(progress as &mut dyn EventSink))?
+        if let Some(util) = &mut util {
+            fan.push(util);
         }
-        (None, None) => run_scenario_with(&spec, &backend, chaos, None)?,
+        if fan.is_empty() {
+            run_scenario_with(&spec, &backend, chaos, None)?
+        } else {
+            run_scenario_with(&spec, &backend, chaos, Some(&mut fan as &mut dyn EventSink))?
+        }
     };
     if let Some(progress) = &mut progress {
         progress
@@ -91,6 +112,17 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
         sink.flush()
             .map_err(|e| format!("failed writing events file '{path}': {e}"))?;
         log.info(&format!("wrote {} events to {path}", sink.events_written()));
+    }
+    if let Some(sink) = &mut util {
+        let path = args
+            .get("util-timeline")
+            .expect("util sink implies the flag");
+        sink.flush()
+            .map_err(|e| format!("failed writing util timeline '{path}': {e}"))?;
+        log.info(&format!(
+            "wrote {} utilization points to {path}",
+            sink.lines_written()
+        ));
     }
     let report = &outcome.report;
     log.debug(&format!(

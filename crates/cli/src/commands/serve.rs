@@ -19,17 +19,18 @@
 //! {"type":"report",...}
 //! ```
 
-use super::{build_registry, scheduler_by_name, CliError, SCHEDULER_NAMES};
+use super::{build_registry, refit_from, scheduler_by_name, CliError, SCHEDULER_NAMES};
 use crate::args::Args;
 use crate::output::{render_serve_report_line, Logger};
 use rubick_model::NodeShape;
 use rubick_obs::{BufferedJsonlSink, EventSink, SimEvent};
+use rubick_refit::{RefitConfig, RegistryRefitter};
 use rubick_sim::serve::{recover, ServeMeta, ServeOp, ServeSession};
 use rubick_sim::{Cluster, Engine, EngineConfig};
 use rubick_testbed::TestbedOracle;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
 fn json_escape(s: &str) -> String {
@@ -92,6 +93,9 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
         "tick-ms",
         "time-scale",
         "log-level",
+        "refit",
+        "refit-threshold",
+        "snapshot-bytes",
     ])?;
     let log = Logger::from_args(args)?;
     let scheduler = args.str_or("scheduler", "rubick");
@@ -123,18 +127,46 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
     if !(time_scale > 0.0 && time_scale.is_finite()) {
         return Err("--time-scale must be a positive number".into());
     }
+    let refit = refit_from(args)?;
+    let snapshot_bytes = match args.get("snapshot-bytes") {
+        None => None,
+        Some(raw) => {
+            let bytes: u64 = raw
+                .parse()
+                .map_err(|_| format!("invalid --snapshot-bytes '{raw}': expected a byte count"))?;
+            if bytes == 0 {
+                return Err("--snapshot-bytes must be at least 1".into());
+            }
+            if args.get("log").is_none() {
+                return Err("--snapshot-bytes requires --log <path>".into());
+            }
+            Some(bytes)
+        }
+    };
 
     log.info("profiling model zoo...");
     let oracle = TestbedOracle::new(seed);
     let registry = build_registry(&oracle)?;
     let policy = scheduler_by_name(&scheduler, &registry)?;
-    let engine = Engine::new(
+    let mut engine = Engine::new(
         &oracle,
         policy,
         Cluster::new(nodes, NodeShape::a800()),
         vec![],
         EngineConfig::default(),
     );
+    if let Some(threshold) = refit {
+        // The session's scheduler and the refitter share `registry`, so a
+        // material refit re-plans on the next round. Recovery replays with
+        // the same flags, rebuilding identical refit state deterministically.
+        engine.set_refit_hook(Box::new(RegistryRefitter::new(
+            Arc::clone(&registry),
+            RefitConfig::with_threshold(threshold),
+        )));
+        log.info(&format!(
+            "online refitting enabled (material-change threshold {threshold})"
+        ));
+    }
 
     let mut sink = ServeSink {
         echo: args.flag("echo-events").then(Vec::new),
@@ -156,7 +188,7 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
         nodes,
     };
     let mut recovered_line = None;
-    let session = match args.get("log") {
+    let mut session = match args.get("log") {
         None => ServeSession::new(engine),
         Some(path) => {
             let exists = std::fs::metadata(path)
@@ -181,6 +213,7 @@ pub fn execute(args: &Args) -> Result<(), CliError> {
             }
         }
     };
+    session.set_auto_compact(snapshot_bytes);
 
     let report_line = match args.get("listen") {
         None => {

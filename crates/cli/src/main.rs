@@ -65,11 +65,24 @@ RUN / COMPARE FLAGS:
                          §10 for the format); adds a degraded-mode summary
     --chaos-seed <u64>   Override the seed in the chaos config (requires
                          --chaos); same seed = identical fault timeline
+    --refit              Refit each job's throughput model online from the
+                         observed iteration times; a material shift bumps
+                         the registry version and re-plans affected jobs
+                         next round (run/compare/serve; off by default —
+                         without it results are byte-identical to before)
+    --refit-threshold <f64>
+                         Material-change threshold for --refit: the relative
+                         envelope shift that publishes a refit (default 0.15)
+    --util-timeline <path>
+                         (run) write a per-round cluster-utilization
+                         timeline to <path> as JSON Lines (busy/up/total
+                         GPUs and the utilization fraction per round)
 
 SERVE:
     rubick serve [--scheduler <name>] [--seed <u64>] [--nodes <n>]
                  [--log <path>] [--events <path>] [--echo-events]
                  [--listen <addr>] [--tick-ms <ms>] [--time-scale <f64>]
+                 [--refit] [--refit-threshold <f64>] [--snapshot-bytes <n>]
     Reads NDJSON ops (submit/cancel/advance/status/snapshot/shutdown) one
     per line and replies one line per op. --log journals every
     state-changing op write-ahead: restarting with the same flags and an
@@ -78,14 +91,17 @@ SERVE:
     --listen serves one TCP connection instead of stdin; --tick-ms
     advances simulation time by tick*time-scale seconds of idle wall
     clock; --echo-events inlines the simulation events each op caused
-    before its reply line.
+    before its reply line; --snapshot-bytes auto-compacts the journal
+    whenever it outgrows <n> bytes (requires --log), bounding replay
+    cost on long sessions without manual snapshot ops.
 
 SWEEP:
     rubick sweep <spec.toml> [--out <csv>] [--jsonl <path>]
                  [--baseline <path>] [--parallelism <n>]
                  [--log-level <lvl>] [--no-timings]
     Expands the spec's [grid] blocks into cells (trace x scheduler x jobs
-    x load x large_frac x nodes x chaos_rate x chaos_seed x seed), runs
+    x load x large_frac x nodes x chaos_rate x chaos_seed x seed x
+    refit), runs
     every cell, and emits one row per cell in grid order. Output is
     byte-identical at any --parallelism setting. Without --out the CSV
     goes to stdout; --jsonl additionally writes a JSON-Lines file. Each

@@ -101,6 +101,11 @@ pub fn render_report_csv(report: &SimReport) -> String {
     let _ = writeln!(s, "gpu_hours,{:.1}", report.gpu_hours());
     let _ = writeln!(s, "reconfig_share,{:.4}", report.reconfig_share());
     let _ = writeln!(s, "sla_attainment,{:.4}", report.sla_attainment());
+    // Only emitted on refit-enabled runs, so frozen-model output (and
+    // every committed golden) stays byte-identical.
+    if report.model_refits > 0 {
+        let _ = writeln!(s, "model_refits,{}", report.model_refits);
+    }
     s
 }
 
@@ -124,6 +129,9 @@ pub fn render_report(report: &SimReport) -> String {
         report.avg_reconfig_time(),
         report.reconfig_share() * 100.0
     );
+    if report.model_refits > 0 {
+        let _ = writeln!(s, "model refits   : {}", report.model_refits);
+    }
     let guaranteed = report
         .jobs
         .iter()

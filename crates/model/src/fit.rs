@@ -308,6 +308,177 @@ pub fn fit_perf_params(
     })
 }
 
+/// Solves the 7×7 linear system `a · x = b` by Gaussian elimination with
+/// partial pivoting. Returns `None` when the system is numerically
+/// singular (pivot below 1e-30).
+// Index loops mirror the textbook elimination; the suggested iterator
+// form cannot express the two-row access `a[row][k] -= f * a[col][k]`.
+#[allow(clippy::needless_range_loop)]
+fn solve7(mut a: [[f64; 7]; 7], mut b: [f64; 7]) -> Option<[f64; 7]> {
+    const N: usize = 7;
+    for col in 0..N {
+        let mut pivot = col;
+        for row in col + 1..N {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot][col].abs() < 1e-30 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..N {
+            let factor = a[row][col] / a[col][col];
+            for k in col..N {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = [0.0f64; 7];
+    for col in (0..N).rev() {
+        let mut acc = b[col];
+        for k in col + 1..N {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = acc / a[col][col];
+    }
+    Some(x)
+}
+
+/// One deterministic damped Gauss–Newton (Levenberg–Marquardt) update of
+/// the seven fittable parameters against `points`, seeded from `params`.
+///
+/// This is the *incremental* counterpart of [`fit_perf_params`]: instead
+/// of a multi-restart simplex search from scratch (milliseconds), it takes
+/// a single curvature step from the current model (microseconds), which is
+/// what an online refitter wants per observation batch. The residuals are
+/// the same log-errors the batch fit minimizes, so both descend the same
+/// RMSLE objective.
+///
+/// The step is accept-if-improves: the damping ladder is walked from
+/// near-Gauss-Newton towards steepest descent and the first candidate that
+/// lowers the RMSLE is taken (after projection into the parameter box).
+/// When no damping level improves — already at a local minimum, or the
+/// Jacobian is degenerate — the input parameters are returned unchanged.
+/// Pure `f64` arithmetic in a fixed evaluation order: identical inputs
+/// produce bit-identical outputs on every call.
+///
+/// Returns the (possibly unchanged) parameters and their RMSLE on
+/// `points`. `points` must be non-empty.
+pub fn refit_step(
+    spec: &ModelSpec,
+    env: &ClusterEnv,
+    params: &PerfParams,
+    points: &[DataPoint],
+) -> (PerfParams, f64) {
+    assert!(!points.is_empty(), "refit_step needs at least one point");
+    let gpu_flops = params.gpu_flops;
+    let mut x = params.to_vec();
+    project(&mut x);
+    let residuals = |v: &[f64; 7]| -> Vec<f64> {
+        let p = PerfParams::from_vec(v, gpu_flops);
+        points
+            .iter()
+            .map(|pt| {
+                let pred = p.iter_time(spec, &pt.plan, pt.global_batch, &pt.placement, env);
+                (1.0 + pred).ln() - (1.0 + pt.iter_time).ln()
+            })
+            .collect()
+    };
+    let cost = |r: &[f64]| (r.iter().map(|d| d * d).sum::<f64>() / r.len() as f64).sqrt();
+    let r0 = residuals(&x);
+    let f0 = cost(&r0);
+    if !f0.is_finite() {
+        return (PerfParams::from_vec(&x, gpu_flops), f0);
+    }
+
+    // Finite-difference Jacobian, column per parameter. Steps are a fixed
+    // fraction of the box so conditioning does not depend on the current
+    // value; a backward difference is used at the upper bound so clamping
+    // never zeroes a column.
+    let m = points.len();
+    let mut jac: Vec<[f64; 7]> = vec![[0.0; 7]; m];
+    for j in 0..7 {
+        let h = 1e-5 * (HI[j] - LO[j]);
+        let (mut xp, sign) = if x[j] + h <= HI[j] {
+            let mut xp = x;
+            xp[j] += h;
+            (xp, 1.0)
+        } else {
+            let mut xp = x;
+            xp[j] -= h;
+            (xp, -1.0)
+        };
+        project(&mut xp);
+        let rp = residuals(&xp);
+        for (row, jr) in jac.iter_mut().enumerate() {
+            jr[j] = sign * (rp[row] - r0[row]) / h;
+        }
+    }
+
+    // Normal equations: a = JᵀJ, g = Jᵀr.
+    let mut a = [[0.0f64; 7]; 7];
+    let mut g = [0.0f64; 7];
+    for row in 0..m {
+        for i in 0..7 {
+            g[i] += jac[row][i] * r0[row];
+            for k in 0..7 {
+                a[i][k] += jac[row][i] * jac[row][k];
+            }
+        }
+    }
+
+    // Damping ladder: near-Gauss-Newton first, steepest-descent-like last;
+    // accept the first candidate that improves the objective.
+    for lambda in [1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0] {
+        let mut damped = a;
+        for i in 0..7 {
+            damped[i][i] += lambda * a[i][i].max(1e-12);
+        }
+        let Some(delta) = solve7(damped, g) else {
+            continue;
+        };
+        let mut cand = x;
+        for i in 0..7 {
+            cand[i] -= delta[i];
+        }
+        project(&mut cand);
+        let rc = residuals(&cand);
+        let fc = cost(&rc);
+        if fc.is_finite() && fc < f0 {
+            return (PerfParams::from_vec(&cand, gpu_flops), fc);
+        }
+    }
+    (PerfParams::from_vec(&x, gpu_flops), f0)
+}
+
+/// Iterated [`refit_step`]: up to `max_steps` damped Gauss–Newton updates,
+/// stopping early when a step fails to improve the RMSLE by more than
+/// 1e-9. Returns the refined parameters and their final RMSLE.
+pub fn refit_params(
+    spec: &ModelSpec,
+    env: &ClusterEnv,
+    params: &PerfParams,
+    points: &[DataPoint],
+    max_steps: usize,
+) -> (PerfParams, f64) {
+    let mut current = *params;
+    let mut best = f64::INFINITY;
+    for _ in 0..max_steps.max(1) {
+        let (next, err) = refit_step(spec, env, &current, points);
+        // `improved` is false for NaN too, ending the loop.
+        let improved = err + 1e-9 < best;
+        if !improved {
+            return (next, err);
+        }
+        best = err;
+        current = next;
+    }
+    (current, best)
+}
+
 /// Continuous online fitting: accumulates observations from live training
 /// and refits when the current model's prediction error drifts.
 ///
@@ -504,6 +675,65 @@ mod tests {
         let refit = fitter.observe(DataPoint::new(plan, placement, 64, t));
         assert!(refit);
         assert_eq!(fitter.refits(), 1);
+    }
+
+    #[test]
+    fn refit_step_improves_perturbed_params() {
+        let spec = ModelSpec::roberta_large();
+        let env = ClusterEnv::a800();
+        let truth = PerfParams::default();
+        let points = synthetic_points(&spec, &truth, &env);
+        // Perturb the true parameters: the step must descend towards them.
+        let start = PerfParams {
+            k_bwd: truth.k_bwd * 1.5,
+            k_sync: truth.k_sync * 0.6,
+            ..truth
+        };
+        let before = rmsle(&start, &spec, &env, &points);
+        let (stepped, after) = refit_step(&spec, &env, &start, &points);
+        assert!(after < before, "one step must improve: {after} vs {before}");
+        let (_, converged) = refit_params(&spec, &env, &stepped, &points, 16);
+        assert!(
+            converged < 0.5 * before,
+            "iterated steps must sharply reduce the error: {converged} vs {before}"
+        );
+    }
+
+    #[test]
+    fn refit_step_is_deterministic_and_bounded() {
+        let spec = ModelSpec::bert_large();
+        let env = ClusterEnv::a800();
+        let truth = PerfParams::default();
+        let points = synthetic_points(&spec, &truth, &env);
+        let start = PerfParams {
+            k_opt: truth.k_opt * 3.0,
+            ..truth
+        };
+        let (a, fa) = refit_step(&spec, &env, &start, &points);
+        let (b, fb) = refit_step(&spec, &env, &start, &points);
+        assert_eq!(a, b, "identical inputs must produce identical params");
+        assert_eq!(fa.to_bits(), fb.to_bits());
+        let v = a.to_vec();
+        for i in 0..7 {
+            assert!(
+                (super::LO[i]..=super::HI[i]).contains(&v[i]),
+                "param {i} escaped the box: {}",
+                v[i]
+            );
+        }
+    }
+
+    #[test]
+    fn refit_step_at_optimum_is_a_fixed_point() {
+        let spec = ModelSpec::roberta_large();
+        let env = ClusterEnv::a800();
+        let truth = PerfParams::default();
+        let points = synthetic_points(&spec, &truth, &env);
+        // Noise-free observations from the truth: the error is already ~0
+        // and no damping level can improve, so the params pass through.
+        let (out, err) = refit_step(&spec, &env, &truth, &points);
+        assert!(err < 1e-9, "truth fits its own observations: {err}");
+        assert_eq!(out, truth);
     }
 
     #[test]

@@ -64,7 +64,7 @@ pub mod spec;
 pub use curve::{CurveCache, CurvePoint, SensitivityCurve};
 pub use env::ClusterEnv;
 pub use error::ModelError;
-pub use fit::{fit_perf_params, DataPoint, FitOptions, FitResult};
+pub use fit::{fit_perf_params, refit_params, refit_step, DataPoint, FitOptions, FitResult};
 pub use memory::{MemoryEstimator, ResourceDemand};
 pub use perf::{PerfParams, ThroughputModel};
 pub use placement::{CommTopology, Placement};
@@ -78,7 +78,9 @@ pub mod prelude {
     pub use crate::curve::{CurveCache, CurvePoint, SensitivityCurve};
     pub use crate::env::ClusterEnv;
     pub use crate::error::ModelError;
-    pub use crate::fit::{fit_perf_params, DataPoint, FitOptions, FitResult};
+    pub use crate::fit::{
+        fit_perf_params, refit_params, refit_step, DataPoint, FitOptions, FitResult,
+    };
     pub use crate::memory::{MemoryEstimator, ResourceDemand};
     pub use crate::perf::{PerfParams, ThroughputModel};
     pub use crate::placement::{CommTopology, Placement};

@@ -256,6 +256,67 @@ pub enum SimEvent {
         /// O(jobs); absent in pre-delta streams, parses as 0.
         classified: u64,
     },
+    /// An online refitter materially changed a model's throughput
+    /// parameters from live observations (schema v5). Emitted by the
+    /// engine only when a refit hook is attached (`--refit`), so default
+    /// streams stay byte-identical to v4. The registry version bump that
+    /// accompanies this event dirties every cached plan, so the next
+    /// [`SimEvent::RoundPlanned`] re-plans the affected jobs.
+    ModelRefit {
+        /// Simulation time, s.
+        at: f64,
+        /// Zoo model name whose parameters were refit.
+        model: String,
+        /// Maximum relative envelope shift between old and new predictions
+        /// over the observation window (the material-change statistic).
+        shift: f64,
+        /// The 7 fittable parameters before the refit, comma-joined in
+        /// `PerfParams::to_vec` order ([`params_to_str`]).
+        old_params: String,
+        /// The 7 fittable parameters after the refit, same encoding.
+        new_params: String,
+    },
+}
+
+/// Encodes a 7-parameter vector as a comma-joined string using Rust's
+/// shortest round-trip `f64` formatting — the wire form of the
+/// `old_params` / `new_params` fields of [`SimEvent::ModelRefit`].
+pub fn params_to_str(params: &[f64; 7]) -> String {
+    let mut out = String::with_capacity(64);
+    for (i, v) in params.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        use fmt::Write as _;
+        let _ = write!(out, "{v}");
+    }
+    out
+}
+
+/// Decodes a [`params_to_str`] string back into the 7-parameter vector,
+/// bit-exactly.
+///
+/// # Errors
+///
+/// Wrong arity or unparseable components.
+pub fn params_from_str(s: &str) -> Result<[f64; 7], EventParseError> {
+    let mut out = [0.0f64; 7];
+    let mut n = 0usize;
+    for tok in s.split(',') {
+        if n >= 7 {
+            return Err(EventParseError::new("param vector has more than 7 entries"));
+        }
+        out[n] = tok
+            .parse::<f64>()
+            .map_err(|_| EventParseError::new(format!("bad param component {tok:?}")))?;
+        n += 1;
+    }
+    if n != 7 {
+        return Err(EventParseError::new(format!(
+            "param vector has {n} entries, expected 7"
+        )));
+    }
+    Ok(out)
 }
 
 impl SimEvent {
@@ -274,7 +335,8 @@ impl SimEvent {
             | SimEvent::JobPreemptedByFault { at, .. }
             | SimEvent::JobRestarted { at, .. }
             | SimEvent::JobCancelled { at, .. }
-            | SimEvent::RoundPlanned { at, .. } => *at,
+            | SimEvent::RoundPlanned { at, .. }
+            | SimEvent::ModelRefit { at, .. } => *at,
         }
     }
 
@@ -294,6 +356,7 @@ impl SimEvent {
             SimEvent::JobRestarted { .. } => "job_restarted",
             SimEvent::JobCancelled { .. } => "job_cancelled",
             SimEvent::RoundPlanned { .. } => "round_planned",
+            SimEvent::ModelRefit { .. } => "model_refit",
         }
     }
 
@@ -463,6 +526,19 @@ impl SimEvent {
                 w.uint("searched", *searched);
                 w.uint("classified", *classified);
             }
+            SimEvent::ModelRefit {
+                at,
+                model,
+                shift,
+                old_params,
+                new_params,
+            } => {
+                w.num("at", *at);
+                w.str("model", model);
+                w.num("shift", *shift);
+                w.str("old_params", old_params);
+                w.str("new_params", new_params);
+            }
         }
         w.finish()
     }
@@ -492,6 +568,7 @@ impl SimEvent {
                 | "job_restarted"
                 | "job_cancelled"
                 | "round_planned"
+                | "model_refit"
         )
     }
 
@@ -601,6 +678,13 @@ impl SimEvent {
                 searched: f.uint_or(0, "searched")?,
                 classified: f.uint_or(0, "classified")?,
             },
+            "model_refit" => SimEvent::ModelRefit {
+                at: f.num("at")?,
+                model: f.str("model")?.to_string(),
+                shift: f.num("shift")?,
+                old_params: f.str("old_params")?.to_string(),
+                new_params: f.str("new_params")?.to_string(),
+            },
             other => {
                 return Err(EventParseError::new(format!(
                     "unknown event type {other:?}"
@@ -621,8 +705,11 @@ impl SimEvent {
 /// planning statistics (off by default; streams without it parse
 /// unchanged); **4** — adds [`SimEvent::JobCancelled`], emitted when a
 /// serve-session owner withdraws a job (batch simulations never emit it,
-/// so their streams are byte-identical to v3).
-pub const SCHEMA_VERSION: u32 = 4;
+/// so their streams are byte-identical to v3); **5** — adds
+/// [`SimEvent::ModelRefit`], emitted only when an online refit hook is
+/// attached to the engine (`--refit`), so default streams differ from v4
+/// solely in this header line.
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// The one-line schema header the stream sinks ([`JsonlSink`],
 /// [`BufferedJsonlSink`]) write before the first event (no trailing
@@ -1690,6 +1777,8 @@ pub struct CountersSink {
     pub jobs_searched: u64,
     /// Fingerprint comparisons performed across all planned rounds.
     pub jobs_classified: u64,
+    /// Online model refits that materially changed a throughput model.
+    pub model_refits: u64,
     /// Wall-clock latency distribution of scheduling rounds.
     pub round_latency: LatencyHistogram,
 }
@@ -1711,6 +1800,7 @@ impl CountersSink {
             + self.fault_evictions
             + self.restarts
             + self.rounds_planned
+            + self.model_refits
     }
 
     /// Renders the counters as stable `key=value` lines (used by the CLI's
@@ -1756,6 +1846,10 @@ impl CountersSink {
                 self.jobs_classified,
             );
         }
+        if self.model_refits > 0 {
+            use fmt::Write as _;
+            let _ = write!(out, " model_refits={}", self.model_refits);
+        }
         out
     }
 }
@@ -1793,6 +1887,7 @@ impl EventSink for CountersSink {
                 self.jobs_searched += searched;
                 self.jobs_classified += classified;
             }
+            SimEvent::ModelRefit { .. } => self.model_refits += 1,
         }
     }
 
@@ -1986,6 +2081,201 @@ impl EventSink for TeeSink<'_> {
     }
 }
 
+/// Fans one event stream out to any number of sinks, in order — the n-ary
+/// generalization of [`TeeSink`] for runs that combine, say, a JSONL log,
+/// a progress line, and a utilization timeline.
+#[derive(Default)]
+pub struct FanoutSink<'a> {
+    sinks: Vec<&'a mut dyn EventSink>,
+}
+
+impl<'a> FanoutSink<'a> {
+    /// An empty fan-out (events are dropped until sinks are added).
+    pub fn new() -> FanoutSink<'a> {
+        FanoutSink { sinks: Vec::new() }
+    }
+
+    /// Adds a sink; every subsequent event reaches it after the sinks
+    /// added before it.
+    pub fn push(&mut self, sink: &'a mut dyn EventSink) {
+        self.sinks.push(sink);
+    }
+
+    /// Number of attached sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether no sink is attached.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl EventSink for FanoutSink<'_> {
+    fn on_event(&mut self, event: &SimEvent) {
+        for sink in &mut self.sinks {
+            sink.on_event(event);
+        }
+    }
+
+    fn on_round_latency(&mut self, nanos: u64) {
+        for sink in &mut self.sinks {
+            sink.on_round_latency(nanos);
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        for sink in &mut self.sinks {
+            sink.flush()?;
+        }
+        Ok(())
+    }
+}
+
+/// A sink that folds the stream into a per-round cluster GPU-utilization
+/// timeline, written as JSON Lines (`run --util-timeline <path>`).
+///
+/// One line is emitted per scheduling tick ([`SimEvent::RoundStarted`] or
+/// [`SimEvent::TickSkipped`]) describing the cluster *entering* that
+/// round — i.e. the state produced by the previous round's decisions,
+/// advanced through any finishes/faults since:
+///
+/// ```text
+/// {"type":"util","at":600,"round":1,"busy_gpus":12,"total_gpus":16,"up_gpus":16,"nodes_down":0,"util":0.75}
+/// ```
+///
+/// `util` is `busy_gpus / total_gpus` against the full (fault-free)
+/// capacity, so draining nodes show up as lost utilization; `up_gpus`
+/// (capacity net of down nodes) and `nodes_down` let a consumer separate
+/// fault-induced dips from scheduler idleness. I/O errors are sticky and
+/// reported by [`EventSink::flush`], like [`JsonlSink`].
+pub struct UtilTimelineSink<W: Write> {
+    out: BufWriter<W>,
+    total_gpus: u64,
+    gpus_per_node: u32,
+    busy: BTreeMap<u64, u32>,
+    down_nodes: BTreeMap<u64, ()>,
+    lines: u64,
+    error: Option<io::Error>,
+}
+
+impl UtilTimelineSink<File> {
+    /// Creates (truncating) the timeline file at `path` for a cluster of
+    /// `nodes` nodes with `gpus_per_node` GPUs each.
+    pub fn create(
+        path: impl AsRef<Path>,
+        nodes: u64,
+        gpus_per_node: u32,
+    ) -> io::Result<UtilTimelineSink<File>> {
+        Ok(UtilTimelineSink::new(
+            File::create(path)?,
+            nodes,
+            gpus_per_node,
+        ))
+    }
+}
+
+impl<W: Write> UtilTimelineSink<W> {
+    /// Wraps an arbitrary writer (buffered internally).
+    pub fn new(writer: W, nodes: u64, gpus_per_node: u32) -> UtilTimelineSink<W> {
+        UtilTimelineSink {
+            out: BufWriter::new(writer),
+            total_gpus: nodes * u64::from(gpus_per_node),
+            gpus_per_node,
+            busy: BTreeMap::new(),
+            down_nodes: BTreeMap::new(),
+            lines: 0,
+            error: None,
+        }
+    }
+
+    /// GPUs currently held by running jobs.
+    pub fn busy_gpus(&self) -> u64 {
+        self.busy.values().map(|g| u64::from(*g)).sum()
+    }
+
+    /// Timeline lines successfully handed to the writer.
+    pub fn lines_written(&self) -> u64 {
+        self.lines
+    }
+
+    fn emit_point(&mut self, at: f64, round: u64) {
+        if self.error.is_some() {
+            return;
+        }
+        let busy = self.busy_gpus();
+        let down = self.down_nodes.len() as u64;
+        let up = self
+            .total_gpus
+            .saturating_sub(down * u64::from(self.gpus_per_node));
+        let util = if self.total_gpus == 0 {
+            0.0
+        } else {
+            busy as f64 / self.total_gpus as f64
+        };
+        let mut w = JsonWriter::new("util");
+        w.num("at", at);
+        w.uint("round", round);
+        w.uint("busy_gpus", busy);
+        w.uint("total_gpus", self.total_gpus);
+        w.uint("up_gpus", up);
+        w.uint("nodes_down", down);
+        w.num("util", util);
+        let mut line = w.finish();
+        line.push('\n');
+        match self.out.write_all(line.as_bytes()) {
+            Ok(()) => self.lines += 1,
+            Err(e) => self.error = Some(e),
+        }
+    }
+}
+
+impl<W: Write> EventSink for UtilTimelineSink<W> {
+    fn on_event(&mut self, event: &SimEvent) {
+        match event {
+            SimEvent::DecisionApplied {
+                job, kind, gpus, ..
+            } => match kind {
+                DecisionKind::Launch => {
+                    self.busy.insert(*job, *gpus);
+                }
+                DecisionKind::Preempt => {
+                    self.busy.remove(job);
+                }
+            },
+            // Covers both reshapes of running jobs and fault relaunches
+            // (which emit `job_restarted` + `reconfigured`).
+            SimEvent::Reconfigured { job, gpus, .. } => {
+                self.busy.insert(*job, *gpus);
+            }
+            SimEvent::JobPreemptedByFault { job, .. } => {
+                self.busy.remove(job);
+            }
+            SimEvent::JobFinished { job, .. } | SimEvent::JobCancelled { job, .. } => {
+                self.busy.remove(job);
+            }
+            SimEvent::NodeFailed { node, .. } => {
+                self.down_nodes.insert(*node, ());
+            }
+            SimEvent::NodeRecovered { node, .. } => {
+                self.down_nodes.remove(node);
+            }
+            SimEvent::RoundStarted { at, round, .. } | SimEvent::TickSkipped { at, round } => {
+                self.emit_point(*at, *round);
+            }
+            _ => {}
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2056,6 +2346,13 @@ mod tests {
             SimEvent::TickSkipped {
                 at: 3600.0,
                 round: 2,
+            },
+            SimEvent::ModelRefit {
+                at: 4200.0,
+                model: "llama-7b".into(),
+                shift: 0.23456789,
+                old_params: params_to_str(&[1.5, 4.0, 0.01, 0.5, 2.0, 3.0, 0.02]),
+                new_params: params_to_str(&[1.25, 3.5, 0.015, 0.45, 2.5, 2.75, 0.018]),
             },
         ]
     }
@@ -2576,5 +2873,156 @@ mod tests {
         assert_eq!(a.total_events(), sample_events().len() as u64);
         assert_eq!(a.round_latency.count(), 1);
         assert_eq!(b.events, sample_events());
+    }
+
+    #[test]
+    fn fanout_sink_feeds_all_in_order() {
+        let mut a = CountersSink::default();
+        let mut b = VecSink::default();
+        let mut c = VecSink::default();
+        {
+            let mut fan = FanoutSink::new();
+            assert!(fan.is_empty());
+            fan.push(&mut a);
+            fan.push(&mut b);
+            fan.push(&mut c);
+            assert_eq!(fan.len(), 3);
+            for ev in sample_events() {
+                fan.on_event(&ev);
+            }
+            fan.on_round_latency(10);
+            fan.flush().unwrap();
+        }
+        assert_eq!(a.total_events(), sample_events().len() as u64);
+        assert_eq!(a.round_latency.count(), 1);
+        assert_eq!(b.events, sample_events());
+        assert_eq!(c.events, b.events);
+    }
+
+    #[test]
+    fn params_codec_round_trips_bit_exactly() {
+        let params = [
+            1.5,
+            4.0,
+            f64::from_bits(0x3FD5_5555_5555_5555), // 1/3
+            0.45,
+            2.5,
+            1e-12,
+            0.0,
+        ];
+        let s = params_to_str(&params);
+        let back = params_from_str(&s).unwrap();
+        for i in 0..7 {
+            assert_eq!(params[i].to_bits(), back[i].to_bits(), "component {i}");
+        }
+        assert!(params_from_str("1,2,3").is_err());
+        assert!(params_from_str("1,2,3,4,5,6,7,8").is_err());
+        assert!(params_from_str("1,2,3,4,5,six,7").is_err());
+    }
+
+    #[test]
+    fn model_refit_counts_and_appears_in_summary() {
+        let mut sink = CountersSink::default();
+        sink.on_event(&SimEvent::ModelRefit {
+            at: 1.0,
+            model: "gpt2".into(),
+            shift: 0.2,
+            old_params: "1,1,1,1,1,1,1".into(),
+            new_params: "2,2,2,2,2,2,2".into(),
+        });
+        assert_eq!(sink.model_refits, 1);
+        assert_eq!(sink.total_events(), 1);
+        assert!(sink.summary().contains("model_refits=1"));
+        // Refit-free folds keep the old summary shape.
+        let mut plain = CountersSink::default();
+        plain.on_event(&SimEvent::TickSkipped { at: 0.0, round: 1 });
+        assert!(!plain.summary().contains("model_refits"));
+    }
+
+    #[test]
+    fn util_timeline_tracks_busy_gpus_per_round() {
+        let mut sink = UtilTimelineSink::new(Vec::new(), 2, 8);
+        let events = vec![
+            SimEvent::RoundStarted {
+                at: 0.0,
+                round: 1,
+                active_jobs: 1,
+            },
+            SimEvent::DecisionApplied {
+                at: 0.0,
+                job: 1,
+                kind: DecisionKind::Launch,
+                gpus: 8,
+                plan: "DP(8)".into(),
+                throughput: 10.0,
+            },
+            SimEvent::RoundStarted {
+                at: 600.0,
+                round: 2,
+                active_jobs: 2,
+            },
+            SimEvent::Reconfigured {
+                at: 600.0,
+                job: 1,
+                gpus: 4,
+                plan: "DP(4)".into(),
+                delay: 30.0,
+            },
+            SimEvent::NodeFailed { at: 700.0, node: 1 },
+            SimEvent::RoundStarted {
+                at: 1200.0,
+                round: 3,
+                active_jobs: 2,
+            },
+            SimEvent::JobFinished {
+                at: 1500.0,
+                job: 1,
+                tenant: String::new(),
+                class: "best-effort".into(),
+                model: "gpt2".into(),
+                submit_time: 0.0,
+                first_start: Some(0.0),
+                reconfig_count: 1,
+                reconfig_time: 30.0,
+                reconfig_gpu_seconds: 120.0,
+                gpu_seconds: 9000.0,
+                runtime: 1500.0,
+                target_batches: 100,
+                baseline_throughput: None,
+                avg_throughput: 10.0,
+            },
+            SimEvent::TickSkipped {
+                at: 1800.0,
+                round: 4,
+            },
+        ];
+        for ev in &events {
+            sink.on_event(ev);
+        }
+        sink.flush().unwrap();
+        assert_eq!(sink.lines_written(), 4);
+        assert_eq!(sink.busy_gpus(), 0);
+        let bytes = sink.out.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Round 1: nothing running yet (decisions land after the round
+        // event), full capacity up.
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"util\",\"at\":0,\"round\":1,\"busy_gpus\":0,\
+             \"total_gpus\":16,\"up_gpus\":16,\"nodes_down\":0,\"util\":0}"
+        );
+        // Round 2: job 1 holds 8 GPUs from the launch.
+        assert!(lines[1].contains("\"busy_gpus\":8"));
+        assert!(lines[1].contains("\"util\":0.5"));
+        // Round 3: reshape to 4 GPUs took effect and a node went down.
+        assert!(lines[2].contains("\"busy_gpus\":4"));
+        assert!(lines[2].contains("\"up_gpus\":8"));
+        assert!(lines[2].contains("\"nodes_down\":1"));
+        assert!(lines[2].contains("\"util\":0.25"));
+        // Round 4 (skipped tick): the finish released everything.
+        assert!(lines[3].contains("\"busy_gpus\":0"));
+        assert!(lines[3].contains("\"round\":4"));
     }
 }

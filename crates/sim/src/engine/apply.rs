@@ -137,6 +137,7 @@ impl<'a> Engine<'a> {
                     // fault-evicted job pays an extra restart penalty on
                     // top of checkpoint-resume.
                     let mut throughput = m.throughput;
+                    let mut straggler = 1.0_f64;
                     let mut fault_penalty = 0.0;
                     let mut fault_restart = false;
                     if let Some(plan) = &self.chaos {
@@ -148,12 +149,29 @@ impl<'a> Engine<'a> {
                             .map(|(n, _)| plan.slowdown(*n))
                             .fold(1.0_f64, f64::min);
                         throughput *= slow;
+                        straggler = slow;
                         let rt = self.jobs.get(&id).expect("job exists");
                         if rt.fault_evicted_at.is_some() {
                             fault_restart = true;
                             fault_penalty = plan.restart_penalty_secs();
                         }
                     }
+                    // Online refitting: the hook sees what telemetry would
+                    // see — the end-to-end iteration time after any
+                    // straggler cap — plus the cap itself so it can keep a
+                    // sick node's slowdown out of the model fit.
+                    let refit_outcome = match self.refit.as_mut() {
+                        Some(hook) => hook.observe(&crate::refit::RefitObservation {
+                            at: self.now,
+                            model: &spec.model.name,
+                            plan: &assignment.plan,
+                            placement: &placement,
+                            global_batch: spec.global_batch,
+                            iter_time: m.iter_time / straggler,
+                            straggler_factor: straggler,
+                        }),
+                        None => None,
+                    };
                     let delay = if restarted {
                         spec.checkpoint_resume_secs()
                     } else {
@@ -206,6 +224,19 @@ impl<'a> Engine<'a> {
                         );
                     }
                     self.emit(sink, event);
+                    if let Some(outcome) = refit_outcome {
+                        self.refit_round_pending = true;
+                        self.emit(
+                            sink,
+                            SimEvent::ModelRefit {
+                                at: self.now,
+                                model: outcome.model,
+                                shift: outcome.shift,
+                                old_params: rubick_obs::params_to_str(&outcome.old_params),
+                                new_params: rubick_obs::params_to_str(&outcome.new_params),
+                            },
+                        );
+                    }
                     let finish =
                         self.now + delay + remaining * spec.global_batch as f64 / throughput;
                     self.queue.push(finish, EventKind::Finish(id, epoch));

@@ -32,6 +32,7 @@ mod runtime;
 use crate::cluster::Cluster;
 use crate::job::{JobId, JobSpec, JobStatus};
 use crate::metrics::{JobRecord, SimReport};
+use crate::refit::RefitHook;
 use crate::report::{self, ReportSink};
 use crate::scheduler::{Assignment, JobDelta, JobSnapshot, Scheduler};
 use crate::tenant::Tenant;
@@ -120,6 +121,14 @@ pub struct Engine<'a> {
     stall_rounds: u32,
     /// Whether the fault timeline has been pushed into the queue.
     chaos_armed: bool,
+    /// Optional online refit hook fed with every oracle measurement
+    /// (see [`crate::refit`]); `None` leaves the engine byte-identical
+    /// to builds that predate refitting.
+    pub(super) refit: Option<Box<dyn RefitHook + 'a>>,
+    /// Set when a hook reported a material model change this round; makes
+    /// the engine force a follow-up re-planning round even without a
+    /// periodic heartbeat.
+    pub(super) refit_round_pending: bool,
 }
 
 /// What one [`Engine::step`] call did.
@@ -183,6 +192,8 @@ impl<'a> Engine<'a> {
             pending: BTreeMap::new(),
             stall_rounds: 0,
             chaos_armed: false,
+            refit: None,
+            refit_round_pending: false,
         }
     }
 
@@ -198,6 +209,16 @@ impl<'a> Engine<'a> {
     fn mark_removed(&mut self, id: JobId) {
         self.delta_changed.remove(&id);
         self.delta_removed.insert(id);
+    }
+
+    /// Attaches an online refit hook: every oracle measurement taken while
+    /// applying a configuration is pushed through it, and a reported
+    /// material change emits a [`SimEvent::ModelRefit`] plus a forced
+    /// re-planning round (see [`crate::refit`] for the contract). Without
+    /// this call the engine's streams are byte-identical to pre-refit
+    /// builds.
+    pub fn set_refit_hook(&mut self, hook: Box<dyn RefitHook + 'a>) {
+        self.refit = Some(hook);
     }
 
     /// Arms deterministic fault injection: the plan's node fault timeline
@@ -619,6 +640,18 @@ impl<'a> Engine<'a> {
         }
         if need_round {
             self.round(sink);
+        }
+        // A material refit bumped the registry version, so every cached
+        // plan is stale; make sure a round actually happens to consume
+        // that. The periodic heartbeat covers it when armed — otherwise
+        // (event-driven runs, `round_interval: None`) schedule a one-shot
+        // tick shortly after, advancing time strictly so a hook that
+        // refits on every round cannot wedge the clock.
+        if self.refit_round_pending {
+            self.refit_round_pending = false;
+            if self.config.round_interval.is_none() && self.active_jobs() > 0 {
+                self.queue.push(self.now + 1.0, EventKind::Tick);
+            }
         }
         // Keep a heartbeat while jobs are active.
         if self.active_jobs() > 0 {

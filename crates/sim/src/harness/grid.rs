@@ -24,8 +24,9 @@
 //!
 //! **Cell order is part of the format.** Within a block, dimensions nest
 //! in the fixed canonical order `trace` → `scheduler` → `jobs` → `load`
-//! → `large_frac` → `nodes` → `chaos_rate` → `chaos_seed` → `seed`
-//! (outermost first), each dimension iterating its values in file order.
+//! → `large_frac` → `nodes` → `chaos_rate` → `chaos_seed` → `seed` →
+//! `refit` (outermost first), each dimension iterating its values in
+//! file order.
 //! Output rows are emitted in exactly this order at any worker-thread
 //! count, so sweep output is byte-identical across `--parallelism`
 //! settings and reruns.
@@ -117,6 +118,9 @@ pub struct GridBlock {
     pub chaos_seed: Vec<u64>,
     /// `seed` dimension (default: the `[sweep]` seed).
     pub seed: Option<Vec<u64>>,
+    /// `refit` dimension, the online-refit material-change threshold;
+    /// `0` keeps the offline fit frozen for the cell (default `[0]`).
+    pub refit: Vec<f64>,
 }
 
 impl Default for GridBlock {
@@ -131,6 +135,7 @@ impl Default for GridBlock {
             chaos_rate: vec![0.0],
             chaos_seed: vec![0],
             seed: None,
+            refit: vec![0.0],
         }
     }
 }
@@ -267,35 +272,38 @@ impl SweepSpec {
                                     for &chaos_rate in &grid.chaos_rate {
                                         for &chaos_seed in &grid.chaos_seed {
                                             for &seed in &seeds {
-                                                let chaos =
-                                                    (chaos_rate > 0.0).then_some(ChaosKnobs {
-                                                        failure_rate_per_hour: chaos_rate,
-                                                        seed: chaos_seed,
-                                                    });
-                                                let cell = ScenarioSpec {
-                                                    scheduler: scheduler.clone(),
-                                                    trace,
-                                                    jobs,
-                                                    load,
-                                                    large_frac,
-                                                    seed,
-                                                    nodes,
-                                                    duration_hours: self.duration_hours,
-                                                    chaos,
-                                                    parallelism: None,
-                                                };
-                                                cell.validate().map_err(|e| {
-                                                    SweepError::Invalid(format!(
-                                                        "{}: {e}",
-                                                        cell.label()
-                                                    ))
-                                                })?;
-                                                if cells.len() >= MAX_CELLS {
-                                                    return Err(SweepError::TooLarge(
-                                                        self.cell_count(),
-                                                    ));
+                                                for &refit in &grid.refit {
+                                                    let chaos =
+                                                        (chaos_rate > 0.0).then_some(ChaosKnobs {
+                                                            failure_rate_per_hour: chaos_rate,
+                                                            seed: chaos_seed,
+                                                        });
+                                                    let cell = ScenarioSpec {
+                                                        scheduler: scheduler.clone(),
+                                                        trace,
+                                                        jobs,
+                                                        load,
+                                                        large_frac,
+                                                        seed,
+                                                        nodes,
+                                                        duration_hours: self.duration_hours,
+                                                        chaos,
+                                                        refit: (refit > 0.0).then_some(refit),
+                                                        parallelism: None,
+                                                    };
+                                                    cell.validate().map_err(|e| {
+                                                        SweepError::Invalid(format!(
+                                                            "{}: {e}",
+                                                            cell.label()
+                                                        ))
+                                                    })?;
+                                                    if cells.len() >= MAX_CELLS {
+                                                        return Err(SweepError::TooLarge(
+                                                            self.cell_count(),
+                                                        ));
+                                                    }
+                                                    cells.push(cell);
                                                 }
-                                                cells.push(cell);
                                             }
                                         }
                                     }
@@ -323,6 +331,7 @@ impl SweepSpec {
                     * g.chaos_rate.len()
                     * g.chaos_seed.len()
                     * g.seed.as_ref().map_or(1, Vec::len)
+                    * g.refit.len()
             })
             .sum()
     }
@@ -533,12 +542,18 @@ fn apply_grid_key(
                     .collect::<Result<_, _>>()?,
             )
         }
+        "refit" => {
+            grid.refit = values
+                .iter()
+                .map(|v| num_as(key, v, "a refit threshold (0 = frozen)", lineno))
+                .collect::<Result<_, _>>()?
+        }
         other => {
             return Err(parse_err(
                 lineno,
                 format!(
                     "unknown [grid] dimension '{other}' (trace|scheduler|jobs|load|\
-                     large_frac|nodes|chaos_rate|chaos_seed|seed)"
+                     large_frac|nodes|chaos_rate|chaos_seed|seed|refit)"
                 ),
             ))
         }
@@ -674,6 +689,17 @@ scheduler = ["rubick", "antman"]
         );
         let spec = SweepSpec::parse(&text).unwrap();
         assert!(matches!(spec.expand(), Err(SweepError::TooLarge(5000))));
+    }
+
+    #[test]
+    fn refit_zero_means_frozen_model() {
+        let spec = SweepSpec::parse("[sweep]\njobs = 5\n[grid]\nrefit = [0, 0.15]\n").unwrap();
+        let cells = spec.expand().unwrap();
+        assert_eq!(cells.len(), 2);
+        assert!(cells[0].refit.is_none());
+        assert_eq!(cells[1].refit, Some(0.15));
+        // refit nests innermost: cells differing only in refit are adjacent.
+        assert_eq!(cells[0].seed, cells[1].seed);
     }
 
     #[test]

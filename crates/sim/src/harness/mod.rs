@@ -29,6 +29,7 @@ use crate::cluster::Cluster;
 use crate::engine::{Engine, EngineConfig};
 use crate::job::JobSpec;
 use crate::metrics::SimReport;
+use crate::refit::RefitHook;
 use crate::scheduler::Scheduler;
 use crate::tenant::Tenant;
 use rubick_chaos::{ChaosConfig, FaultPlan};
@@ -118,6 +119,10 @@ pub struct ScenarioSpec {
     pub duration_hours: f64,
     /// Random fault injection, when enabled.
     pub chaos: Option<ChaosKnobs>,
+    /// Online model refitting: the material-change threshold (relative
+    /// envelope shift that triggers a registry update), or `None` to keep
+    /// the offline fit frozen for the whole run.
+    pub refit: Option<f64>,
     /// Per-round worker threads forwarded to the engine (never affects
     /// scheduling decisions — only how fast a round computes).
     pub parallelism: Option<usize>,
@@ -135,6 +140,7 @@ impl Default for ScenarioSpec {
             nodes: 8,
             duration_hours: 12.0,
             chaos: None,
+            refit: None,
             parallelism: None,
         }
     }
@@ -175,6 +181,13 @@ impl ScenarioSpec {
                 return Err(format!(
                     "chaos_rate must be a non-negative number, got {}",
                     chaos.failure_rate_per_hour
+                ));
+            }
+        }
+        if let Some(threshold) = self.refit {
+            if !(threshold > 0.0 && threshold.is_finite()) {
+                return Err(format!(
+                    "refit threshold must be a positive number, got {threshold}"
                 ));
             }
         }
@@ -237,10 +250,17 @@ impl ScenarioSpec {
                 chaos.failure_rate_per_hour, chaos.seed
             ));
         }
+        if let Some(threshold) = self.refit {
+            s.push_str(&format!(" refit={threshold}"));
+        }
         s.push_str(&format!(" seed={}", self.seed));
         s
     }
 }
+
+/// A freshly built scheduler plus, for refit-enabled specs, the online
+/// refit hook wired to the same model registry.
+pub type SchedulerWithRefit = (Box<dyn Scheduler>, Option<Box<dyn RefitHook>>);
 
 /// The two constructors the harness cannot own: policies (`rubick-core`)
 /// and workload traces (`rubick-trace`) live in crates that depend on
@@ -257,6 +277,30 @@ pub trait ScenarioBackend: Sync {
     ///
     /// A message naming the unknown scheduler (and the valid names).
     fn scheduler(&self, spec: &ScenarioSpec) -> Result<Box<dyn Scheduler>, String>;
+
+    /// Builds the scheduler *and*, when `spec.refit` is set, the online
+    /// refit hook that shares its model registry — only the backend can
+    /// wire the two to the same registry, since both live behind this
+    /// trait's construction boundary.
+    ///
+    /// The default implementation supports frozen-model runs only: it
+    /// delegates to [`ScenarioBackend::scheduler`] and rejects specs with
+    /// `refit` set, so a backend that never overrides this cannot
+    /// silently ignore a requested refit.
+    ///
+    /// # Errors
+    ///
+    /// Backend construction errors, or `spec.refit` being set on a
+    /// backend without refit support.
+    fn scheduler_with_refit(&self, spec: &ScenarioSpec) -> Result<SchedulerWithRefit, String> {
+        if spec.refit.is_some() {
+            return Err(format!(
+                "backend for scheduler '{}' does not support online refitting",
+                spec.scheduler
+            ));
+        }
+        Ok((self.scheduler(spec)?, None))
+    }
 
     /// Generates the workload (jobs and tenants) for the spec.
     ///
@@ -335,7 +379,7 @@ pub fn run_scenario_with(
         None => spec.fault_plan()?,
     };
     let (jobs, tenants) = backend.workload(spec, &oracle)?;
-    let scheduler = backend.scheduler(spec)?;
+    let (scheduler, refit_hook) = backend.scheduler_with_refit(spec)?;
     let mut engine = Engine::new(
         &oracle,
         scheduler,
@@ -343,6 +387,9 @@ pub fn run_scenario_with(
         tenants,
         spec.engine_config(),
     );
+    if let Some(hook) = refit_hook {
+        engine.set_refit_hook(hook);
+    }
     let mut faults = chaos.as_ref().map(|_| FaultMetricsSink::new());
     if let Some(plan) = chaos {
         engine = engine.with_chaos(plan);
@@ -389,7 +436,7 @@ mod tests {
 
     #[test]
     fn validation_names_the_offending_knob() {
-        let cases: [(ScenarioSpec, &str); 5] = [
+        let cases: [(ScenarioSpec, &str); 6] = [
             (
                 ScenarioSpec {
                     jobs: 0,
@@ -424,6 +471,13 @@ mod tests {
                     ..ScenarioSpec::default()
                 },
                 "duration_hours",
+            ),
+            (
+                ScenarioSpec {
+                    refit: Some(0.0),
+                    ..ScenarioSpec::default()
+                },
+                "refit",
             ),
         ];
         for (spec, knob) in cases {
@@ -462,11 +516,44 @@ mod tests {
                 failure_rate_per_hour: 0.1,
                 seed: 3,
             }),
+            refit: Some(0.15),
             ..ScenarioSpec::default()
         };
         let label = spec.label();
-        for needle in ["mt/sia", "nodes=4", "chaos_rate=0.1", "seed=2025"] {
+        for needle in [
+            "mt/sia",
+            "nodes=4",
+            "chaos_rate=0.1",
+            "refit=0.15",
+            "seed=2025",
+        ] {
             assert!(label.contains(needle), "label '{label}' missing {needle}");
         }
+    }
+
+    #[test]
+    fn default_backend_rejects_refit_specs() {
+        struct Frozen;
+        impl ScenarioBackend for Frozen {
+            fn scheduler(&self, _spec: &ScenarioSpec) -> Result<Box<dyn Scheduler>, String> {
+                Err("unused".to_string())
+            }
+            fn workload(
+                &self,
+                _spec: &ScenarioSpec,
+                _oracle: &TestbedOracle,
+            ) -> Result<(Vec<JobSpec>, Vec<Tenant>), String> {
+                Err("unused".to_string())
+            }
+        }
+        let spec = ScenarioSpec {
+            refit: Some(0.2),
+            ..ScenarioSpec::default()
+        };
+        let err = match Frozen.scheduler_with_refit(&spec) {
+            Ok(_) => panic!("refit spec should be rejected"),
+            Err(e) => e,
+        };
+        assert!(err.contains("refitting"), "{err}");
     }
 }

@@ -39,6 +39,7 @@ pub mod engine;
 pub mod harness;
 pub mod job;
 pub mod metrics;
+pub mod refit;
 pub mod report;
 pub mod scheduler;
 pub mod serve;
@@ -49,10 +50,11 @@ pub use engine::{Engine, EngineConfig, StepOutcome};
 pub use harness::baseline::{diff_outcomes, parse_baseline, Baseline, BaselineDiff};
 pub use harness::{
     run_scenario, run_scenario_with, CellTiming, ChaosKnobs, ScenarioBackend, ScenarioOutcome,
-    ScenarioSpec, TraceKind,
+    ScenarioSpec, SchedulerWithRefit, TraceKind,
 };
 pub use job::{JobClass, JobId, JobSpec, JobStatus};
 pub use metrics::{JobRecord, SimReport};
+pub use refit::{RefitHook, RefitObservation, RefitOutcome};
 pub use report::ReportSink;
 pub use scheduler::{Assignment, JobDelta, JobSnapshot, Scheduler};
 pub use serve::{

@@ -181,6 +181,9 @@ pub struct SimReport {
     pub infeasible_assignments: u64,
     /// Number of scheduling rounds executed.
     pub rounds: u64,
+    /// Online model refits that materially changed a throughput model
+    /// (0 unless the run had `--refit` enabled).
+    pub model_refits: u64,
     /// Chronological audit trail of every applied decision.
     pub decisions: Vec<Decision>,
 }
@@ -330,6 +333,7 @@ mod tests {
             makespan: 200.0,
             infeasible_assignments: 0,
             rounds: 5,
+            model_refits: 0,
             decisions: vec![],
         }
     }

@@ -122,6 +122,7 @@ pub struct ReportSink {
     makespan: f64,
     infeasible: u64,
     rounds: u64,
+    model_refits: u64,
     decisions: Vec<Decision>,
 }
 
@@ -144,6 +145,7 @@ impl ReportSink {
             makespan: mem::replace(&mut self.makespan, 0.0),
             infeasible_assignments: mem::replace(&mut self.infeasible, 0),
             rounds: mem::replace(&mut self.rounds, 0),
+            model_refits: mem::replace(&mut self.model_refits, 0),
             decisions: mem::take(&mut self.decisions),
         }
     }
@@ -228,6 +230,12 @@ impl EventSink for ReportSink {
             // RoundStarted arm above, so the fold stays bit-identical
             // whether or not the engine surfaces them.
             SimEvent::RoundPlanned { .. } => {}
+            // Online refits (schema v5) fold to a bare counter: the
+            // parameter payload is for the audit log, and refit-off runs
+            // never see this arm, keeping their reports bit-identical.
+            SimEvent::ModelRefit { .. } => {
+                self.model_refits += 1;
+            }
         }
     }
 }

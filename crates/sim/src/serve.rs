@@ -432,6 +432,10 @@ struct ServeLog {
     events_dropped: u64,
     /// Event lines currently in the file.
     events_logged: u64,
+    /// Bytes currently in the file (header, ops, events, markers —
+    /// newlines included). Drops back to the rewritten size on compaction,
+    /// which is what the auto-compaction threshold watches.
+    bytes: u64,
     /// First I/O error, sticky (subsequent writes are no-ops).
     error: Option<io::Error>,
 }
@@ -442,6 +446,7 @@ impl ServeLog {
         file.write_all(header.as_bytes())?;
         file.write_all(b"\n")?;
         file.flush()?;
+        let bytes = header.len() as u64 + 1;
         Ok(ServeLog {
             path: path.to_path_buf(),
             file,
@@ -449,6 +454,7 @@ impl ServeLog {
             ops: Vec::new(),
             events_dropped: 0,
             events_logged: 0,
+            bytes,
             error: None,
         })
     }
@@ -461,8 +467,9 @@ impl ServeLog {
             .file
             .write_all(line.as_bytes())
             .and_then(|()| self.file.write_all(b"\n"));
-        if let Err(e) = result {
-            self.error = Some(e);
+        match result {
+            Ok(()) => self.bytes += line.len() as u64 + 1,
+            Err(e) => self.error = Some(e),
         }
     }
 
@@ -516,6 +523,7 @@ impl ServeLog {
         match reopen {
             Ok(file) => {
                 self.file = BufWriter::new(file);
+                self.bytes = content.len() as u64;
                 Ok(dropped_now)
             }
             Err(e) => Err(format!(
@@ -565,6 +573,10 @@ pub struct ServeSession<'a> {
     engine: Engine<'a>,
     clock: f64,
     log: Option<ServeLog>,
+    /// Auto-compaction threshold: when the journal exceeds this many
+    /// bytes *and* holds at least one event line, the next applied op
+    /// compacts it (`None` = compaction only via the `snapshot` op).
+    auto_compact_bytes: Option<u64>,
 }
 
 impl<'a> ServeSession<'a> {
@@ -574,6 +586,7 @@ impl<'a> ServeSession<'a> {
             engine,
             clock: 0.0,
             log: None,
+            auto_compact_bytes: None,
         }
     }
 
@@ -593,7 +606,21 @@ impl<'a> ServeSession<'a> {
             engine,
             clock: 0.0,
             log: Some(log),
+            auto_compact_bytes: None,
         })
+    }
+
+    /// Sets (or clears) the journal auto-compaction threshold in bytes.
+    /// No-op for sessions without a journal. Compaction is the same
+    /// rewrite the `snapshot` op performs, so a recovered session replays
+    /// identically whether the log was compacted by hand or by size.
+    pub fn set_auto_compact(&mut self, bytes: Option<u64>) {
+        self.auto_compact_bytes = bytes;
+    }
+
+    /// Bytes currently in the journal file (`None` without a journal).
+    pub fn log_bytes(&self) -> Option<u64> {
+        self.log.as_ref().map(|log| log.bytes)
     }
 
     /// The current session state.
@@ -622,6 +649,16 @@ impl<'a> ServeSession<'a> {
     /// Invalid ops (unknown model, duplicate job id, ...) and journal I/O
     /// failures. The engine is never mutated by an op that errors.
     pub fn apply(&mut self, op: &ServeOp, sink: &mut dyn EventSink) -> Result<ServeReply, String> {
+        let reply = self.apply_inner(op, sink)?;
+        self.maybe_auto_compact()?;
+        Ok(reply)
+    }
+
+    fn apply_inner(
+        &mut self,
+        op: &ServeOp,
+        sink: &mut dyn EventSink,
+    ) -> Result<ServeReply, String> {
         match op {
             ServeOp::Submit(s) => {
                 let spec = s.resolve()?;
@@ -661,6 +698,24 @@ impl<'a> ServeSession<'a> {
                 job: None,
             }),
         }
+    }
+
+    /// Compacts the journal when it has outgrown the auto-compaction
+    /// threshold. Requires at least one event line in the file: ops are
+    /// retained by compaction, so rewriting an op-only journal could
+    /// never shrink it below the threshold.
+    fn maybe_auto_compact(&mut self) -> Result<(), String> {
+        let Some(limit) = self.auto_compact_bytes else {
+            return Ok(());
+        };
+        let over = self
+            .log
+            .as_ref()
+            .is_some_and(|log| log.bytes > limit && log.events_logged > 0);
+        if over {
+            self.compact()?;
+        }
+        Ok(())
     }
 
     fn journal(&mut self, op: &ServeOp) -> Result<(), String> {
@@ -895,6 +950,7 @@ pub fn recover<'a>(
         ops: ops.iter().map(ServeOp::to_jsonl).collect(),
         events_dropped,
         events_logged: (regen.len() - offset) as u64,
+        bytes: content.len() as u64,
         error: None,
     });
     Ok(Recovery {
@@ -1126,6 +1182,47 @@ mod tests {
         let report = session.finish();
         let events = sink.events.iter().map(SimEvent::to_jsonl).collect();
         (path, format!("{report:?}"), events)
+    }
+
+    #[test]
+    fn auto_compaction_bounds_the_journal_and_restart_round_trips() {
+        let (full_path, full_report, _) = run_full("ac-ref");
+        let _ = std::fs::remove_file(full_path);
+
+        let path = temp_path("ac");
+        let oracle = TestbedOracle::new(1);
+        let limit = 600u64;
+        {
+            let mut session = ServeSession::with_log(engine(&oracle), &meta(), &path).unwrap();
+            session.set_auto_compact(Some(limit));
+            let mut sink = NullSink;
+            for op in ops_script() {
+                session.apply(&op, &mut sink).unwrap();
+                // Post-op the journal is back under the threshold: any
+                // overflow was event lines, which compaction drops (the
+                // retained ops + header + marker fit well below it here).
+                let bytes = session.log_bytes().unwrap();
+                assert!(bytes <= limit, "journal grew to {bytes} bytes");
+            }
+            // The long advance alone emits more than `limit` bytes of
+            // events, so compaction must have fired at least once.
+            drop(session); // simulate a kill: no finish(), buffers flush on drop
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.contains("\"type\":\"compacted\""),
+            "auto-compaction never fired:\n{text}"
+        );
+
+        // Restart round-trip: recovery from the auto-compacted journal
+        // reaches the exact state of an uninterrupted session.
+        let mut sink = VecSink::default();
+        let recovery = recover(&path, engine(&oracle), &mut sink).unwrap();
+        assert!(!recovery.stats.torn_tail);
+        assert_eq!(recovery.stats.ops_replayed, ops_script().len());
+        let report = recovery.session.finish();
+        assert_eq!(format!("{report:?}"), full_report);
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]
